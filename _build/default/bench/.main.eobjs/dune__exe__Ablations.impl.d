@@ -1,0 +1,1 @@
+bench/ablations.ml: Format List Pmrace Printf Runtime Sched String Workloads

@@ -1,0 +1,1 @@
+bench/figures.ml: Format List Pmrace Printf Sessions String Unix Workloads

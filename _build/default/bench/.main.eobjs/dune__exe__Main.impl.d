@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figures Format List Micro String Sys Tables Unix

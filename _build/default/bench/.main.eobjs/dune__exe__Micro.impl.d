@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Format Hashtbl Instance Lazy List Measure Pmdk Pmem Pmrace Runtime Sched Staged Test Time Toolkit Workloads

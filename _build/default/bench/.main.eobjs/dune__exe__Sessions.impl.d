@@ -1,0 +1,1 @@
+bench/sessions.ml: Hashtbl Option Pmrace

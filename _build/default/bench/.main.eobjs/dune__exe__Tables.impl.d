@@ -1,0 +1,1 @@
+bench/tables.ml: Array Format Hashtbl List Option Pmem Pmrace Printf Runtime Sched Sessions String Workloads

@@ -1,0 +1,47 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§6), then runs the Bechamel microbenchmarks.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table3  # one section
+*)
+
+let sections : (string * (Format.formatter -> unit)) list =
+  [
+    ("table1", Tables.table1);
+    ("table2", Tables.table2);
+    ("table3", Tables.table3);
+    ("table4", Tables.table4);
+    ("table5", Tables.table5);
+    ("fig8", Figures.fig8);
+    ("fig9", Figures.fig9);
+    ("fig10", Figures.fig10);
+    ("eadr", Ablations.eadr);
+    ("checkers", Ablations.checkers);
+    ("workers", Ablations.workers);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let ppf = Format.std_formatter in
+  let requested = match Array.to_list Sys.argv with _ :: rest when rest <> [] -> rest | _ -> [] in
+  let to_run =
+    if requested = [] then sections
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> Some (name, f)
+          | None ->
+              Format.eprintf "unknown section %S (available: %s)@." name
+                (String.concat ", " (List.map fst sections));
+              None)
+        requested
+  in
+  Format.fprintf ppf "PMRace reproduction — evaluation harness@.";
+  Format.fprintf ppf "(4 worker threads per campaign, deterministic scheduler; see EXPERIMENTS.md)@.";
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ppf;
+      Format.fprintf ppf "[%s took %.2fs]@." name (Unix.gettimeofday () -. t0))
+    to_run

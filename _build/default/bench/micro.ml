@@ -1,0 +1,125 @@
+(* Bechamel microbenchmarks: one Test.make per table/figure, measuring the
+   cost of the mechanism behind each experiment. *)
+
+open Bechamel
+open Toolkit
+
+let pclht_snapshot = lazy (Pmrace.Campaign.prepare_snapshot Workloads.Pclht.target)
+let pclht_seed =
+  lazy (Pmrace.Seed.gen (Sched.Rng.create 77) Workloads.Pclht.target.profile)
+
+(* Table 2: one full fuzz campaign on P-CLHT. *)
+let t_table2 =
+  Test.make ~name:"table2/fuzz-campaign(p-clht)"
+    (Staged.stage (fun () ->
+         let input =
+           Pmrace.Campaign.input ~sched_seed:3 ~policy:Pmrace.Campaign.Random_sched
+             ~snapshot:(Lazy.force pclht_snapshot) Workloads.Pclht.target
+             (Lazy.force pclht_seed)
+         in
+         ignore (Pmrace.Campaign.run input)))
+
+(* Table 3: one post-failure validation (recovery on a crash image). *)
+let crash_image =
+  lazy
+    (let env = Runtime.Env.create ~pool_words:Workloads.Pclht.target.pool_words () in
+     Workloads.Pclht.target.init env;
+     Pmem.Pool.quiesce env.pool;
+     Pmem.Pool.crash_image env.pool)
+
+let t_table3 =
+  Test.make ~name:"table3/post-failure-validation(p-clht)"
+    (Staged.stage (fun () ->
+         ignore (Pmrace.Post_failure.run_recovery Workloads.Pclht.target (Lazy.force crash_image))))
+
+(* Table 4: operation-mutator seed generation vs AFL-style havoc. *)
+let t_table4_op =
+  let rng = Sched.Rng.create 99 in
+  Test.make ~name:"table4/op-mutator-seed"
+    (Staged.stage (fun () ->
+         ignore (Pmrace.Seed.gen rng Workloads.Memcached.target.profile)))
+
+let t_table4_afl =
+  let rng = Sched.Rng.create 99 in
+  Test.make ~name:"table4/afl-havoc-bytes"
+    (Staged.stage (fun () -> ignore (Pmrace.Mutator.afl_havoc rng "set k3 0 0 3\r\nabc\r\n")))
+
+(* Figure 8: a sync-point campaign vs a delay-injection campaign. *)
+let t_fig8_pmrace =
+  Test.make ~name:"fig8/pmrace-campaign(p-clht)"
+    (Staged.stage (fun () ->
+         let entry =
+           { Pmrace.Shared_queue.addr = Pmdk.Layout.root_base; loads = []; stores = []; hits = 1 }
+         in
+         let input =
+           Pmrace.Campaign.input ~sched_seed:3
+             ~policy:(Pmrace.Campaign.Pmrace { entry; skip = 0 })
+             ~snapshot:(Lazy.force pclht_snapshot) Workloads.Pclht.target
+             (Lazy.force pclht_seed)
+         in
+         ignore (Pmrace.Campaign.run input)))
+
+let t_fig8_delay =
+  Test.make ~name:"fig8/delay-campaign(p-clht)"
+    (Staged.stage (fun () ->
+         let input =
+           Pmrace.Campaign.input ~sched_seed:3
+             ~policy:(Pmrace.Campaign.Delay { prob = 0.15; max_delay = 40 })
+             ~snapshot:(Lazy.force pclht_snapshot) Workloads.Pclht.target
+             (Lazy.force pclht_seed)
+         in
+         ignore (Pmrace.Campaign.run input)))
+
+(* Figure 9: the coverage-metric update cost (alias bitmap insertion). *)
+let t_fig9 =
+  let cov = Pmrace.Alias_cov.create () in
+  let i = ref 0 in
+  Test.make ~name:"fig9/alias-coverage-observe"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore
+           (Pmrace.Alias_cov.observe cov
+              ~prev:{ Pmrace.Alias_cov.a_instr = !i land 1023; a_dirty = true; a_tid = 0 }
+              ~cur:{ Pmrace.Alias_cov.a_instr = (!i * 7) land 1023; a_dirty = false; a_tid = 1 })))
+
+(* Figure 10: expensive pool initialisation vs checkpoint restore. *)
+let t_fig10_init =
+  Test.make ~name:"fig10/pool-init(libpmemobj-style)"
+    (Staged.stage (fun () ->
+         let env = Runtime.Env.create ~pool_words:Workloads.Pclht.target.pool_words () in
+         Workloads.Pclht.target.init env))
+
+let t_fig10_restore =
+  let env = Runtime.Env.create ~pool_words:Workloads.Pclht.target.pool_words () in
+  Test.make ~name:"fig10/checkpoint-restore"
+    (Staged.stage (fun () -> Pmem.Pool.restore env.pool (Lazy.force pclht_snapshot)))
+
+let tests =
+  [
+    t_table2;
+    t_table3;
+    t_table4_op;
+    t_table4_afl;
+    t_fig8_pmrace;
+    t_fig8_delay;
+    t_fig9;
+    t_fig10_init;
+    t_fig10_restore;
+  ]
+
+let run ppf =
+  Format.fprintf ppf "@.Bechamel microbenchmarks (ns/run, OLS on monotonic clock):@.";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.2) ~stabilize:false () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ t ] -> Format.fprintf ppf "  %-44s %14.0f@." name t
+          | Some _ | None -> Format.fprintf ppf "  %-44s (no estimate)@." name)
+        results)
+    tests

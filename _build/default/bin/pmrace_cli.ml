@@ -1,0 +1,143 @@
+(* The pmrace command-line interface.
+
+     pmrace list                        show the available targets
+     pmrace fuzz TARGET [options]       fuzz one target and print the report
+     pmrace inspect TARGET              show a target's seeded ground truth
+
+   The table/figure reproductions live in the benchmark harness
+   (dune exec bench/main.exe). *)
+
+open Cmdliner
+
+module Fuzzer = Pmrace.Fuzzer
+module Report = Pmrace.Report
+
+let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
+  Format.fprintf ppf "== %s: %d campaigns in %.2fs ==@." target.name s.campaigns_run s.wall_time;
+  Format.fprintf ppf "coverage: %d PM alias pairs, %d branches@." (Pmrace.Alias_cov.count s.alias)
+    (Pmrace.Branch_cov.count s.branch);
+  Format.fprintf ppf "candidates: %d inter, %d intra@."
+    (Report.candidate_count s.report Runtime.Candidates.Inter)
+    (Report.candidate_count s.report Runtime.Candidates.Intra);
+  let show kind name =
+    let cs = Report.coarse_summary s.report kind in
+    Format.fprintf ppf
+      "%s inconsistencies: %d (validated FP %d, whitelisted %d, bugs %d, unvalidated %d)@." name
+      cs.Report.total cs.Report.validated_fp cs.Report.whitelisted_fp cs.Report.bugs
+      cs.Report.pending
+  in
+  show Runtime.Candidates.Inter "inter-thread";
+  show Runtime.Candidates.Intra "intra-thread";
+  let sfp, _, sbugs, _ = Report.sync_verdict_summary s.report in
+  Format.fprintf ppf
+    "synchronization: %d annotations, %d inconsistencies (validated FP %d, bugs %d)@."
+    s.annotations
+    (List.length (Report.sync_findings s.report))
+    sfp sbugs;
+  (match Report.hangs s.report with
+  | [] -> ()
+  | hs ->
+      Format.fprintf ppf "hangs: %a@."
+        Fmt.(list ~sep:comma (pair ~sep:(any " x") string int))
+        hs);
+  Format.fprintf ppf "@.unique bug groups:@.";
+  List.iter (fun g -> Format.fprintf ppf "  %a@." Report.pp_bug_group g)
+    (Report.bug_groups s.report);
+  Format.fprintf ppf "@.seeded ground truth:@.";
+  List.iter
+    (fun ((kb : Pmrace.Target.known_bug), found) ->
+      Format.fprintf ppf "  [%s] %a@." (if found then "FOUND" else "MISS") Pmrace.Target.pp_known_bug kb)
+    (Fuzzer.found_known_bugs s target)
+
+let target_conv =
+  let parse name =
+    match Workloads.Registry.find name with
+    | Some t -> Ok t
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown target %S (available: %s)" name
+               (String.concat ", " (Workloads.Registry.names ()))))
+  in
+  Arg.conv (parse, fun ppf (t : Pmrace.Target.t) -> Format.fprintf ppf "%s" t.name)
+
+let mode_conv =
+  Arg.enum [ ("pmrace", Fuzzer.Mode_pmrace); ("delay", Fuzzer.Mode_delay); ("random", Fuzzer.Mode_random) ]
+
+let fuzz_cmd =
+  let target =
+    Arg.(required & pos 0 (some target_conv) None & info [] ~docv:"TARGET" ~doc:"Target to fuzz.")
+  in
+  let campaigns =
+    Arg.(value & opt int 300 & info [ "campaigns"; "n" ] ~doc:"Number of fuzz campaigns.")
+  in
+  let seed = Arg.(value & opt int 5 & info [ "seed" ] ~doc:"Master random seed.") in
+  let mode =
+    Arg.(value & opt mode_conv Fuzzer.Mode_pmrace
+         & info [ "mode" ] ~doc:"Exploration mode: pmrace, delay, or random.")
+  in
+  let no_checkpoint =
+    Arg.(value & flag & info [ "no-checkpoint" ] ~doc:"Disable in-memory pool checkpoints.")
+  in
+  let no_validate =
+    Arg.(value & flag & info [ "no-validate" ] ~doc:"Skip post-failure validation.")
+  in
+  let no_ie = Arg.(value & flag & info [ "no-ie" ] ~doc:"Disable the interleaving tier.") in
+  let no_se = Arg.(value & flag & info [ "no-se" ] ~doc:"Disable the seed tier.") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log campaign progress.") in
+  let report =
+    Arg.(value & flag & info [ "report" ] ~doc:"Print detailed bug reports with reproduction inputs.")
+  in
+  let run target campaigns seed mode no_checkpoint no_validate no_ie no_se verbose report =
+    let cfg =
+      {
+        Fuzzer.default_config with
+        max_campaigns = campaigns;
+        master_seed = seed;
+        mode;
+        use_checkpoint = (not no_checkpoint) && target.Pmrace.Target.expensive_init;
+        validate = not no_validate;
+        interleaving_tier = not no_ie;
+        seed_tier = not no_se;
+      }
+    in
+    let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
+    let s = Fuzzer.run ~log target cfg in
+    print_session Format.std_formatter target s;
+    if report then begin
+      Format.printf "@.=== detailed bug reports ===@.";
+      Pmrace.Bug_report.render_bugs Format.std_formatter s
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Fuzz a PM system for concurrency bugs")
+    Term.(
+      const run $ target $ campaigns $ seed $ mode $ no_checkpoint $ no_validate $ no_ie $ no_se
+      $ verbose $ report)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (t : Pmrace.Target.t) ->
+        Format.printf "%-16s %-10s %-24s %s@." t.name t.version t.scope t.concurrency)
+      Workloads.Registry.with_examples
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available targets") Term.(const run $ const ())
+
+let inspect_cmd =
+  let target =
+    Arg.(required & pos 0 (some target_conv) None & info [] ~docv:"TARGET" ~doc:"Target.")
+  in
+  let run (target : Pmrace.Target.t) =
+    Format.printf "%s (%s) — %s, %s@." target.name target.version target.scope target.concurrency;
+    Format.printf "pool: %d words; init: %s@." target.pool_words
+      (if target.expensive_init then "libpmemobj-style (expensive)" else "libpmem mapping (cheap)");
+    Format.printf "default whitelist: %a@." Fmt.(list ~sep:comma string) target.whitelist_sites;
+    Format.printf "seeded bugs:@.";
+    List.iter (fun kb -> Format.printf "  %a@." Pmrace.Target.pp_known_bug kb) target.known_bugs
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Show a target's seeded ground truth") Term.(const run $ target)
+
+let () =
+  let doc = "PMRace: PM-aware coverage-guided fuzzing for persistent-memory concurrency bugs" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "pmrace" ~doc) [ fuzz_cmd; list_cmd; inspect_cmd ]))

@@ -1,0 +1,1 @@
+examples/crash_states.ml: Format List Pmem Runtime

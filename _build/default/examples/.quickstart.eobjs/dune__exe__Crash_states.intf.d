@@ -1,0 +1,1 @@
+examples/crash_states.mli:

@@ -1,0 +1,1 @@
+examples/eadr_demo.mli:

@@ -1,0 +1,1 @@
+examples/memcached_fuzz.ml: Format List Pmrace Runtime Sched Workloads

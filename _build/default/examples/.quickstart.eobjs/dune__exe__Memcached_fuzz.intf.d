@@ -1,0 +1,1 @@
+examples/memcached_fuzz.mli:

@@ -1,0 +1,1 @@
+examples/pclht_hunt.ml: Format List Option Pmdk Pmem Pmrace Runtime Sched Workloads

@@ -1,0 +1,1 @@
+examples/pclht_hunt.mli:

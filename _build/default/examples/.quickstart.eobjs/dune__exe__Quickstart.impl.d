@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Format Int64 List Option Pmem Pmrace Runtime Workloads

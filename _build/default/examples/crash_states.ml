@@ -1,0 +1,79 @@
+(* A step-by-step walkthrough of the Figure 3 timeline: the visible
+   (cache) and durable (media) states of PM words as two threads race
+   through the P-CLHT bug 1 window.
+
+     dune exec examples/crash_states.exe
+
+   Uses the raw runtime API directly — no fuzzer — to make the
+   visibility/persistency gap tangible. *)
+
+module Env = Runtime.Env
+module Mem = Runtime.Mem
+module Tval = Runtime.Tval
+module Instr = Runtime.Instr
+
+let i_785 = Instr.site "fig3:785-store-ht_off"
+let i_786 = Instr.site "fig3:786-flush-ht_off"
+let i_417 = Instr.site "fig3:417-read-ht_off"
+let i_item = Instr.site "fig3:483-insert-item"
+
+let ht_off = 8 (* the global table pointer *)
+let old_table = 64
+let new_table = 128
+
+let show env step =
+  let vol w = Pmem.Pool.peek env.Env.pool w in
+  let dur w = Pmem.Pool.image_word (Pmem.Pool.crash_image env.Env.pool) w in
+  Format.printf "%-42s | ht_off: cache=%-3Ld pm=%-3Ld | item: cache=%-4Ld pm=%-4Ld@." step
+    (vol ht_off) (dur ht_off)
+    (vol (new_table + 1))
+    (dur (new_table + 1))
+
+let () =
+  Format.printf "Figure 3 walkthrough: data states during the P-CLHT bug 1 window@.@.";
+  let env = Env.create ~pool_words:512 () in
+  let t1 = Env.ctx env ~tid:1 (* the resizing thread *) in
+  let t2 = Env.ctx env ~tid:2 (* the inserting thread *) in
+  (* Initial state: ht_off points at the old table, durably. *)
+  Mem.store t1 ~instr:i_785 (Tval.of_int ht_off) (Tval.of_int old_table);
+  Mem.persist t1 ~instr:i_786 (Tval.of_int ht_off);
+  show env "initial (ht_off -> old table, persisted)";
+
+  (* Thread-1, line 785: swap the table pointer — no flush yet. *)
+  Mem.store t1 ~instr:i_785 (Tval.of_int ht_off) (Tval.of_int new_table);
+  show env "t1@785: ht_off := new table (store only)";
+
+  (* Thread-2, line 417: reads the NON-PERSISTED pointer... *)
+  let ht = Mem.load t2 ~instr:i_417 (Tval.of_int ht_off) in
+  Format.printf "t2@417 reads ht_off = %d; tainted = %b (an Inter-thread Candidate)@."
+    (Tval.to_int ht) (Tval.is_tainted ht);
+
+  (* ...and inserts an item into the table it found (lines 483-489). *)
+  Mem.movnt t2 ~instr:i_item (Tval.add ht Tval.one) (Tval.of_int 7777);
+  Mem.sfence t2 ~instr:i_item;
+  show env "t2@483: item inserted via the read pointer";
+
+  (* CRASH — before thread-1 executes line 786. *)
+  Format.printf "@.*** crash here: ht_off still points at the old table in PM ***@.";
+  List.iter
+    (fun inc -> Format.printf "checker verdict: %a@." Runtime.Checkers.pp_inconsistency inc)
+    (Runtime.Checkers.inconsistencies env.Env.checkers);
+  let image = Pmem.Pool.crash_image env.Env.pool in
+  let env2 = Env.of_image image in
+  Format.printf "after reboot: ht_off = %Ld (old table), item word = %Ld (persisted!)@."
+    (Pmem.Pool.peek env2.Env.pool ht_off)
+    (Pmem.Pool.peek env2.Env.pool (new_table + 1));
+  Format.printf "the item is durable but unreachable through the recovered pointer: data loss@.";
+
+  (* Epilogue: what SHOULD have happened — flush before the window. *)
+  Format.printf "@.correct ordering (flush immediately after the swap):@.";
+  let env3 = Env.create ~pool_words:512 () in
+  let t1 = Env.ctx env3 ~tid:1 and t2 = Env.ctx env3 ~tid:2 in
+  Mem.store t1 ~instr:i_785 (Tval.of_int ht_off) (Tval.of_int new_table);
+  Mem.persist t1 ~instr:i_786 (Tval.of_int ht_off);
+  let ht = Mem.load t2 ~instr:i_417 (Tval.of_int ht_off) in
+  Mem.movnt t2 ~instr:i_item (Tval.add ht Tval.one) (Tval.of_int 7777);
+  Mem.sfence t2 ~instr:i_item;
+  Format.printf "candidates: %d, inconsistencies: %d — the window is gone@."
+    (Runtime.Candidates.dynamic_count (Runtime.Checkers.candidates env3.Env.checkers))
+    (List.length (Runtime.Checkers.inconsistencies env3.Env.checkers))

@@ -1,0 +1,1 @@
+lib/pmdk/heap.ml: Int64 Layout Pmem Runtime

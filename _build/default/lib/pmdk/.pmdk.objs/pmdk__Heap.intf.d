@@ -1,0 +1,1 @@
+lib/pmdk/heap.mli: Runtime

@@ -1,0 +1,1 @@
+lib/pmdk/objpool.ml: Heap Int64 Layout Pmem Runtime

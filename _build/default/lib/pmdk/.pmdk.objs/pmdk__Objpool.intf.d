@@ -1,0 +1,1 @@
+lib/pmdk/objpool.mli: Runtime

@@ -1,0 +1,1 @@
+lib/pmdk/pmem_low.ml: Layout Runtime

@@ -1,0 +1,1 @@
+lib/pmdk/tx.ml: Heap Layout List Runtime

@@ -1,0 +1,1 @@
+lib/pmdk/tx.mli: Runtime

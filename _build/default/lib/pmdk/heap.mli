@@ -1,0 +1,19 @@
+(** Persistent bump allocator with crash-consistent (non-temporally
+    published) metadata, mirroring PMDK's redo-logged allocator. *)
+
+exception Out_of_memory
+
+val format : Runtime.Env.ctx -> pool_words:int -> unit
+val round_up_line : int -> int
+
+val alloc : Runtime.Env.ctx -> words:int -> int
+(** Allocate a line-aligned chunk; returns its word offset (untainted).
+    Race-free under preemption.  @raise Out_of_memory when the heap is
+    exhausted. *)
+
+val used : Runtime.Env.ctx -> int
+(** Words allocated so far. *)
+
+val leaked_words : Runtime.Env.ctx -> reachable:int -> int
+(** Allocated-but-unreachable words given the workload's reachable count:
+    the PM leak measure for Intra-thread inconsistency bugs. *)

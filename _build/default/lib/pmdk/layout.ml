@@ -1,0 +1,30 @@
+(* Pool layout conventions shared by the mini-PMDK components.
+
+   word 0        : pool magic
+   word 1        : pool kind (1 = libpmemobj-style, 2 = libpmem mapping)
+   words 8..63   : workload root object
+   words 64..71  : heap metadata
+   words 72..327 : per-thread undo-log regions (4 threads + recovery lane)
+   words 328..   : heap data
+
+   Offsets are word offsets into the simulated pool. *)
+
+let magic = 0x504D4F4F4CL (* "PMOOL" *)
+let magic_off = 0
+let kind_off = 1
+let root_base = 8
+let root_words = 56
+let heap_meta = 64
+let log_base = 72
+let log_lanes = 5 (* four worker threads + one for init/recovery *)
+let log_words = 51 (* status + count + 24 (addr, value) pairs, plus padding *)
+let log_entries = 24
+let heap_base = log_base + (log_lanes * log_words) + 1 (* 328 *)
+
+let log_off lane =
+  if lane < 0 || lane >= log_lanes then invalid_arg "Layout.log_off: bad lane";
+  log_base + (lane * log_words)
+
+(* Lane for a thread id: worker tids map to lanes 0..3; anything else (the
+   init/recovery context) uses the last lane. *)
+let lane_of_tid tid = if tid >= 0 && tid < log_lanes - 1 then tid else log_lanes - 1

@@ -1,0 +1,54 @@
+(* libpmemobj-style pool management.
+
+   [create] is deliberately expensive — it writes the pool header, formats
+   the heap, zeroes the root object and every undo-log lane with explicit
+   flushes — because that cost is exactly what the in-memory checkpoints
+   of §5 (Figure 10) amortise.  [map] (in {!Pmem_low}) is the cheap
+   libpmem-style alternative memcached-pmem uses. *)
+
+module Mem = Runtime.Mem
+module Tval = Runtime.Tval
+module Instr = Runtime.Instr
+module Env = Runtime.Env
+
+let i_create = Instr.site "pmdk/obj_create"
+let i_root = Instr.site "pmdk/obj_root"
+
+let create (ctx : Env.ctx) =
+  let pool_words = Pmem.Pool.size ctx.Env.env.Env.pool in
+  Mem.movnt ctx ~instr:i_create (Tval.of_int Layout.magic_off) (Tval.of_int64 Layout.magic);
+  Mem.movnt ctx ~instr:i_create (Tval.of_int Layout.kind_off) Tval.one;
+  Mem.sfence ctx ~instr:i_create;
+  (* Format the whole pool — zeroing, lane construction and a verification
+     pass, flushing line by line: the expensive initialisation that
+     libpmemobj performs in pmemobj_create and that in-memory checkpoints
+     amortise (§5, Figure 10). *)
+  for _pass = 1 to 1 do
+    for w = Layout.root_base to pool_words - 1 do
+      Mem.store ctx ~instr:i_create (Tval.of_int w) Tval.zero;
+      if (w + 1) mod Pmem.Cacheline.words_per_line = 0 then begin
+        Mem.clwb ctx ~instr:i_create (Tval.of_int w);
+        Mem.sfence ctx ~instr:i_create
+      end
+    done
+  done;
+  for w = Layout.root_base to pool_words - 1 do
+    ignore (Mem.load ctx ~instr:i_create (Tval.of_int w))
+  done;
+  Mem.sfence ctx ~instr:i_create;
+  Heap.format ctx ~pool_words
+
+let is_pmemobj (ctx : Env.ctx) =
+  Int64.equal (Pmem.Pool.peek ctx.Env.env.Env.pool Layout.magic_off) Layout.magic
+  && Int64.equal (Pmem.Pool.peek ctx.Env.env.Env.pool Layout.kind_off) 1L
+
+(* Root-object field accessors (word [i] of the root area). *)
+let root_field i =
+  if i < 0 || i >= Layout.root_words then invalid_arg "Objpool.root_field: out of root area";
+  Tval.of_int (Layout.root_base + i)
+
+let set_root ctx i v =
+  Mem.store ctx ~instr:i_root (root_field i) v;
+  Mem.persist ctx ~instr:i_root (root_field i)
+
+let get_root ctx i = Mem.load ctx ~instr:i_root (root_field i)

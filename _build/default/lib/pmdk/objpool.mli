@@ -1,0 +1,15 @@
+(** libpmemobj-style pool management.  [create] is deliberately expensive
+    (header, heap format, zeroing of root and log lanes with flushes): the
+    cost in-memory checkpoints amortise (Figure 10). *)
+
+val create : Runtime.Env.ctx -> unit
+val is_pmemobj : Runtime.Env.ctx -> bool
+
+val root_field : int -> Runtime.Tval.t
+(** Address of word [i] of the root object.
+    @raise Invalid_argument outside the root area. *)
+
+val set_root : Runtime.Env.ctx -> int -> Runtime.Tval.t -> unit
+(** Store + persist a root field. *)
+
+val get_root : Runtime.Env.ctx -> int -> Runtime.Tval.t

@@ -1,0 +1,15 @@
+(* libpmem-style light mapping: pmem_map_file is a thin wrapper over mmap
+   with no pool construction, so initialisation is nearly free — which is
+   why memcached-pmem gains nothing from in-memory checkpoints
+   (Figure 10). *)
+
+module Mem = Runtime.Mem
+module Tval = Runtime.Tval
+module Instr = Runtime.Instr
+
+let i_map = Instr.site "pmdk/pmem_map_file"
+
+let map ctx =
+  Mem.movnt ctx ~instr:i_map (Tval.of_int Layout.magic_off) (Tval.of_int64 Layout.magic);
+  Mem.movnt ctx ~instr:i_map (Tval.of_int Layout.kind_off) (Tval.of_int 2);
+  Mem.sfence ctx ~instr:i_map

@@ -1,0 +1,4 @@
+(** libpmem-style light mapping (pmem_map_file): no pool construction, so
+    initialisation is nearly free and checkpoints bring no speedup. *)
+
+val map : Runtime.Env.ctx -> unit

@@ -1,0 +1,104 @@
+(* Undo-log transactions, mini-PMDK style (§4.4).
+
+   Before a tracked store, the old value is appended to a per-lane
+   persistent undo log and persisted; commit flushes the modified data and
+   clears the log; recovery reverts any log still active — which is what
+   makes transaction-protected inconsistencies validated false positives.
+
+   Transactional allocations are redo-logged inside the allocator (see
+   {!Heap}), so writes they perform are crash-consistent by construction;
+   their site is in {!default_whitelist}, reproducing PMRace's
+   PMDK-awareness. *)
+
+module Mem = Runtime.Mem
+module Tval = Runtime.Tval
+module Instr = Runtime.Instr
+module Env = Runtime.Env
+
+let i_begin = Instr.site "pmdk/tx_begin"
+let i_snapshot = Instr.site "pmdk/tx_snapshot"
+let i_log = Instr.site "pmdk/tx_log"
+let i_alloc = Instr.site "pmdk/tx_alloc"
+let i_commit = Instr.site "pmdk/tx_commit"
+let i_recover = Instr.site "pmdk/tx_recover"
+
+let default_whitelist =
+  [ "pmdk/tx_alloc"; "pmdk/tx_recover"; "pmdk/tx_snapshot"; "pmdk/tx_log"; "pmdk/tx_commit" ]
+
+type t = { lane : int; log : int; mutable count : int; mutable written : int list }
+
+exception Log_full
+
+let status_off log = log
+let count_off log = log + 1
+let entry_addr_off log i = log + 2 + (2 * i)
+let entry_val_off log i = log + 3 + (2 * i)
+
+let begin_ (ctx : Env.ctx) =
+  let lane = Layout.lane_of_tid ctx.Env.tid in
+  let log = Layout.log_off lane in
+  Mem.movnt ctx ~instr:i_begin (Tval.of_int (status_off log)) Tval.one;
+  Mem.movnt ctx ~instr:i_begin (Tval.of_int (count_off log)) Tval.zero;
+  Mem.sfence ctx ~instr:i_begin;
+  { lane; log; count = 0; written = [] }
+
+(* Undo-log the word at [addr] (old value read and persisted into the log)
+   — pmemobj_tx_add_range. *)
+let add_word ctx t addr =
+  let a = Tval.to_int addr in
+  if t.count >= Layout.log_entries then raise Log_full;
+  let old = Mem.load ctx ~instr:i_snapshot addr in
+  let i = t.count in
+  Mem.store ctx ~instr:i_log (Tval.of_int (entry_addr_off t.log i)) (Tval.of_int a);
+  Mem.store ctx ~instr:i_log (Tval.of_int (entry_val_off t.log i)) (Tval.untainted old);
+  Mem.clwb ctx ~instr:i_log (Tval.of_int (entry_addr_off t.log i));
+  Mem.clwb ctx ~instr:i_log (Tval.of_int (entry_val_off t.log i));
+  Mem.sfence ctx ~instr:i_log;
+  t.count <- t.count + 1;
+  Mem.movnt ctx ~instr:i_log (Tval.of_int (count_off t.log)) (Tval.of_int t.count);
+  Mem.sfence ctx ~instr:i_log
+
+(* A tracked store: undo-log then write (the write stays cached until
+   commit — PM writes inside PMDK transactions are visible to other
+   threads immediately, which is why transactions do not prevent PM
+   concurrency bugs). *)
+let store ctx t addr value =
+  add_word ctx t addr;
+  Mem.store ctx ~instr:i_log addr value;
+  t.written <- Tval.to_int addr :: t.written
+
+(* Transactional allocation: allocate and store the chunk offset into
+   [dst] (undo-logged).  The store happens at the whitelisted tx_alloc
+   site, like make_persistent<T>() writing the target pointer. *)
+let alloc_into ctx t ~dst ~words =
+  add_word ctx t dst;
+  let off = Heap.alloc ctx ~words in
+  Mem.store ctx ~instr:i_alloc dst (Tval.of_int off);
+  t.written <- Tval.to_int dst :: t.written;
+  off
+
+let commit ctx t =
+  List.iter (fun w -> Mem.clwb ctx ~instr:i_commit (Tval.of_int w)) t.written;
+  Mem.sfence ctx ~instr:i_commit;
+  Mem.movnt ctx ~instr:i_commit (Tval.of_int (status_off t.log)) Tval.zero;
+  Mem.sfence ctx ~instr:i_commit;
+  t.written <- [];
+  t.count <- 0
+
+(* Post-failure recovery: revert every lane whose log is still active. *)
+let recover ctx =
+  for lane = 0 to Layout.log_lanes - 1 do
+    let log = Layout.log_off lane in
+    let status = Mem.load ctx ~instr:i_recover (Tval.of_int (status_off log)) in
+    if not (Tval.is_zero status) then begin
+      let count = Tval.to_int (Mem.load ctx ~instr:i_recover (Tval.of_int (count_off log))) in
+      for i = count - 1 downto 0 do
+        let addr = Mem.load ctx ~instr:i_recover (Tval.of_int (entry_addr_off log i)) in
+        let old = Mem.load ctx ~instr:i_recover (Tval.of_int (entry_val_off log i)) in
+        Mem.store ctx ~instr:i_recover (Tval.untainted addr) (Tval.untainted old);
+        Mem.persist ctx ~instr:i_recover (Tval.untainted addr)
+      done;
+      Mem.movnt ctx ~instr:i_recover (Tval.of_int (status_off log)) Tval.zero;
+      Mem.sfence ctx ~instr:i_recover
+    end
+  done

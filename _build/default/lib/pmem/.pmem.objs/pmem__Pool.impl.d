@@ -1,0 +1,1 @@
+lib/pmem/pool.ml: Array Cacheline Fmt Int64 List Printf

@@ -1,0 +1,248 @@
+(* Simulated persistent-memory pool.
+
+   The pool keeps two images of memory:
+
+   - [volatile]: the view CPU loads observe.  Stores land here first, which
+     models data sitting in the (volatile) cache hierarchy.
+   - [durable]: the media contents, i.e. what survives a crash.
+
+   A store marks its word dirty and records which thread/instruction wrote
+   it.  CLWB over a line moves its dirty words into a "pending" set and —
+   following the persistency-state convention of the paper (§4.3) — marks
+   them clean for checking purposes.  SFENCE writes pending words back to
+   the durable image.  Non-temporal stores are immediately clean but still
+   only durable after the next fence.  A crash discards the volatile image
+   and all pending-but-unfenced write-backs. *)
+
+type writer = { tid : int; instr : int; seq : int }
+
+type t = {
+  words : int;
+  eadr : bool; (* extended ADR: the cache hierarchy is in the persistent domain *)
+  volatile : int64 array;
+  durable : int64 array;
+  dirty_tid : int array; (* -1 when the word is clean *)
+  dirty_instr : int array;
+  dirty_seq : int array;
+  pending : bool array; (* written back at the next SFENCE *)
+  mutable seq : int;
+  mutable n_loads : int;
+  mutable n_stores : int;
+  mutable n_movnts : int;
+  mutable n_flushes : int;
+  mutable n_fences : int;
+  mutable n_evictions : int;
+}
+
+type image = int64 array
+type snapshot = { s_volatile : int64 array; s_durable : int64 array }
+
+let create ?(eadr = false) ~words () =
+  if words <= 0 || words mod Cacheline.words_per_line <> 0 then
+    invalid_arg "Pool.create: size must be a positive multiple of the line size";
+  {
+    words;
+    eadr;
+    volatile = Array.make words 0L;
+    durable = Array.make words 0L;
+    dirty_tid = Array.make words (-1);
+    dirty_instr = Array.make words (-1);
+    dirty_seq = Array.make words (-1);
+    pending = Array.make words false;
+    seq = 0;
+    n_loads = 0;
+    n_stores = 0;
+    n_movnts = 0;
+    n_flushes = 0;
+    n_fences = 0;
+    n_evictions = 0;
+  }
+
+let size t = t.words
+
+let check t w =
+  if w < 0 || w >= t.words then
+    invalid_arg (Printf.sprintf "Pool: word offset %d out of bounds [0,%d)" w t.words)
+
+let load t w =
+  check t w;
+  t.n_loads <- t.n_loads + 1;
+  t.volatile.(w)
+
+let peek t w =
+  check t w;
+  t.volatile.(w)
+
+(* The dirty indicator is the sequence number (>= 1 when dirty): thread
+   ids can legitimately be negative (init/recovery contexts). *)
+let dirty_writer t w =
+  check t w;
+  if t.dirty_seq.(w) < 0 then None
+  else Some { tid = t.dirty_tid.(w); instr = t.dirty_instr.(w); seq = t.dirty_seq.(w) }
+
+let is_dirty t w =
+  check t w;
+  t.dirty_seq.(w) >= 0
+
+let is_pending t w =
+  check t w;
+  t.pending.(w)
+
+let is_durably_equal t w =
+  check t w;
+  Int64.equal t.volatile.(w) t.durable.(w)
+
+let is_eadr t = t.eadr
+
+let clean_word t w =
+  t.dirty_tid.(w) <- -1;
+  t.dirty_instr.(w) <- -1;
+  t.dirty_seq.(w) <- -1
+
+let store t ~tid ~instr w v =
+  check t w;
+  t.n_stores <- t.n_stores + 1;
+  t.seq <- t.seq + 1;
+  t.volatile.(w) <- v;
+  if t.eadr then begin
+    (* eADR (§6.6): caches are battery-backed, so every store is durable at
+       once and never PM_DIRTY — the visibility/persistency gap is gone. *)
+    t.durable.(w) <- v;
+    clean_word t w;
+    t.pending.(w) <- false
+  end
+  else begin
+    t.dirty_tid.(w) <- tid;
+    t.dirty_instr.(w) <- instr;
+    t.dirty_seq.(w) <- t.seq;
+    (* A store after CLWB but before the fence is not covered by the
+       pending write-back: the line must be flushed again. *)
+    t.pending.(w) <- false
+  end
+
+let movnt t ~tid:_ ~instr:_ w v =
+  check t w;
+  t.n_movnts <- t.n_movnts + 1;
+  t.seq <- t.seq + 1;
+  t.volatile.(w) <- v;
+  t.dirty_tid.(w) <- -1;
+  t.dirty_seq.(w) <- -1;
+  if t.eadr then begin
+    t.durable.(w) <- v;
+    t.pending.(w) <- false
+  end
+  else
+    (* Non-temporal stores bypass the cache: the word is never PM_DIRTY for
+       checking purposes, but durability still requires the next SFENCE. *)
+    t.pending.(w) <- true
+
+let clwb t w =
+  check t w;
+  t.n_flushes <- t.n_flushes + 1;
+  let flush_one w =
+    if t.dirty_seq.(w) >= 0 then begin
+      clean_word t w;
+      t.pending.(w) <- true
+    end
+  in
+  List.iter flush_one (Cacheline.words_of_line_containing w)
+
+let sfence t =
+  t.n_fences <- t.n_fences + 1;
+  let persisted = ref [] in
+  for w = t.words - 1 downto 0 do
+    if t.pending.(w) then begin
+      t.pending.(w) <- false;
+      t.durable.(w) <- t.volatile.(w);
+      persisted := w :: !persisted
+    end
+  done;
+  !persisted
+
+let evict_line t line =
+  let base = Cacheline.first_word_of_line line in
+  if base < 0 || base >= t.words then
+    invalid_arg "Pool.evict_line: line out of bounds";
+  let evicted = ref [] in
+  let evict_one w =
+    if t.dirty_seq.(w) >= 0 then begin
+      clean_word t w;
+      t.durable.(w) <- t.volatile.(w);
+      t.n_evictions <- t.n_evictions + 1;
+      evicted := w :: !evicted
+    end
+  in
+  List.iter evict_one (Cacheline.words_of_line_containing base);
+  List.rev !evicted
+
+let dirty_words t =
+  let acc = ref [] in
+  for w = t.words - 1 downto 0 do
+    if t.dirty_seq.(w) >= 0 then acc := w :: !acc
+  done;
+  !acc
+
+let pending_words t =
+  let acc = ref [] in
+  for w = t.words - 1 downto 0 do
+    if t.pending.(w) then acc := w :: !acc
+  done;
+  !acc
+
+let quiesce t =
+  for w = 0 to t.words - 1 do
+    if t.dirty_seq.(w) >= 0 then begin
+      clean_word t w;
+      t.pending.(w) <- true
+    end
+  done;
+  ignore (sfence t)
+
+let crash_image t = Array.copy t.durable
+let image_word (img : image) w = img.(w)
+let image_words (img : image) = Array.length img
+
+let of_image (img : image) =
+  let t = create ~words:(Array.length img) () in
+  Array.blit img 0 t.volatile 0 (Array.length img);
+  Array.blit img 0 t.durable 0 (Array.length img);
+  t
+
+let snapshot t =
+  (* Snapshots are only meaningful for quiesced pools (no dirty or pending
+     words), which is how in-memory checkpoints are used: after pool
+     initialisation completes. *)
+  { s_volatile = Array.copy t.volatile; s_durable = Array.copy t.durable }
+
+let restore t s =
+  if Array.length s.s_volatile <> t.words then
+    invalid_arg "Pool.restore: snapshot size mismatch";
+  Array.blit s.s_volatile 0 t.volatile 0 t.words;
+  Array.blit s.s_durable 0 t.durable 0 t.words;
+  Array.fill t.dirty_tid 0 t.words (-1);
+  Array.fill t.dirty_instr 0 t.words (-1);
+  Array.fill t.dirty_seq 0 t.words (-1);
+  Array.fill t.pending 0 t.words false
+
+type stats = {
+  loads : int;
+  stores : int;
+  movnts : int;
+  flushes : int;
+  fences : int;
+  evictions : int;
+}
+
+let stats t =
+  {
+    loads = t.n_loads;
+    stores = t.n_stores;
+    movnts = t.n_movnts;
+    flushes = t.n_flushes;
+    fences = t.n_fences;
+    evictions = t.n_evictions;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "loads=%d stores=%d movnts=%d flushes=%d fences=%d evictions=%d" s.loads s.stores
+    s.movnts s.flushes s.fences s.evictions

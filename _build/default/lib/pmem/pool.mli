@@ -1,0 +1,103 @@
+(** Simulated persistent-memory pool.
+
+    The pool models the visibility/persistency gap that defines PM
+    crash-consistency bugs: stores become {e visible} immediately (they land
+    in the volatile image, the simulated cache view) but only become
+    {e durable} once the line has been flushed ([clwb]) and a fence
+    ([sfence]) has drained the write-back queue.  A {!crash_image} captures
+    exactly the durable contents, discarding everything else.
+
+    Addresses are word offsets (one word = 8 bytes); see {!Cacheline}. *)
+
+type t
+
+type writer = { tid : int; instr : int; seq : int }
+(** Identity of the last store to a dirty word: the writing thread, the
+    static instruction id of the store site, and a global sequence number. *)
+
+type image
+(** A crash image: the durable contents at some instant. *)
+
+type snapshot
+(** An in-memory checkpoint of a quiesced pool (volatile + durable images);
+    used to skip expensive pool re-initialisation between fuzz campaigns. *)
+
+val create : ?eadr:bool -> words:int -> unit -> t
+(** [create ~words ()] allocates a zeroed pool.  [words] must be a positive
+    multiple of {!Cacheline.words_per_line}.
+    [eadr:true] models extended ADR (§6.6 of the paper): the cache
+    hierarchy is battery-backed, every store is durable immediately and
+    never PM-dirty — the visibility/persistency gap disappears.
+    @raise Invalid_argument otherwise. *)
+
+val is_eadr : t -> bool
+
+val size : t -> int
+
+val load : t -> int -> int64
+(** Read the visible (volatile) contents of a word, counting the access. *)
+
+val peek : t -> int -> int64
+(** Like {!load} but without touching access statistics; for checkers and
+    tests. *)
+
+val store : t -> tid:int -> instr:int -> int -> int64 -> unit
+(** A cached store: visible immediately, durable only after [clwb]+[sfence].
+    Marks the word dirty and records the writer. *)
+
+val movnt : t -> tid:int -> instr:int -> int -> int64 -> unit
+(** A non-temporal store: visible immediately, never PM-dirty for checking
+    purposes, durable after the next {!sfence}. *)
+
+val clwb : t -> int -> unit
+(** Flush the cache line containing the word: its dirty words become clean
+    and are queued for write-back at the next {!sfence}. *)
+
+val sfence : t -> int list
+(** Drain the write-back queue.  Returns the word offsets that just became
+    durable (in increasing order). *)
+
+val evict_line : t -> int -> int list
+(** Silently write back a line, modelling arbitrary hardware cache eviction.
+    Returns the words that became durable. *)
+
+val dirty_writer : t -> int -> writer option
+(** [dirty_writer t w] is the identity of the pending store to [w], or
+    [None] when the word is clean (persisted or never written). *)
+
+val is_dirty : t -> int -> bool
+val is_pending : t -> int -> bool
+
+val is_durably_equal : t -> int -> bool
+(** Whether the visible and durable contents of a word agree. *)
+
+val dirty_words : t -> int list
+val pending_words : t -> int list
+
+val quiesce : t -> unit
+(** Flush and fence everything, making the visible image durable. *)
+
+val crash_image : t -> image
+(** The durable contents right now — the memory a restarted program sees. *)
+
+val image_word : image -> int -> int64
+val image_words : image -> int
+
+val of_image : image -> t
+(** Boot a fresh pool from a crash image (volatile = durable = image, all
+    clean), as after a restart. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+type stats = {
+  loads : int;
+  stores : int;
+  movnts : int;
+  flushes : int;
+  fences : int;
+  evictions : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

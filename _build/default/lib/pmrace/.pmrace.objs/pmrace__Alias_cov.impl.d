@@ -1,0 +1,1 @@
+lib/pmrace/alias_cov.ml: Bytes Char Hashtbl Runtime Sched

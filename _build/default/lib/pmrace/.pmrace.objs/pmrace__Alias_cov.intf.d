@@ -1,0 +1,1 @@
+lib/pmrace/alias_cov.mli: Runtime

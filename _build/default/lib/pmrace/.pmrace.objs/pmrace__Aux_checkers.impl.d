@@ -1,0 +1,1 @@
+lib/pmrace/aux_checkers.ml: Fmt Hashtbl List Option Pmem Runtime

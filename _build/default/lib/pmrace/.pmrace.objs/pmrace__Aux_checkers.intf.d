@@ -1,0 +1,1 @@
+lib/pmrace/aux_checkers.mli: Format Runtime

@@ -1,0 +1,1 @@
+lib/pmrace/branch_cov.mli: Runtime

@@ -1,0 +1,1 @@
+lib/pmrace/bug_report.ml: Array Fmt Fuzzer Hashtbl List Post_failure Printf Report Runtime Seed

@@ -1,0 +1,1 @@
+lib/pmrace/bug_report.mli: Format Fuzzer Report

@@ -1,0 +1,1 @@
+lib/pmrace/campaign.ml: Array Delay_policy List Pmem Printf Runtime Sched Seed Shared_queue Sync_policy Target

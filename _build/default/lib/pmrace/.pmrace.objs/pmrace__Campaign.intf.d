@@ -1,0 +1,1 @@
+lib/pmrace/campaign.mli: Pmem Runtime Sched Seed Shared_queue Sync_policy Target

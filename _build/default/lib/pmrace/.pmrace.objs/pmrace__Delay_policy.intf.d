@@ -1,0 +1,1 @@
+lib/pmrace/delay_policy.mli: Runtime Sched

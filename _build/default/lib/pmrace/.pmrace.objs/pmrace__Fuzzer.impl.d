@@ -1,0 +1,1 @@
+lib/pmrace/fuzzer.ml: Alias_cov Array Branch_cov Campaign Hashtbl List Mutator Option Pmem Post_failure Printf Report Runtime Sched Seed Shared_queue String Sync_policy Target Unix Whitelist

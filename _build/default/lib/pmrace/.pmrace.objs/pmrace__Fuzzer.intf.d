@@ -1,0 +1,1 @@
+lib/pmrace/fuzzer.mli: Alias_cov Branch_cov Hashtbl Report Seed Target Whitelist

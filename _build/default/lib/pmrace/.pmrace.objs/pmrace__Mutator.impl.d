@@ -1,0 +1,1 @@
+lib/pmrace/mutator.ml: Array Buffer Char List Sched Seed String

@@ -1,0 +1,1 @@
+lib/pmrace/mutator.mli: Sched Seed

@@ -1,0 +1,1 @@
+lib/pmrace/post_failure.ml: Fmt Hashtbl Int64 List Pmem Runtime Sched Target Whitelist

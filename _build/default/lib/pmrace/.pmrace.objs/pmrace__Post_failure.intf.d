@@ -1,0 +1,1 @@
+lib/pmrace/post_failure.mli: Format Hashtbl Pmem Runtime Target Whitelist

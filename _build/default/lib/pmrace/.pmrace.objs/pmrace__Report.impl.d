@@ -1,0 +1,1 @@
+lib/pmrace/report.ml: Fmt Hashtbl List Option Post_failure Runtime String Target

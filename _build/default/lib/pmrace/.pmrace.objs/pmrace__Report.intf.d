@@ -1,0 +1,1 @@
+lib/pmrace/report.mli: Format Post_failure Runtime Target

@@ -1,0 +1,1 @@
+lib/pmrace/seed.ml: Array Fmt List Printf Sched String

@@ -1,0 +1,1 @@
+lib/pmrace/seed.mli: Format Sched

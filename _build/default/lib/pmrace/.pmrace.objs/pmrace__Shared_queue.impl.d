@@ -1,0 +1,1 @@
+lib/pmrace/shared_queue.ml: Fmt Hashtbl Int List Runtime Set

@@ -1,0 +1,1 @@
+lib/pmrace/shared_queue.mli: Format Runtime

@@ -1,0 +1,1 @@
+lib/pmrace/sync_policy.ml: Hashtbl Runtime Sched Shared_queue

@@ -1,0 +1,1 @@
+lib/pmrace/sync_policy.mli: Runtime Sched Shared_queue

@@ -1,0 +1,1 @@
+lib/pmrace/target.ml: Fmt Option Runtime Seed

@@ -1,0 +1,1 @@
+lib/pmrace/target.mli: Format Runtime Seed

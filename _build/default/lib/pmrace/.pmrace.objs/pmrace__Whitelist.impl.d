@@ -1,0 +1,1 @@
+lib/pmrace/whitelist.ml: Runtime Set String

@@ -1,0 +1,69 @@
+(* PM alias pair coverage (§4.2.1).
+
+   A PM access is identified by (instruction id, persistency state, thread
+   id).  A *PM alias pair* is two back-to-back accesses to the same address
+   by different threads; the pair is hashed into a fixed-size bitmap, like
+   AFL's branch bitmap.  New bits are the fuzzer's interleaving-coverage
+   feedback. *)
+
+module Rng = Sched.Rng
+
+type access = { a_instr : int; a_dirty : bool; a_tid : int }
+
+type t = {
+  bits : Bytes.t;
+  size : int; (* bits *)
+  mutable count : int; (* set bits *)
+}
+
+let create ?(size_log = 16) () =
+  let size = 1 lsl size_log in
+  { bits = Bytes.make (size / 8) '\000'; size; count = 0 }
+
+let mix h x =
+  let h = h lxor (x * 0x9E3779B1) in
+  let h = (h lxor (h lsr 15)) * 0x85EBCA77 in
+  h lxor (h lsr 13)
+
+let hash_pair prev cur =
+  let h = 0x27220A95 in
+  let h = mix h prev.a_instr in
+  let h = mix h (if prev.a_dirty then 3 else 5) in
+  let h = mix h prev.a_tid in
+  let h = mix h cur.a_instr in
+  let h = mix h (if cur.a_dirty then 3 else 5) in
+  mix h cur.a_tid
+
+let set_bit t idx =
+  let byte = idx / 8 and bit = idx mod 8 in
+  let old = Char.code (Bytes.get t.bits byte) in
+  let mask = 1 lsl bit in
+  if old land mask = 0 then begin
+    Bytes.set t.bits byte (Char.chr (old lor mask));
+    t.count <- t.count + 1;
+    true
+  end
+  else false
+
+let observe t ~prev ~cur =
+  if prev.a_tid = cur.a_tid then false
+  else set_bit t (abs (hash_pair prev cur) mod t.size)
+
+let count t = t.count
+
+(* Attach a listener to an execution environment: it tracks the previous
+   accessor of every PM address and feeds alias pairs into the bitmap. *)
+let attach t env =
+  let last : (int, access) Hashtbl.t = Hashtbl.create 256 in
+  let on_access addr cur =
+    (match Hashtbl.find_opt last addr with
+    | Some prev -> ignore (observe t ~prev ~cur)
+    | None -> ());
+    Hashtbl.replace last addr cur
+  in
+  Runtime.Env.add_listener env (function
+    | Runtime.Env.Ev_load { instr; tid; addr; dirty } ->
+        on_access addr { a_instr = Runtime.Instr.to_int instr; a_dirty = dirty; a_tid = tid }
+    | Runtime.Env.Ev_store { instr; tid; addr } | Runtime.Env.Ev_movnt { instr; tid; addr } ->
+        on_access addr { a_instr = Runtime.Instr.to_int instr; a_dirty = true; a_tid = tid }
+    | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ())

@@ -1,0 +1,21 @@
+(** PM alias pair coverage (§4.2.1): a bitmap over hashed pairs of
+    back-to-back PM accesses to the same address by different threads, each
+    access identified by (instruction, persistency state, thread).  New
+    bits are the fuzzer's interleaving-coverage feedback. *)
+
+type t
+
+type access = { a_instr : int; a_dirty : bool; a_tid : int }
+
+val create : ?size_log:int -> unit -> t
+(** A bitmap with [2^size_log] bits (default 16, i.e. a 64 Kbit map). *)
+
+val observe : t -> prev:access -> cur:access -> bool
+(** Feed one back-to-back pair; returns [true] when it sets a new bit.
+    Same-thread pairs are ignored (they are not alias pairs). *)
+
+val count : t -> int
+(** Number of set bits — the coverage measure. *)
+
+val attach : t -> Runtime.Env.t -> unit
+(** Subscribe to an execution's access events and feed the bitmap. *)

@@ -1,0 +1,62 @@
+(* Additional PM checkers built on PMRace's framework — the two examples
+   §4.3 sketches to show extensibility:
+
+   - Redundant persistency operations: a CLWB whose target line holds no
+     dirty words persists nothing (the data is already PM_CLEAN).  Chronic
+     redundant flushes are a PM performance bug.
+   - Missing flushes: PM words still dirty when an execution ends were
+     modified but never persisted; grouped by the writing site, these are
+     the classic sequential crash-consistency bug the PM-specific linters
+     (PMDebugger's rules, AGAMOTTO's universal bugs) look for.
+
+   Both are listeners over the same event stream the coverage metrics
+   consume; neither requires touching the runtime. *)
+
+module Env = Runtime.Env
+module Instr = Runtime.Instr
+
+type t = {
+  redundant : (Instr.t, int) Hashtbl.t; (* flush site -> redundant flushes *)
+  mutable flushes : int;
+  mutable redundant_total : int;
+}
+
+let create () = { redundant = Hashtbl.create 16; flushes = 0; redundant_total = 0 }
+
+let attach t env =
+  Env.add_listener env (function
+    | Env.Ev_clwb { instr; dirty_words; _ } ->
+        t.flushes <- t.flushes + 1;
+        if dirty_words = 0 then begin
+          t.redundant_total <- t.redundant_total + 1;
+          Hashtbl.replace t.redundant instr
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.redundant instr))
+        end
+    | Env.Ev_load _ | Env.Ev_store _ | Env.Ev_movnt _ | Env.Ev_fence _ | Env.Ev_branch _ -> ())
+
+let flushes t = t.flushes
+let redundant_total t = t.redundant_total
+
+let redundant_sites t =
+  Hashtbl.fold (fun i n acc -> (Instr.name i, n) :: acc) t.redundant []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* Missing flushes: PM words left dirty when the execution ended, grouped
+   by the site that wrote them.  Run at the end of a campaign. *)
+let unflushed_at_exit (env : Env.t) =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      match Pmem.Pool.dirty_writer env.pool w with
+      | Some wr ->
+          let site = Instr.name (Instr.of_int wr.Pmem.Pool.instr) in
+          Hashtbl.replace tbl site (1 + Option.value ~default:0 (Hashtbl.find_opt tbl site))
+      | None -> ())
+    (Pmem.Pool.dirty_words env.pool);
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp ppf t =
+  Fmt.pf ppf "flushes=%d redundant=%d (%a)" t.flushes t.redundant_total
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") string int))
+    (redundant_sites t)

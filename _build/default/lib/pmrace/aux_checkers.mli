@@ -1,0 +1,25 @@
+(** Additional PM checkers built on PMRace's framework (the §4.3
+    extensibility examples): redundant persistency operations and missing
+    flushes at execution exit. *)
+
+module Env = Runtime.Env
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Env.t -> unit
+(** Subscribe to an execution's flush events. *)
+
+val flushes : t -> int
+val redundant_total : t -> int
+(** CLWBs whose target line held no dirty words — a PM performance bug. *)
+
+val redundant_sites : t -> (string * int) list
+(** Redundant-flush counts per site, most frequent first. *)
+
+val unflushed_at_exit : Env.t -> (string * int) list
+(** PM words still dirty when the execution ended, grouped by writing
+    site — candidate missing-flush bugs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(* Conventional branch coverage: the set of instrumented branch sites
+   executed so far.  PMRace combines this with PM alias pair coverage as
+   fuzzing feedback (§4.2.3). *)
+
+type t = { hits : (int, unit) Hashtbl.t }
+
+let create () = { hits = Hashtbl.create 128 }
+
+let observe t instr =
+  let id = Runtime.Instr.to_int instr in
+  if Hashtbl.mem t.hits id then false
+  else begin
+    Hashtbl.add t.hits id ();
+    true
+  end
+
+let count t = Hashtbl.length t.hits
+let covered t instr = Hashtbl.mem t.hits (Runtime.Instr.to_int instr)
+
+let attach t env =
+  Runtime.Env.add_listener env (function
+    | Runtime.Env.Ev_branch { instr; _ } -> ignore (observe t instr)
+    | Runtime.Env.Ev_load _ | Runtime.Env.Ev_store _ | Runtime.Env.Ev_movnt _
+    | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ -> ())

@@ -1,0 +1,12 @@
+(** Conventional branch coverage over instrumented branch sites; combined
+    with {!Alias_cov} as fuzzing feedback (§4.2.3). *)
+
+type t
+
+val create : unit -> t
+val observe : t -> Runtime.Instr.t -> bool
+(** Returns [true] the first time a site is seen. *)
+
+val count : t -> int
+val covered : t -> Runtime.Instr.t -> bool
+val attach : t -> Runtime.Env.t -> unit

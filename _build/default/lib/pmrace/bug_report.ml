@@ -1,0 +1,91 @@
+(* Detailed bug reports (§4.1 step 6): for each inconsistency that survives
+   post-failure validation, render the sites involved (our analogue of the
+   paper's stack traces), the validation verdict, and the exact inputs —
+   operation sequence, scheduler seed, interleaving policy — that replay
+   the buggy execution deterministically. *)
+
+module Checkers = Runtime.Checkers
+module Candidates = Runtime.Candidates
+module Instr = Runtime.Instr
+
+let pp_ops ppf (seed : Seed.t) =
+  Array.iteri
+    (fun ti ops ->
+      Fmt.pf ppf "    thread %d: %a@." ti Fmt.(array ~sep:(any "; ") Seed.pp_op) ops)
+    (Seed.threads seed)
+
+let pp_verdict_line ppf = function
+  | Some (Post_failure.Bug { recovery_hang = true }) ->
+      Fmt.pf ppf "BUG — the recovery itself hangs on the crash state"
+  | Some (Post_failure.Bug { recovery_hang = false }) ->
+      Fmt.pf ppf "BUG — not fixed by the immediate recovery"
+  | Some Post_failure.Validated_fp -> Fmt.pf ppf "false positive — fixed during recovery"
+  | Some Post_failure.Whitelisted_fp -> Fmt.pf ppf "false positive — whitelisted benign read"
+  | None -> Fmt.pf ppf "unvalidated"
+
+let pp_provenance ppf (session : Fuzzer.session) campaign =
+  match Hashtbl.find_opt session.Fuzzer.provenance campaign with
+  | None -> Fmt.pf ppf "  (no provenance recorded)@."
+  | Some p ->
+      Fmt.pf ppf "  reproduce with : scheduler seed %d, %s@." p.Fuzzer.p_sched_seed
+        p.Fuzzer.p_policy;
+      Fmt.pf ppf "  program input  :@.%a" pp_ops p.Fuzzer.p_seed
+
+let pp_finding ppf (session : Fuzzer.session) (f : Report.finding) =
+  let c = f.inc.Checkers.source in
+  Fmt.pf ppf "%a Inconsistency@." Candidates.pp_kind c.Candidates.kind;
+  Fmt.pf ppf "  non-persisted write : %s (thread %d)@." (Instr.name c.write_instr)
+    c.Candidates.write_tid;
+  Fmt.pf ppf "  racy read           : %s (thread %d)@." (Instr.name c.read_instr)
+    c.Candidates.read_tid;
+  Fmt.pf ppf "  durable side effect : %s%s%s@."
+    (Instr.name f.inc.Checkers.eff_instr)
+    (if f.inc.Checkers.addr_flow then " [address flow]" else " [value flow]")
+    (if f.inc.Checkers.external_effect then " [external]"
+     else Printf.sprintf ", PM word %d" f.inc.Checkers.eff_addr);
+  Fmt.pf ppf "  crash state        : %s@."
+    (match f.inc.Checkers.image with
+    | Some _ -> "captured at the moment the side effect persisted"
+    | None -> "not captured");
+  Fmt.pf ppf "  validation         : %a@." pp_verdict_line f.verdict;
+  Fmt.pf ppf "  first seen         : campaign %d@." f.found_at;
+  pp_provenance ppf session f.found_at
+
+let pp_sync_finding ppf (session : Fuzzer.session) (f : Report.sync_finding) =
+  Fmt.pf ppf "PM Synchronization Inconsistency@.";
+  Fmt.pf ppf "  annotated variable : %s (PM word %d)@." f.ev.Checkers.var.Checkers.sv_name
+    f.ev.Checkers.sy_addr;
+  Fmt.pf ppf "  persisted value    : %Ld (expected %Ld after recovery)@." f.ev.Checkers.sy_value
+    f.ev.Checkers.var.Checkers.sv_init;
+  Fmt.pf ppf "  validation         : %a@." pp_verdict_line f.sync_verdict;
+  Fmt.pf ppf "  first seen         : campaign %d@." f.sync_found_at;
+  pp_provenance ppf session f.sync_found_at
+
+(* All surviving bugs of a session, most recently confirmed last. *)
+let render_bugs ppf (session : Fuzzer.session) =
+  let findings =
+    List.filter
+      (fun (f : Report.finding) ->
+        match f.verdict with Some (Post_failure.Bug _) -> true | _ -> false)
+      (Report.findings session.Fuzzer.report)
+    |> List.sort (fun (a : Report.finding) b -> compare a.found_at b.found_at)
+  in
+  let syncs =
+    List.filter
+      (fun (f : Report.sync_finding) ->
+        match f.sync_verdict with Some (Post_failure.Bug _) -> true | _ -> false)
+      (Report.sync_findings session.Fuzzer.report)
+  in
+  if findings = [] && syncs = [] then Fmt.pf ppf "no surviving bugs.@."
+  else begin
+    List.iteri
+      (fun i f ->
+        Fmt.pf ppf "--- report %d ---@." (i + 1);
+        pp_finding ppf session f)
+      findings;
+    List.iteri
+      (fun i f ->
+        Fmt.pf ppf "--- report %d ---@." (List.length findings + i + 1);
+        pp_sync_finding ppf session f)
+      syncs
+  end

@@ -1,0 +1,11 @@
+(** Detailed bug reports (§4.1 step 6): the sites involved in each
+    surviving inconsistency, its validation verdict, and the exact inputs
+    (operation sequence, scheduler seed, interleaving policy) that replay
+    the buggy execution deterministically. *)
+
+val pp_finding : Format.formatter -> Fuzzer.session -> Report.finding -> unit
+val pp_sync_finding : Format.formatter -> Fuzzer.session -> Report.sync_finding -> unit
+
+val render_bugs : Format.formatter -> Fuzzer.session -> unit
+(** Every finding that survived post-failure validation, as numbered
+    reports with reproduction instructions. *)

@@ -1,0 +1,101 @@
+(* One fuzz campaign: a single concurrent execution of a target with a
+   seed, an interleaving policy, and a scheduler seed.
+
+   The pool starts either from a fresh (expensive) target initialisation or
+   from an in-memory checkpoint of an initialised pool (§5); checker state
+   is reset after initialisation so that results only reflect the fuzzed
+   execution.  Every campaign begins with an empty (freshly initialised)
+   pool, as §4.5 prescribes. *)
+
+module Rng = Sched.Rng
+module Scheduler = Sched.Scheduler
+module Env = Runtime.Env
+
+type policy_spec =
+  | Pmrace of { entry : Shared_queue.entry; skip : int }
+  | Delay of { prob : float; max_delay : int }
+  | Random_sched (* plain preemption at every instrumented operation *)
+  | No_preempt
+
+type input = {
+  target : Target.t;
+  seed : Seed.t;
+  sched_seed : int;
+  policy : policy_spec;
+  snapshot : Pmem.Pool.snapshot option; (* in-memory checkpoint *)
+  step_budget : int;
+  capture_images : bool;
+  evict_prob : float;
+  eadr : bool; (* run on an eADR platform (§6.6) *)
+}
+
+let input ?(sched_seed = 1) ?(policy = Random_sched) ?snapshot ?(step_budget = 60_000)
+    ?(capture_images = true) ?(evict_prob = 0.) ?(eadr = false) target seed =
+  { target; seed; sched_seed; policy; snapshot; step_budget; capture_images; evict_prob; eadr }
+
+type result = {
+  env : Env.t;
+  outcome : Scheduler.outcome;
+  sync : Sync_policy.t option;
+  hung : bool; (* budget exhaustion or a Stuck spin lock *)
+}
+
+(* Initialise a pool once and capture the checkpoint the fast path reuses. *)
+let prepare_snapshot (target : Target.t) =
+  let env = Env.create ~capture_images:false ~pool_words:target.pool_words () in
+  target.init env;
+  Pmem.Pool.quiesce env.pool;
+  Pmem.Pool.snapshot env.pool
+
+let setup_env (i : input) =
+  let env =
+    Env.create ~capture_images:i.capture_images ~evict_prob:i.evict_prob ~eadr:i.eadr
+      ~pool_words:i.target.pool_words ()
+  in
+  (match i.snapshot with
+  | Some snap -> Pmem.Pool.restore env.pool snap
+  | None ->
+      i.target.init env;
+      Pmem.Pool.quiesce env.pool);
+  Env.reset_checkers ~capture_images:i.capture_images env;
+  (* Annotations describe the static pool layout, so they apply to fresh
+     and checkpoint-restored pools alike. *)
+  i.target.annotate env;
+  env
+
+let run ?(listeners = []) (i : input) =
+  let env = setup_env i in
+  List.iter (fun attach -> attach env) listeners;
+  let rng = Rng.create i.sched_seed in
+  let policy_rng = Rng.split rng in
+  let sync, policy =
+    match i.policy with
+    | Pmrace { entry; skip } ->
+        let s =
+          Sync_policy.create ~rng:policy_rng
+            ~nthreads:(Array.length (Seed.threads i.seed))
+            ~skip entry
+        in
+        (Some s, Sync_policy.policy s)
+    | Delay { prob; max_delay } ->
+        (None, Delay_policy.policy (Delay_policy.create ~prob ~max_delay ~rng:policy_rng ()))
+    | Random_sched -> (None, Env.preempt_policy)
+    | No_preempt -> (None, Env.null_policy)
+  in
+  Env.set_policy env policy;
+  let sched = Scheduler.create ~step_budget:i.step_budget ~rng () in
+  Array.iteri
+    (fun ti ops ->
+      let name = Printf.sprintf "worker-%d" ti in
+      ignore
+        (Scheduler.spawn sched ~name (fun () ->
+             let ctx = Env.ctx env ~tid:ti in
+             Array.iter (fun op -> i.target.run_op ctx op) ops)))
+    (Seed.threads i.seed);
+  let outcome = Scheduler.run sched in
+  let stuck =
+    List.exists (fun (_, _, e) -> match e with Runtime.Mem.Stuck _ -> true | _ -> false)
+      outcome.failed
+  in
+  let hung = outcome.hung <> [] || stuck in
+  { env; outcome; sync; hung }

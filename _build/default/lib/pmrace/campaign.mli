@@ -1,0 +1,53 @@
+(** One fuzz campaign: a single concurrent execution of a target with a
+    seed, an interleaving policy and a scheduler seed.  Pools start from a
+    fresh target initialisation or an in-memory checkpoint (§5); checker
+    state is reset after initialisation. *)
+
+module Scheduler = Sched.Scheduler
+module Env = Runtime.Env
+
+type policy_spec =
+  | Pmrace of { entry : Shared_queue.entry; skip : int }
+      (** PM-aware sync-point scheduling on one queue entry *)
+  | Delay of { prob : float; max_delay : int }  (** the Delay-Inj baseline *)
+  | Random_sched  (** plain preemption at every instrumented operation *)
+  | No_preempt
+
+type input = {
+  target : Target.t;
+  seed : Seed.t;
+  sched_seed : int;
+  policy : policy_spec;
+  snapshot : Pmem.Pool.snapshot option;
+  step_budget : int;
+  capture_images : bool;
+  evict_prob : float;
+  eadr : bool;  (** run on an eADR platform (§6.6): flushes unnecessary *)
+}
+
+val input :
+  ?sched_seed:int ->
+  ?policy:policy_spec ->
+  ?snapshot:Pmem.Pool.snapshot ->
+  ?step_budget:int ->
+  ?capture_images:bool ->
+  ?evict_prob:float ->
+  ?eadr:bool ->
+  Target.t ->
+  Seed.t ->
+  input
+
+type result = {
+  env : Env.t;  (** checkers carry the campaign's findings *)
+  outcome : Scheduler.outcome;
+  sync : Sync_policy.t option;
+  hung : bool;  (** budget exhaustion or a stuck spin lock *)
+}
+
+val prepare_snapshot : Target.t -> Pmem.Pool.snapshot
+(** Initialise a pool once and capture the in-memory checkpoint reused by
+    subsequent campaigns. *)
+
+val run : ?listeners:(Env.t -> unit) list -> input -> result
+(** Execute the campaign.  [listeners] (e.g. {!Alias_cov.attach} partially
+    applied) are attached to the environment before the run. *)

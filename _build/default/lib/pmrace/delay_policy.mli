@@ -1,0 +1,10 @@
+(** The Delay-Inj baseline (§6.1): a uniformly random delay injected before
+    each PM access, implemented in PMRace's framework for the Figure 8
+    comparison. *)
+
+module Rng = Sched.Rng
+
+type t
+
+val create : ?prob:float -> ?max_delay:int -> rng:Rng.t -> unit -> t
+val policy : t -> Runtime.Env.policy

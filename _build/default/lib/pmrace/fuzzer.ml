@@ -1,0 +1,390 @@
+(* The PM-aware coverage-guided fuzzing loop (§4.2.3).
+
+   Three tiers of exploration:
+   - Execution tier: re-run the same (seed, interleaving) with different
+     scheduler seeds; non-determinism alone uncovers some interleavings.
+   - Interleaving tier: pick the next unexplored entry from the
+     shared-access priority queue and drive the execution towards reading
+     non-persisted data with the sync-point policy.
+   - Seed tier: when interleavings stop improving coverage, evolve the
+     corpus with the operation mutator (or the populate fallback) and
+     rebuild the priority queue.
+
+   Feedback is the sum of PM alias pair coverage and branch coverage.
+   Every newly discovered unique inconsistency is validated post-failure
+   immediately, so the session report carries verdicts. *)
+
+module Rng = Sched.Rng
+
+type mode = Mode_pmrace | Mode_delay | Mode_random
+
+type config = {
+  max_campaigns : int;
+  execs_per_interleaving : int;
+  max_interleavings_per_seed : int;
+  master_seed : int;
+  mode : mode;
+  interleaving_tier : bool; (* false = the "w/o IE" ablation of Fig. 9 *)
+  seed_tier : bool; (* false = the "w/o SE" ablation of Fig. 9 *)
+  use_checkpoint : bool;
+  step_budget : int;
+  validate : bool;
+  evict_prob : float;
+  eadr : bool; (* fuzz on an eADR platform (§6.6) *)
+  workers : int; (* concurrent fuzzing workers sharing coverage (§5) *)
+  initial_seeds : int;
+  whitelist_extra : string list;
+}
+
+let default_config =
+  {
+    max_campaigns = 120;
+    execs_per_interleaving = 3;
+    max_interleavings_per_seed = 8;
+    master_seed = 42;
+    mode = Mode_pmrace;
+    interleaving_tier = true;
+    seed_tier = true;
+    use_checkpoint = true;
+    step_budget = 60_000;
+    validate = true;
+    evict_prob = 0.;
+    eadr = false;
+    workers = 1;
+    initial_seeds = 2;
+    whitelist_extra = [];
+  }
+
+(* Reproduction provenance for one campaign: the exact inputs that replay
+   it (the "corresponding program inputs" of the paper's bug reports). *)
+type provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+
+type timeline_point = {
+  tp_campaign : int;
+  tp_time : float; (* seconds since session start *)
+  tp_alias_bits : int;
+  tp_branch_bits : int;
+  tp_inter_unique : int;
+  tp_new_inter : bool;
+}
+
+type session = {
+  report : Report.t;
+  alias : Alias_cov.t;
+  branch : Branch_cov.t;
+  timeline : timeline_point list; (* chronological *)
+  campaigns_run : int;
+  wall_time : float;
+  annotations : int;
+  whitelist : Whitelist.t;
+  provenance : (int, provenance) Hashtbl.t; (* campaign index -> inputs *)
+}
+
+(* A fuzzing worker: its own generator state and corpus; everything else
+   (coverage, report, priority queue, checkpoint) is shared, as the worker
+   processes of §5 share the coverage bitmap and seed pool. *)
+type worker = { w_rng : Rng.t; mutable w_corpus : Seed.t list; mutable w_generation : int }
+
+type state = {
+  cfg : config;
+  target : Target.t;
+  rng : Rng.t;
+  alias : Alias_cov.t;
+  branch : Branch_cov.t;
+  queue : Shared_queue.t;
+  report : Report.t;
+  whitelist : Whitelist.t;
+  snapshot : Pmem.Pool.snapshot option;
+  skip_store : (int * int, int) Hashtbl.t; (* (seed id, addr) -> skip *)
+  explored : (int, int) Hashtbl.t;
+  (* shared across workers, like the shared bitmap of §5 *)
+  provenance : (int, provenance) Hashtbl.t;
+  (* per-address exploration state: number of attempts, negative once the
+     sync point actually triggered.  Global across seeds so successive
+     generations progress down the priority queue; cleared when
+     exhausted. *)
+  mutable campaigns : int;
+  mutable timeline : timeline_point list;
+  started : float;
+  log : string -> unit;
+}
+
+let now () = Unix.gettimeofday ()
+
+let hang_info (result : Campaign.result) =
+  match result.outcome.hung with
+  | (_, name) :: _ -> Printf.sprintf "hung:%s" name
+  | [] -> (
+      match
+        List.find_opt
+          (fun (_, _, e) -> match e with Runtime.Mem.Stuck _ -> true | _ -> false)
+          result.outcome.failed
+      with
+      | Some (_, _, Runtime.Mem.Stuck site) -> Printf.sprintf "stuck:%s" site
+      | Some _ | None -> "hang")
+
+(* Run one campaign and fold its results into the session state.  Returns
+   (coverage-improved, result). *)
+let policy_label = function
+  | Campaign.Pmrace { entry; _ } ->
+      Printf.sprintf "PM-aware sync point @ addr %d" entry.Shared_queue.addr
+  | Campaign.Delay _ -> "random delay injection"
+  | Campaign.Random_sched -> "random scheduling"
+  | Campaign.No_preempt -> "no preemption"
+
+let do_campaign st seed policy =
+  let before = Alias_cov.count st.alias + Branch_cov.count st.branch in
+  let inter_before = Report.inconsistency_count st.report Runtime.Candidates.Inter in
+  let sched_seed = Rng.int st.rng 1_000_000_000 in
+  Hashtbl.replace st.provenance st.campaigns
+    { p_seed = seed; p_sched_seed = sched_seed; p_policy = policy_label policy };
+  let input =
+    Campaign.input ~sched_seed ~policy ?snapshot:st.snapshot ~step_budget:st.cfg.step_budget
+      ~capture_images:true ~evict_prob:st.cfg.evict_prob ~eadr:st.cfg.eadr st.target seed
+  in
+  let listeners =
+    [ Alias_cov.attach st.alias; Branch_cov.attach st.branch; Shared_queue.attach st.queue ]
+  in
+  let result = Campaign.run ~listeners input in
+  let new_findings, new_sync =
+    Report.absorb st.report result.env ~hung:result.hung ~hang_info:(hang_info result)
+  in
+  if st.cfg.validate then begin
+    List.iter
+      (fun (f : Report.finding) ->
+        f.verdict <- Some (Post_failure.validate_inconsistency st.target st.whitelist f.inc))
+      new_findings;
+    List.iter
+      (fun (f : Report.sync_finding) ->
+        f.sync_verdict <- Some (Post_failure.validate_sync st.target f.ev))
+      new_sync
+  end;
+  st.campaigns <- st.campaigns + 1;
+  let inter_now = Report.inconsistency_count st.report Runtime.Candidates.Inter in
+  st.timeline <-
+    {
+      tp_campaign = st.campaigns;
+      tp_time = now () -. st.started;
+      tp_alias_bits = Alias_cov.count st.alias;
+      tp_branch_bits = Branch_cov.count st.branch;
+      tp_inter_unique = inter_now;
+      tp_new_inter = inter_now > inter_before;
+    }
+    :: st.timeline;
+  let after = Alias_cov.count st.alias + Branch_cov.count st.branch in
+  (after > before, result)
+
+let budget_left st = st.campaigns < st.cfg.max_campaigns
+
+(* The PM-aware schedule: recon run, then interleaving tier over queue
+   entries, with the execution tier inside. *)
+let fuzz_seed_pmrace st seed =
+  if budget_left st then begin
+    (* Recon execution: gathers shared accesses for the priority queue. *)
+    let improved, _ = do_campaign st seed Campaign.Random_sched in
+    ignore improved;
+    if st.cfg.interleaving_tier then begin
+      let exhausted addr =
+        match Hashtbl.find_opt st.explored addr with
+        | Some n -> n < 0 || n >= 3 (* triggered, or tried repeatedly without success *)
+        | None -> false
+      in
+      let unexplored () =
+        Shared_queue.entries st.queue
+        |> List.filter (fun (e : Shared_queue.entry) -> not (exhausted e.addr))
+      in
+      let entries =
+        match unexplored () with
+        | [] ->
+            (* Every shared address has been tried: start a fresh sweep. *)
+            Hashtbl.reset st.explored;
+            unexplored ()
+        | es -> es
+      in
+      let rec explore entries tried =
+        match entries with
+        | [] -> ()
+        | _ when (not (budget_left st)) || tried >= st.cfg.max_interleavings_per_seed -> ()
+        | entry :: rest ->
+            let attempts =
+              max 0 (Option.value ~default:0 (Hashtbl.find_opt st.explored entry.Shared_queue.addr))
+            in
+            Hashtbl.replace st.explored entry.Shared_queue.addr (attempts + 1);
+            let rec exec_tier n stale =
+              if n < st.cfg.execs_per_interleaving && budget_left st && stale < 2 then begin
+                let skip =
+                  Option.value ~default:0
+                    (Hashtbl.find_opt st.skip_store (Seed.id seed, entry.Shared_queue.addr))
+                in
+                let improved, result =
+                  do_campaign st seed (Campaign.Pmrace { entry; skip })
+                in
+                (match result.sync with
+                | Some sync ->
+                    Hashtbl.replace st.skip_store
+                      (Seed.id seed, entry.Shared_queue.addr)
+                      (Sync_policy.next_skip sync ~previous:skip);
+                    if Sync_policy.triggered sync then
+                      Hashtbl.replace st.explored entry.Shared_queue.addr (-1)
+                | None -> ());
+                exec_tier (n + 1) (if improved then 0 else stale + 1)
+              end
+            in
+            exec_tier 0 0;
+            explore rest (tried + 1)
+      in
+      explore entries 0
+    end
+    else begin
+      (* w/o IE: only the execution tier — repeated random-schedule runs. *)
+      let rec exec_tier n stale =
+        if n < st.cfg.execs_per_interleaving * st.cfg.max_interleavings_per_seed
+           && budget_left st && stale < 4
+        then begin
+          let improved, _ = do_campaign st seed Campaign.Random_sched in
+          exec_tier (n + 1) (if improved then 0 else stale + 1)
+        end
+      in
+      exec_tier 0 0
+    end
+  end
+
+let next_seed st (w : worker) =
+  if (not st.cfg.seed_tier) || w.w_corpus = [] then
+    match w.w_corpus with
+    | s :: _ -> s
+    | [] ->
+        let s = Seed.gen w.w_rng st.target.Target.profile in
+        w.w_corpus <- [ s ];
+        s
+  else if w.w_generation > 0 && w.w_generation mod 5 = 4 then begin
+    (* The populate fallback: a load phase with many inserts. *)
+    let s = Mutator.populate w.w_rng st.target.Target.profile ~factor:3 in
+    w.w_corpus <- s :: w.w_corpus;
+    s
+  end
+  else begin
+    let parent = Rng.pick w.w_rng w.w_corpus in
+    let _, child = Mutator.evolve w.w_rng st.target.Target.profile ~corpus:w.w_corpus parent in
+    w.w_corpus <- child :: w.w_corpus;
+    child
+  end
+
+let run ?(log = fun _ -> ()) target cfg =
+  let rng = Rng.create cfg.master_seed in
+  let snapshot = if cfg.use_checkpoint then Some (Campaign.prepare_snapshot target) else None in
+  let st =
+    {
+      cfg;
+      target;
+      rng;
+      alias = Alias_cov.create ();
+      branch = Branch_cov.create ();
+      queue = Shared_queue.create ();
+      report = Report.create ();
+      whitelist = Whitelist.create (target.Target.whitelist_sites @ cfg.whitelist_extra);
+      snapshot;
+      skip_store = Hashtbl.create 32;
+      explored = Hashtbl.create 32;
+      provenance = Hashtbl.create 64;
+      campaigns = 0;
+      timeline = [];
+      started = now ();
+      log;
+    }
+  in
+  (* Worker pool (§5): the main process dispatches seeds to workers that
+     share coverage, the priority queue and the report; each has its own
+     generator state and corpus, so their campaigns do not contend. *)
+  let workers =
+    Array.init (max 1 cfg.workers) (fun i ->
+        let w_rng = Rng.create (cfg.master_seed + (1_000_003 * i)) in
+        {
+          w_rng;
+          w_corpus =
+            (* One populate (load-phase) seed plus random operation seeds:
+               the load phase triggers resize/migration paths from the
+               start. *)
+            Mutator.populate w_rng target.Target.profile ~factor:3
+            :: List.init cfg.initial_seeds (fun _ -> Seed.gen w_rng target.Target.profile);
+          w_generation = 0;
+        })
+  in
+  let pick_seed w = if w.w_generation = 0 then List.hd w.w_corpus else next_seed st w in
+  (match cfg.mode with
+  | Mode_pmrace ->
+      let wi = ref 0 in
+      while budget_left st do
+        let w = workers.(!wi mod Array.length workers) in
+        incr wi;
+        let seed = pick_seed w in
+        st.log
+          (Printf.sprintf "campaign %d/%d: worker %d seed #%d (gen %d)" st.campaigns
+             cfg.max_campaigns (!wi mod Array.length workers) (Seed.id seed) w.w_generation);
+        fuzz_seed_pmrace st seed;
+        w.w_generation <- w.w_generation + 1
+      done
+  | Mode_delay | Mode_random ->
+      let wi = ref 0 in
+      while budget_left st do
+        let w = workers.(!wi mod Array.length workers) in
+        incr wi;
+        let seed = pick_seed w in
+        let policy =
+          match cfg.mode with
+          | Mode_delay -> Campaign.Delay { prob = 0.08; max_delay = 25 }
+          | Mode_random | Mode_pmrace -> Campaign.Random_sched
+        in
+        let rec exec n stale =
+          if n < cfg.execs_per_interleaving * cfg.max_interleavings_per_seed
+             && budget_left st && stale < 6
+          then begin
+            let improved, _ = do_campaign st seed policy in
+            exec (n + 1) (if improved then 0 else stale + 1)
+          end
+        in
+        exec 0 0;
+        w.w_generation <- w.w_generation + 1
+      done);
+  (* Annotation count comes from the target's layout annotations. *)
+  let annotations =
+    let env = Runtime.Env.create ~capture_images:false ~pool_words:target.Target.pool_words () in
+    target.Target.annotate env;
+    Runtime.Checkers.annotation_count env.Runtime.Env.checkers
+  in
+  {
+    report = st.report;
+    alias = st.alias;
+    branch = st.branch;
+    timeline = List.rev st.timeline;
+    campaigns_run = st.campaigns;
+    wall_time = now () -. st.started;
+    annotations;
+    whitelist = st.whitelist;
+    provenance = st.provenance;
+  }
+
+(* Session-level matching of the target's seeded ground truth:
+   - Inter/Intra/Sync bugs match a validated unique-bug group;
+   - "Other" bugs with a read site (e.g. redundant writes) match an
+     inconsistency candidate pair;
+   - "Other" bugs without one (e.g. a missing unlock) match when their
+     branch site was covered and a hang was recorded. *)
+let found_known_bugs (session : session) (target : Target.t) =
+  let groups = Report.bug_groups session.report in
+  let group_matches = Report.match_known target groups in
+  let pairs = Report.candidate_pairs session.report in
+  List.map
+    (fun ((kb : Target.known_bug), found) ->
+      match kb.kb_type with
+      | `Inter | `Intra | `Sync -> (kb, found)
+      | `Other -> (
+          match (kb.kb_write_site, kb.kb_read_site) with
+          | Some w, Some r ->
+              (kb, List.exists (fun (w', r', _) -> String.equal w w' && String.equal r r') pairs)
+          | Some w, None ->
+              ( kb,
+                Branch_cov.covered session.branch (Runtime.Instr.site w)
+                && Report.hangs session.report <> [] )
+          | None, _ -> (kb, false)))
+    group_matches

@@ -1,0 +1,60 @@
+(** The PM-aware coverage-guided fuzzing loop (§4.2.3), with its three
+    exploration tiers (execution / interleaving / seed), the Delay-Inj and
+    random-scheduler baselines, immediate post-failure validation of new
+    findings, and a timeline for the Figure 8/9 series. *)
+
+type mode =
+  | Mode_pmrace  (** sync-point scheduling over the shared-access queue *)
+  | Mode_delay  (** random delay injection (the Fig. 8 baseline) *)
+  | Mode_random  (** plain random scheduling *)
+
+type config = {
+  max_campaigns : int;
+  execs_per_interleaving : int;
+  max_interleavings_per_seed : int;
+  master_seed : int;
+  mode : mode;
+  interleaving_tier : bool;  (** [false] = the "w/o IE" ablation of Fig. 9 *)
+  seed_tier : bool;  (** [false] = the "w/o SE" ablation of Fig. 9 *)
+  use_checkpoint : bool;  (** reuse an in-memory pool checkpoint (§5) *)
+  step_budget : int;
+  validate : bool;
+  evict_prob : float;
+  eadr : bool;  (** fuzz on an eADR platform (§6.6): caches are persistent *)
+  workers : int;  (** concurrent fuzzing workers sharing coverage (§5) *)
+  initial_seeds : int;
+  whitelist_extra : string list;
+}
+
+val default_config : config
+
+type provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+(** The exact inputs that replay one campaign. *)
+
+type timeline_point = {
+  tp_campaign : int;
+  tp_time : float;
+  tp_alias_bits : int;
+  tp_branch_bits : int;
+  tp_inter_unique : int;
+  tp_new_inter : bool;
+}
+
+type session = {
+  report : Report.t;
+  alias : Alias_cov.t;
+  branch : Branch_cov.t;
+  timeline : timeline_point list;  (** chronological *)
+  campaigns_run : int;
+  wall_time : float;
+  annotations : int;  (** sync-variable annotations the target registers *)
+  whitelist : Whitelist.t;
+  provenance : (int, provenance) Hashtbl.t;  (** campaign index -> inputs *)
+}
+
+val run : ?log:(string -> unit) -> Target.t -> config -> session
+
+val found_known_bugs : session -> Target.t -> (Target.known_bug * bool) list
+(** Match the session's findings against the target's seeded ground truth:
+    Inter/Intra/Sync via validated bug groups, "Other" bugs via candidate
+    pairs or hang + branch evidence. *)

@@ -1,0 +1,68 @@
+(* Post-failure validation (§4.4).
+
+   Each confirmed inconsistency carries a crash image: the durable pool
+   contents at the instant the durable side effect persisted while its
+   source data was still volatile.  Validation boots a fresh environment
+   from that image, runs the target's recovery code, and checks whether
+   the application-specific recovery fixed the inconsistency:
+
+   - PM Inter-/Intra-thread Inconsistency: a false positive iff every
+     recorded side-effect word is overwritten during recovery.
+   - PM Synchronization Inconsistency: a false positive iff the annotated
+     variable is restored to its expected initial value.
+
+   A recovery that itself hangs (a spin lock stuck on a persisted lock) is
+   strong evidence of a bug, and is reported as such. *)
+
+module Env = Runtime.Env
+module Checkers = Runtime.Checkers
+
+type verdict =
+  | Validated_fp (* fixed by the immediate recovery *)
+  | Whitelisted_fp (* covered by the benign-read whitelist *)
+  | Bug of { recovery_hang : bool }
+
+let pp_verdict ppf = function
+  | Validated_fp -> Fmt.string ppf "validated-FP"
+  | Whitelisted_fp -> Fmt.string ppf "whitelisted-FP"
+  | Bug { recovery_hang = true } -> Fmt.string ppf "BUG (recovery hangs)"
+  | Bug { recovery_hang = false } -> Fmt.string ppf "BUG"
+
+(* Run the target's recovery on a crash image, recording every PM word the
+   recovery code overwrites. *)
+let run_recovery (target : Target.t) image =
+  let env = Env.of_image image in
+  target.annotate env;
+  let written : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  Env.add_listener env (function
+    | Env.Ev_store { addr; _ } | Env.Ev_movnt { addr; _ } -> Hashtbl.replace written addr ()
+    | Env.Ev_load _ | Env.Ev_clwb _ | Env.Ev_fence _ | Env.Ev_branch _ -> ());
+  let hang = ref false in
+  (try target.recover env with
+  | Runtime.Mem.Stuck _ -> hang := true
+  | Sched.Scheduler.Killed -> hang := true);
+  (env, written, !hang)
+
+let validate_inconsistency (target : Target.t) whitelist (inc : Checkers.inconsistency) =
+  if Whitelist.covers whitelist inc then Whitelisted_fp
+  else
+    match inc.image with
+    | None -> Bug { recovery_hang = false } (* no image captured: cannot validate *)
+    | Some image ->
+        let _env, written, hang = run_recovery target image in
+        if hang then Bug { recovery_hang = true }
+        else if
+          inc.eff_words <> [] && List.for_all (fun w -> Hashtbl.mem written w) inc.eff_words
+        then Validated_fp
+        else Bug { recovery_hang = false }
+
+let validate_sync (target : Target.t) (ev : Checkers.sync_event) =
+  match ev.sy_image with
+  | None -> Bug { recovery_hang = false }
+  | Some image ->
+      let env, _written, hang = run_recovery target image in
+      if hang then Bug { recovery_hang = true }
+      else if Int64.equal (Pmem.Pool.peek env.pool ev.sy_addr) ev.var.Checkers.sv_init then
+        (* Recovery reinitialised the variable to its expected value. *)
+        Validated_fp
+      else Bug { recovery_hang = false }

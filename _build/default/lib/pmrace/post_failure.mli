@@ -1,0 +1,25 @@
+(** Post-failure validation (§4.4): boot the crash image captured at each
+    inconsistency, run the target's recovery code, and decide whether the
+    application-specific recovery fixed it. *)
+
+type verdict =
+  | Validated_fp  (** fixed by the immediate recovery *)
+  | Whitelisted_fp  (** covered by the benign-read whitelist *)
+  | Bug of { recovery_hang : bool }
+      (** not fixed; [recovery_hang] when the recovery itself got stuck *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val run_recovery :
+  Target.t -> Pmem.Pool.image -> Runtime.Env.t * (int, unit) Hashtbl.t * bool
+(** Run recovery on a crash image; returns the post-recovery environment,
+    the set of PM words recovery overwrote, and whether it hung. *)
+
+val validate_inconsistency :
+  Target.t -> Whitelist.t -> Runtime.Checkers.inconsistency -> verdict
+(** False positive iff every side-effect word was overwritten during the
+    immediate recovery (or the reading site is whitelisted). *)
+
+val validate_sync : Target.t -> Runtime.Checkers.sync_event -> verdict
+(** False positive iff recovery restores the annotated variable to its
+    expected initial value. *)

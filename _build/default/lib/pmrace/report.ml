@@ -1,0 +1,236 @@
+(* Aggregation of findings across fuzz campaigns, and unique-bug grouping.
+
+   The paper counts a *unique bug* as a group of inconsistencies caused by
+   the same writing store instruction (for non-persisted reads) or the
+   same synchronization variable type (§6.2); Table 3 counts unique
+   inconsistencies before that grouping. *)
+
+module Checkers = Runtime.Checkers
+module Candidates = Runtime.Candidates
+module Instr = Runtime.Instr
+
+type finding = {
+  inc : Checkers.inconsistency;
+  found_at : int; (* campaign index *)
+  mutable verdict : Post_failure.verdict option;
+}
+
+type sync_finding = {
+  ev : Checkers.sync_event;
+  sync_found_at : int;
+  mutable sync_verdict : Post_failure.verdict option;
+}
+
+type cand_key = { ck_write : string; ck_read : string; ck_kind : Candidates.kind }
+type inc_key = { xk_write : string; xk_read : string; xk_eff : string; xk_kind : Candidates.kind }
+
+type t = {
+  cands : (cand_key, int) Hashtbl.t; (* campaign of first sighting *)
+  findings : (inc_key, finding) Hashtbl.t;
+  sync_findings : (string * int64, sync_finding) Hashtbl.t;
+  hangs : (string, int) Hashtbl.t; (* hung-thread description -> occurrences *)
+  mutable campaigns : int;
+}
+
+let create () =
+  {
+    cands = Hashtbl.create 64;
+    findings = Hashtbl.create 64;
+    sync_findings = Hashtbl.create 16;
+    hangs = Hashtbl.create 8;
+    campaigns = 0;
+  }
+
+let cand_key (c : Candidates.cand) =
+  { ck_write = Instr.name c.write_instr; ck_read = Instr.name c.read_instr; ck_kind = c.kind }
+
+let inc_key (i : Checkers.inconsistency) =
+  {
+    xk_write = Instr.name i.source.Candidates.write_instr;
+    xk_read = Instr.name i.source.Candidates.read_instr;
+    xk_eff = Instr.name i.eff_instr;
+    xk_kind = i.source.Candidates.kind;
+  }
+
+(* Fold one campaign's checker results in; returns the newly discovered
+   unique inconsistencies and sync events (candidates for validation). *)
+let absorb t (env : Runtime.Env.t) ~hung ~hang_info =
+  let campaign = t.campaigns in
+  t.campaigns <- t.campaigns + 1;
+  let ck = env.Runtime.Env.checkers in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun c ->
+          let k = cand_key c in
+          if not (Hashtbl.mem t.cands k) then Hashtbl.add t.cands k campaign)
+        (Candidates.unique (Checkers.candidates ck) kind))
+    [ Candidates.Inter; Candidates.Intra ];
+  let new_findings =
+    List.filter_map
+      (fun inc ->
+        let k = inc_key inc in
+        if Hashtbl.mem t.findings k then None
+        else begin
+          let f = { inc; found_at = campaign; verdict = None } in
+          Hashtbl.add t.findings k f;
+          Some f
+        end)
+      (Checkers.inconsistencies ck)
+  in
+  let new_sync =
+    List.filter_map
+      (fun (ev : Checkers.sync_event) ->
+        let k = (ev.var.Checkers.sv_name, ev.sy_value) in
+        if Hashtbl.mem t.sync_findings k then None
+        else begin
+          let f = { ev; sync_found_at = campaign; sync_verdict = None } in
+          Hashtbl.add t.sync_findings k f;
+          Some f
+        end)
+      (Checkers.sync_events ck)
+  in
+  if hung then begin
+    let key = hang_info in
+    Hashtbl.replace t.hangs key (1 + Option.value ~default:0 (Hashtbl.find_opt t.hangs key))
+  end;
+  (new_findings, new_sync)
+
+let campaigns t = t.campaigns
+let findings t = Hashtbl.fold (fun _ f acc -> f :: acc) t.findings []
+let sync_findings t = Hashtbl.fold (fun _ f acc -> f :: acc) t.sync_findings []
+let hangs t = Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.hangs []
+
+let candidate_count t kind =
+  Hashtbl.fold (fun k _ n -> if k.ck_kind = kind then n + 1 else n) t.cands 0
+
+let candidate_pairs t =
+  Hashtbl.fold (fun k _ acc -> (k.ck_write, k.ck_read, k.ck_kind) :: acc) t.cands []
+
+let finding_kind f = f.inc.Checkers.source.Candidates.kind
+
+let inconsistency_count t kind =
+  List.length (List.filter (fun f -> finding_kind f = kind) (findings t))
+
+let count_verdicts fs =
+  List.fold_left
+    (fun (fp, wl, bug, pending) v ->
+      match v with
+      | Some Post_failure.Validated_fp -> (fp + 1, wl, bug, pending)
+      | Some Post_failure.Whitelisted_fp -> (fp, wl + 1, bug, pending)
+      | Some (Post_failure.Bug _) -> (fp, wl, bug + 1, pending)
+      | None -> (fp, wl, bug, pending + 1))
+    (0, 0, 0, 0) fs
+
+let verdict_summary t kind =
+  count_verdicts (List.filter_map (fun f -> if finding_kind f = kind then Some f.verdict else None) (findings t))
+
+(* Table-3 style accounting: one row per (write site, read site) pair —
+   the same grouping as candidates, so an inconsistency count can never
+   exceed its candidate count.  A pair's verdict is its worst finding:
+   Bug > Whitelisted > Validated > pending. *)
+type coarse_summary = { total : int; validated_fp : int; whitelisted_fp : int; bugs : int; pending : int }
+
+let coarse_summary t kind =
+  let tbl : (string * string, Post_failure.verdict option) Hashtbl.t = Hashtbl.create 16 in
+  let rank = function
+    | Some (Post_failure.Bug _) -> 3
+    | Some Post_failure.Whitelisted_fp -> 2
+    | Some Post_failure.Validated_fp -> 1
+    | None -> 0
+  in
+  List.iter
+    (fun f ->
+      if finding_kind f = kind then begin
+        let key =
+          ( Instr.name f.inc.Checkers.source.Candidates.write_instr,
+            Instr.name f.inc.Checkers.source.Candidates.read_instr )
+        in
+        match Hashtbl.find_opt tbl key with
+        | Some v when rank v >= rank f.verdict -> ()
+        | _ -> Hashtbl.replace tbl key f.verdict
+      end)
+    (findings t);
+  Hashtbl.fold
+    (fun _ v acc ->
+      match v with
+      | Some (Post_failure.Bug _) -> { acc with total = acc.total + 1; bugs = acc.bugs + 1 }
+      | Some Post_failure.Whitelisted_fp ->
+          { acc with total = acc.total + 1; whitelisted_fp = acc.whitelisted_fp + 1 }
+      | Some Post_failure.Validated_fp ->
+          { acc with total = acc.total + 1; validated_fp = acc.validated_fp + 1 }
+      | None -> { acc with total = acc.total + 1; pending = acc.pending + 1 })
+    tbl
+    { total = 0; validated_fp = 0; whitelisted_fp = 0; bugs = 0; pending = 0 }
+
+let sync_verdict_summary t =
+  count_verdicts (List.map (fun f -> f.sync_verdict) (sync_findings t))
+
+(* Unique-bug grouping: inconsistencies that survived validation, grouped
+   by the writing store site; sync bugs grouped by variable name. *)
+type bug_group = {
+  bg_kind : [ `Inter | `Intra | `Sync ];
+  bg_site : string; (* write site, or sync variable name *)
+  bg_read_sites : string list;
+  bg_members : int;
+}
+
+let bug_groups t =
+  let tbl : (string * [ `Inter | `Intra | `Sync ], string list * int) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun f ->
+      match f.verdict with
+      | Some (Post_failure.Bug _) ->
+          let kind = match finding_kind f with Candidates.Inter -> `Inter | Candidates.Intra -> `Intra in
+          let site = Instr.name f.inc.Checkers.source.Candidates.write_instr in
+          let read = Instr.name f.inc.Checkers.source.Candidates.read_instr in
+          let reads, n = Option.value ~default:([], 0) (Hashtbl.find_opt tbl (site, kind)) in
+          let reads = if List.mem read reads then reads else read :: reads in
+          Hashtbl.replace tbl (site, kind) (reads, n + 1)
+      | Some Post_failure.Validated_fp | Some Post_failure.Whitelisted_fp | None -> ())
+    (findings t);
+  List.iter
+    (fun f ->
+      match f.sync_verdict with
+      | Some (Post_failure.Bug _) ->
+          let site = f.ev.Checkers.var.Checkers.sv_name in
+          let reads, n = Option.value ~default:([], 0) (Hashtbl.find_opt tbl (site, `Sync)) in
+          Hashtbl.replace tbl (site, `Sync) (reads, n + 1)
+      | Some Post_failure.Validated_fp | Some Post_failure.Whitelisted_fp | None -> ())
+    (sync_findings t);
+  Hashtbl.fold
+    (fun (site, kind) (reads, n) acc ->
+      { bg_kind = kind; bg_site = site; bg_read_sites = List.sort String.compare reads; bg_members = n }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> String.compare a.bg_site b.bg_site)
+
+(* Match bug groups against a target's seeded ground truth. *)
+let match_known (target : Target.t) groups =
+  List.map
+    (fun (kb : Target.known_bug) ->
+      let found =
+        List.exists
+          (fun g ->
+            match (kb.kb_type, g.bg_kind) with
+            | `Inter, `Inter | `Intra, `Intra ->
+                Some g.bg_site = kb.kb_write_site
+            | `Sync, `Sync -> Some g.bg_site = kb.kb_write_site
+            | _ -> false)
+          groups
+      in
+      (kb, found))
+    target.Target.known_bugs
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%a found@%d %a" Checkers.pp_inconsistency f.inc f.found_at
+    Fmt.(option ~none:(any "unvalidated") Post_failure.pp_verdict)
+    f.verdict
+
+let pp_bug_group ppf g =
+  let kind = match g.bg_kind with `Inter -> "Inter" | `Intra -> "Intra" | `Sync -> "Sync" in
+  Fmt.pf ppf "[%s] write=%s reads=[%a] (%d inconsistencies)" kind g.bg_site
+    Fmt.(list ~sep:comma string)
+    g.bg_read_sites g.bg_members

@@ -1,0 +1,76 @@
+(** Aggregation of findings across fuzz campaigns and unique-bug grouping
+    (§6.2): inconsistencies group by their writing store site, sync bugs by
+    variable type. *)
+
+module Checkers = Runtime.Checkers
+module Candidates = Runtime.Candidates
+
+type finding = {
+  inc : Checkers.inconsistency;
+  found_at : int;  (** campaign index of first sighting *)
+  mutable verdict : Post_failure.verdict option;
+}
+
+type sync_finding = {
+  ev : Checkers.sync_event;
+  sync_found_at : int;
+  mutable sync_verdict : Post_failure.verdict option;
+}
+
+type t
+
+val create : unit -> t
+
+val absorb :
+  t -> Runtime.Env.t -> hung:bool -> hang_info:string -> finding list * sync_finding list
+(** Fold one campaign's checker results in; returns the {e newly}
+    discovered unique inconsistencies and sync events, which the fuzzer
+    then validates. *)
+
+val campaigns : t -> int
+val findings : t -> finding list
+val sync_findings : t -> sync_finding list
+val hangs : t -> (string * int) list
+
+val candidate_count : t -> Candidates.kind -> int
+(** Unique (write site, read site) candidate pairs seen so far. *)
+
+val candidate_pairs : t -> (string * string * Candidates.kind) list
+(** The unique candidate pairs themselves, as (write site, read site,
+    kind). *)
+
+val inconsistency_count : t -> Candidates.kind -> int
+
+val verdict_summary : t -> Candidates.kind -> int * int * int * int
+(** (validated FPs, whitelisted FPs, bugs, unvalidated), over fine-grained
+    findings (one per (write, read, effect) triple). *)
+
+type coarse_summary = {
+  total : int;
+  validated_fp : int;
+  whitelisted_fp : int;
+  bugs : int;
+  pending : int;
+}
+
+val coarse_summary : t -> Candidates.kind -> coarse_summary
+(** Table-3 style accounting: one entry per (write site, read site) pair —
+    the candidate grouping — carrying the pair's worst verdict. *)
+
+val sync_verdict_summary : t -> int * int * int * int
+
+type bug_group = {
+  bg_kind : [ `Inter | `Intra | `Sync ];
+  bg_site : string;  (** write site, or sync variable name *)
+  bg_read_sites : string list;
+  bg_members : int;
+}
+
+val bug_groups : t -> bug_group list
+(** Unique bugs: validated findings grouped per §6.2. *)
+
+val match_known : Target.t -> bug_group list -> (Target.known_bug * bool) list
+(** Pair each seeded ground-truth bug with whether a group matches it. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_bug_group : Format.formatter -> bug_group -> unit

@@ -1,0 +1,70 @@
+(** Fuzzing inputs: operation sequences distributed over worker threads
+    (§4.5).  PM systems are in-memory stores with interactive APIs, so the
+    input generator works on structured operations rather than raw bytes. *)
+
+module Rng = Sched.Rng
+
+type op =
+  | Put of { key : int; value : int }
+  | Get of { key : int }
+  | Update of { key : int; value : int }
+  | Delete of { key : int }
+  | Incr of { key : int; delta : int }
+  | Decr of { key : int; delta : int }
+  | Append of { key : int; value : int }
+  | Prepend of { key : int; value : int }
+  | Scan of { key : int; count : int }
+  | Cas of { key : int; value : int; token : int }
+  | Touch of { key : int; exptime : int }
+  | Flush_all
+  | Stats
+
+type op_kind =
+  | KPut
+  | KGet
+  | KUpdate
+  | KDelete
+  | KIncr
+  | KDecr
+  | KAppend
+  | KPrepend
+  | KScan
+  | KCas
+  | KTouch
+  | KFlushAll
+  | KStats
+
+val kind_of_op : op -> op_kind
+val key_of : op -> int
+
+type profile = {
+  supported : op_kind list;  (** operations the target's interface accepts *)
+  key_range : int;
+  value_range : int;
+  threads : int;
+  ops_per_thread : int;
+}
+
+val default_profile : profile
+
+type t
+(** A seed: one operation sequence per worker thread. *)
+
+val make : op array array -> t
+val gen : Rng.t -> profile -> t
+(** Generate a fresh random seed, biased towards reusing nearby keys so
+    that threads collide on shared data. *)
+
+val gen_op : Rng.t -> profile -> near:int option -> op
+
+val threads : t -> op array array
+val all_ops : t -> op list
+val op_count : t -> int
+val id : t -> int
+
+val render_op : op -> string
+(** Text rendering in the memcached protocol (driver input and the Table 4
+    mutator comparison). *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+(* The priority queue of shared PM data accesses (§4.2.2).
+
+   Observed PM accesses are grouped by address.  An address is a candidate
+   preemption target when it has been loaded and stored by different
+   threads ("shared data accesses"); entries are prioritised by access
+   frequency, following the paper's three selection principles:
+   (1) PM accesses only, (2) shared data only, (3) hot data first. *)
+
+module Instr = Runtime.Instr
+
+module Iset = Set.Make (Instr)
+module Tset = Set.Make (Int)
+
+type record = {
+  mutable load_instrs : Iset.t;
+  mutable store_instrs : Iset.t;
+  mutable load_tids : Tset.t;
+  mutable store_tids : Tset.t;
+  mutable hits : int;
+}
+
+type entry = {
+  addr : int;
+  loads : Instr.t list; (* the sync points: loads at this address *)
+  stores : Instr.t list; (* signalled after these stores *)
+  hits : int;
+}
+
+type t = { tbl : (int, record) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 128 }
+
+let record_of t addr =
+  match Hashtbl.find_opt t.tbl addr with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          load_instrs = Iset.empty;
+          store_instrs = Iset.empty;
+          load_tids = Tset.empty;
+          store_tids = Tset.empty;
+          hits = 0;
+        }
+      in
+      Hashtbl.add t.tbl addr r;
+      r
+
+let observe_load t ~addr ~instr ~tid =
+  let r = record_of t addr in
+  r.load_instrs <- Iset.add instr r.load_instrs;
+  r.load_tids <- Tset.add tid r.load_tids;
+  r.hits <- r.hits + 1
+
+let observe_store t ~addr ~instr ~tid =
+  let r = record_of t addr in
+  r.store_instrs <- Iset.add instr r.store_instrs;
+  r.store_tids <- Tset.add tid r.store_tids;
+  r.hits <- r.hits + 1
+
+let attach t env =
+  Runtime.Env.add_listener env (function
+    | Runtime.Env.Ev_load { instr; tid; addr; _ } -> observe_load t ~addr ~instr ~tid
+    | Runtime.Env.Ev_store { instr; tid; addr } | Runtime.Env.Ev_movnt { instr; tid; addr } ->
+        observe_store t ~addr ~instr ~tid
+    | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ())
+
+(* Shared data: loaded and stored, with more than one thread involved. *)
+let is_shared r =
+  (not (Iset.is_empty r.load_instrs))
+  && (not (Iset.is_empty r.store_instrs))
+  && Tset.cardinal (Tset.union r.load_tids r.store_tids) > 1
+
+let entries t =
+  Hashtbl.fold
+    (fun addr r acc ->
+      if is_shared r then
+        {
+          addr;
+          loads = Iset.elements r.load_instrs;
+          stores = Iset.elements r.store_instrs;
+          hits = r.hits;
+        }
+        :: acc
+      else acc)
+    t.tbl []
+  |> List.sort (fun a b ->
+         match compare b.hits a.hits with 0 -> compare a.addr b.addr | c -> c)
+
+let tracked_addresses t = Hashtbl.length t.tbl
+
+let pp_entry ppf e =
+  Fmt.pf ppf "addr=%d hits=%d loads=[%a] stores=[%a]" e.addr e.hits
+    Fmt.(list ~sep:comma Instr.pp)
+    e.loads
+    Fmt.(list ~sep:comma Instr.pp)
+    e.stores

@@ -1,0 +1,29 @@
+(** The priority queue of shared PM data accesses (§4.2.2).
+
+    Accesses observed across executions are grouped by address; addresses
+    loaded and stored by different threads become preemption targets,
+    prioritised by access frequency (the paper's "hot shared data first"
+    principle). *)
+
+module Instr = Runtime.Instr
+
+type t
+
+type entry = {
+  addr : int;
+  loads : Instr.t list;  (** sync points: loads of this address *)
+  stores : Instr.t list;  (** signal sources: stores to this address *)
+  hits : int;
+}
+
+val create : unit -> t
+val observe_load : t -> addr:int -> instr:Instr.t -> tid:int -> unit
+val observe_store : t -> addr:int -> instr:Instr.t -> tid:int -> unit
+val attach : t -> Runtime.Env.t -> unit
+(** Subscribe to an execution's access events. *)
+
+val entries : t -> entry list
+(** Shared-data entries, most frequently accessed first. *)
+
+val tracked_addresses : t -> int
+val pp_entry : Format.formatter -> entry -> unit

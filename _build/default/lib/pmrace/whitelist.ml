@@ -1,0 +1,23 @@
+(* The whitelist of benign non-persisted reads (§4.4).
+
+   Some crash-consistency mechanisms — redo-logged transactional
+   allocations in PMDK, checksummed regions — tolerate reading
+   non-persisted data by construction.  Post-failure validation cannot see
+   that, so developers (and PMRace's defaults) list the code locations of
+   such reads; inconsistencies whose read or effect site matches are
+   marked safe instead of being reported. *)
+
+module Sset = Set.Make (String)
+
+type t = { mutable sites : Sset.t }
+
+let create sites = { sites = Sset.of_list sites }
+let empty () = create []
+let add t site = t.sites <- Sset.add site t.sites
+let mem_site t site = Sset.mem site t.sites
+let sites t = Sset.elements t.sites
+
+let covers t (inc : Runtime.Checkers.inconsistency) =
+  mem_site t (Runtime.Instr.name inc.source.Runtime.Candidates.read_instr)
+  || mem_site t (Runtime.Instr.name inc.source.Runtime.Candidates.write_instr)
+  || mem_site t (Runtime.Instr.name inc.eff_instr)

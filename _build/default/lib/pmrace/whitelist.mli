@@ -1,0 +1,16 @@
+(** The whitelist of benign non-persisted reads (§4.4): code locations
+    protected by redo logging or checksums, whose inconsistencies are
+    marked safe instead of reported. *)
+
+type t
+
+val create : string list -> t
+val empty : unit -> t
+val add : t -> string -> unit
+val mem_site : t -> string -> bool
+val sites : t -> string list
+
+val covers : t -> Runtime.Checkers.inconsistency -> bool
+(** Whether the inconsistency's reading, writing, or effect site is
+    whitelisted (a redo-logged transactional allocation whitelists the
+    writes it produced, so reads of them are benign). *)

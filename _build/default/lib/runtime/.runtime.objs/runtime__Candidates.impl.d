@@ -1,0 +1,1 @@
+lib/runtime/candidates.ml: Fmt Hashtbl Instr List

@@ -1,0 +1,1 @@
+lib/runtime/candidates.mli: Format Instr

@@ -1,0 +1,1 @@
+lib/runtime/checkers.ml: Candidates Fmt Hashtbl Instr Int64 List Pmem String Taint

@@ -1,0 +1,1 @@
+lib/runtime/checkers.mli: Candidates Format Instr Pmem Taint

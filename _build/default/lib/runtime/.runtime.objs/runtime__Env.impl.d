@@ -1,0 +1,1 @@
+lib/runtime/env.ml: Checkers Dram Hashtbl Instr List Pmem Sched Taint

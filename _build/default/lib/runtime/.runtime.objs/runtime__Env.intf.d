@@ -1,0 +1,1 @@
+lib/runtime/env.mli: Checkers Dram Hashtbl Instr Pmem Sched Taint

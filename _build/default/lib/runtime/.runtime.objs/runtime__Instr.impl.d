@@ -1,0 +1,1 @@
+lib/runtime/instr.ml: Fmt Hashtbl Int Printf

@@ -1,0 +1,1 @@
+lib/runtime/instr.mli: Format

@@ -1,0 +1,1 @@
+lib/runtime/mem.ml: Candidates Checkers Env Instr Int64 List Pmem Printf Sched Taint Tval

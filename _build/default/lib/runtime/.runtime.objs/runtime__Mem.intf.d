@@ -1,0 +1,1 @@
+lib/runtime/mem.mli: Env Instr Tval

@@ -1,0 +1,1 @@
+lib/runtime/taint.ml: Fmt List

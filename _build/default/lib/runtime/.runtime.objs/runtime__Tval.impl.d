@@ -1,0 +1,1 @@
+lib/runtime/tval.ml: Fmt Int64 Taint

@@ -1,0 +1,1 @@
+lib/runtime/tval.mli: Format Taint

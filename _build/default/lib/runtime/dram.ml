@@ -1,0 +1,46 @@
+(* Per-execution volatile (DRAM) state.
+
+   Workloads sometimes keep volatile structures next to the PM pool — e.g.
+   memcached's DRAM hash index and LRU lists, rebuilt from persistent slabs
+   after a crash.  This module is a small typed heterogeneous store keyed
+   by first-class keys (implemented with the local-exception universal
+   type), so each workload can stash its own volatile state in the
+   execution environment without the environment knowing its type.
+   Crashing simply discards the store, exactly like real DRAM. *)
+
+type 'a key = { uid : int; name : string; inject : 'a -> exn; project : exn -> 'a option }
+
+type t = { mutable bindings : (int * exn) list }
+
+let key_counter = ref 0
+
+let key (type a) ~name () =
+  let module M = struct
+    exception E of a
+  end in
+  incr key_counter;
+  {
+    uid = !key_counter;
+    name;
+    inject = (fun x -> M.E x);
+    project = (function M.E x -> Some x | _ -> None);
+  }
+
+let create () = { bindings = [] }
+
+let set t k v =
+  t.bindings <- (k.uid, k.inject v) :: List.filter (fun (uid, _) -> uid <> k.uid) t.bindings
+
+let find t k =
+  match List.assoc_opt k.uid t.bindings with None -> None | Some e -> k.project e
+
+let find_or_add t k make =
+  match find t k with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      set t k v;
+      v
+
+let name k = k.name
+let clear t = t.bindings <- []

@@ -1,0 +1,19 @@
+(** Per-execution volatile (DRAM) state.
+
+    A typed heterogeneous store attached to the execution environment.
+    Workloads keep their volatile structures here (e.g. memcached's DRAM
+    hash index); a crash discards the store, exactly like real DRAM. *)
+
+type t
+type 'a key
+
+val key : name:string -> unit -> 'a key
+(** Create a fresh typed key.  Workloads create their keys once at module
+    initialisation. *)
+
+val create : unit -> t
+val set : t -> 'a key -> 'a -> unit
+val find : t -> 'a key -> 'a option
+val find_or_add : t -> 'a key -> (unit -> 'a) -> 'a
+val name : 'a key -> string
+val clear : t -> unit

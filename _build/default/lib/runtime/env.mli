@@ -1,0 +1,73 @@
+(** Execution environment: one per fuzz campaign.
+
+    Binds the PM pool, the checkers, the volatile DRAM store, the shadow
+    taint memory, the interleaving policy (before/after hooks invoked at
+    every instrumented operation) and the event listeners feeding the
+    coverage metrics. *)
+
+type point_kind = P_load | P_store | P_movnt | P_clwb | P_fence | P_cas
+
+type point = { kind : point_kind; instr : Instr.t; addr : int }
+(** A preemption point: what is about to execute (or just executed).
+    [addr] is [-1] for fences. *)
+
+type event =
+  | Ev_load of { instr : Instr.t; tid : int; addr : int; dirty : bool }
+  | Ev_store of { instr : Instr.t; tid : int; addr : int }
+  | Ev_movnt of { instr : Instr.t; tid : int; addr : int }
+  | Ev_clwb of { instr : Instr.t; tid : int; addr : int; dirty_words : int }
+      (** [dirty_words] is the number of dirty words in the flushed line
+          {e before} the flush — 0 means the flush was redundant *)
+  | Ev_fence of { instr : Instr.t; tid : int; persisted : int list }
+  | Ev_branch of { instr : Instr.t; tid : int }
+
+type t = {
+  pool : Pmem.Pool.t;
+  mutable checkers : Checkers.t;
+  dram : Dram.t;
+  mem_taint : (int, Taint.t) Hashtbl.t;
+  mutable policy : policy;
+  mutable listeners : (event -> unit) list;
+  evict_rng : Sched.Rng.t;
+  mutable evict_prob : float;
+}
+
+and ctx = { env : t; tid : int }
+(** A thread's view of the environment. *)
+
+and policy = { before : ctx -> point -> unit; after : ctx -> point -> unit }
+(** Interleaving policy hooks; they may call {!Sched.Scheduler.yield}. *)
+
+val null_policy : policy
+(** No preemption — used for single-threaded init and recovery code. *)
+
+val preempt_policy : policy
+(** Yield before every instrumented operation (plain random scheduling). *)
+
+val create :
+  ?capture_images:bool ->
+  ?evict_prob:float ->
+  ?evict_seed:int ->
+  ?eadr:bool ->
+  pool_words:int ->
+  unit ->
+  t
+(** Fresh environment with a zeroed pool.  [evict_prob] enables random
+    silent cache-line eviction after stores; [eadr] puts the cache
+    hierarchy in the persistent domain (§6.6). *)
+
+val of_image : ?capture_images:bool -> Pmem.Pool.image -> t
+(** The post-failure world: pool booted from a crash image; DRAM, taint and
+    checker state start fresh. *)
+
+val ctx : t -> tid:int -> ctx
+val set_policy : t -> policy -> unit
+val add_listener : t -> (event -> unit) -> unit
+val emit : t -> event -> unit
+val mem_taint : t -> int -> Taint.t
+val set_mem_taint : t -> int -> Taint.t -> unit
+val annotate_sync : t -> name:string -> addr:int -> len:int -> init:int64 -> unit
+
+val reset_checkers : ?capture_images:bool -> t -> unit
+(** Discard checker state accumulated so far (e.g. during pool
+    initialisation) while keeping sync-variable annotations. *)

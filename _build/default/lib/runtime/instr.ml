@@ -1,0 +1,35 @@
+(* Static instruction identities.
+
+   The paper's LLVM pass assigns every instrumented instruction a unique
+   integer id.  Our workloads are written directly against the hook API, so
+   each call site registers itself here once, under a stable name.  Sites
+   are named after the paper's [file:line] locations (Table 2) where the
+   corresponding code exists in the original systems. *)
+
+type t = int
+
+let names : (string, int) Hashtbl.t = Hashtbl.create 256
+let rev : (int, string) Hashtbl.t = Hashtbl.create 256
+let counter = ref 0
+
+let site name =
+  match Hashtbl.find_opt names name with
+  | Some id -> id
+  | None ->
+      let id = !counter in
+      incr counter;
+      Hashtbl.add names name id;
+      Hashtbl.add rev id name;
+      id
+
+let name id = match Hashtbl.find_opt rev id with Some n -> n | None -> Printf.sprintf "<instr#%d>" id
+let count () = !counter
+let compare = Int.compare
+let equal = Int.equal
+let to_int id = id
+
+let of_int id =
+  if id < 0 || id >= !counter then invalid_arg (Printf.sprintf "Instr.of_int: unknown id %d" id);
+  id
+
+let pp ppf id = Fmt.string ppf (name id)

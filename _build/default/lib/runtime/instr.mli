@@ -1,0 +1,23 @@
+(** Static instruction identities — the analogue of the unique integer ids
+    assigned by PMRace's LLVM pass.
+
+    Call sites register under a stable string name (we reuse the paper's
+    [file:line] names for the seeded bug sites), and the id is memoised, so
+    the same site always maps to the same id within a process. *)
+
+type t = private int
+
+val site : string -> t
+(** Register (or look up) the instruction id for a named site. *)
+
+val name : t -> string
+val count : unit -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_int : t -> int
+
+val of_int : int -> t
+(** Inverse of {!to_int} for ids round-tripped through the pool layer.
+    @raise Invalid_argument on an id no site has registered. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(* Taint label sets for the dynamic data-flow analysis (§4.3).
+
+   A label is the id of a PM Inter-/Intra-thread Inconsistency Candidate:
+   it is created when a load observes non-persisted data and propagates
+   through every computation deriving from that value.  Sets are tiny in
+   practice (almost always empty, occasionally one or two labels), so a
+   sorted immutable int list beats a heavier set structure. *)
+
+type t = int list (* strictly increasing *)
+
+let empty = []
+let is_empty t = t = []
+let singleton l = [ l ]
+
+let rec add l = function
+  | [] -> [ l ]
+  | x :: _ as t when l < x -> l :: t
+  | x :: _ as t when l = x -> t
+  | x :: rest -> x :: add l rest
+
+let rec union a b =
+  match (a, b) with
+  | [], t | t, [] -> t
+  | x :: xs, y :: _ when x < y -> x :: union xs b
+  | x :: _, y :: ys when y < x -> y :: union a ys
+  | x :: xs, _ :: ys -> x :: union xs ys
+
+let mem l t = List.mem l t
+let labels t = t
+let of_labels ls = List.fold_left (fun acc l -> add l acc) empty ls
+let cardinal = List.length
+let equal = ( = )
+let pp ppf t = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) t

@@ -1,0 +1,23 @@
+(** Taint label sets for the dynamic data-flow analysis of durable side
+    effects (§4.3 of the paper).
+
+    A label is the id of an inconsistency {e candidate} (a load that
+    observed non-persisted data); labels propagate through arithmetic on
+    {!Tval.t} values and are checked when a value (or an address derived
+    from one) reaches a PM store. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val add : int -> t -> t
+val union : t -> t -> t
+val mem : int -> t -> bool
+val labels : t -> int list
+(** Labels in strictly increasing order. *)
+
+val of_labels : int list -> t
+val cardinal : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

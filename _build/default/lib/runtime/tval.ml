@@ -1,0 +1,64 @@
+(* Tainted 64-bit values — the shadow values of the taint analysis.
+
+   Workloads compute exclusively on [Tval.t]; every arithmetic operation
+   unions the operand taints, so data flows from reading non-persisted PM
+   into later PM writes are tracked without any compiler support. *)
+
+type t = { v : int64; taint : Taint.t }
+
+let make v taint = { v; taint }
+let of_int64 v = { v; taint = Taint.empty }
+let of_int i = of_int64 (Int64.of_int i)
+let zero = of_int 0
+let one = of_int 1
+
+let v t = t.v
+let to_int t = Int64.to_int t.v
+let taint t = t.taint
+let is_tainted t = not (Taint.is_empty t.taint)
+let with_taint t taint = { t with taint }
+let add_taint t taint = { t with taint = Taint.union t.taint taint }
+let untainted t = { t with taint = Taint.empty }
+
+let lift2 f a b = { v = f a.v b.v; taint = Taint.union a.taint b.taint }
+
+let add = lift2 Int64.add
+let sub = lift2 Int64.sub
+let mul = lift2 Int64.mul
+
+let div a b =
+  if Int64.equal b.v 0L then invalid_arg "Tval.div: division by zero";
+  lift2 Int64.div a b
+
+let rem a b =
+  if Int64.equal b.v 0L then invalid_arg "Tval.rem: division by zero";
+  lift2 Int64.rem a b
+
+let logand = lift2 Int64.logand
+let logor = lift2 Int64.logor
+let logxor = lift2 Int64.logxor
+let shift_left a n = { a with v = Int64.shift_left a.v n }
+let shift_right a n = { a with v = Int64.shift_right_logical a.v n }
+
+(* Comparisons look only at the numeric value; control-flow taint is out of
+   scope (as it is for DataFlowSanitizer). *)
+let equal_v a b = Int64.equal a.v b.v
+let compare_v a b = Int64.compare a.v b.v
+let is_zero t = Int64.equal t.v 0L
+
+let pp ppf t =
+  if Taint.is_empty t.taint then Fmt.pf ppf "%Ld" t.v
+  else Fmt.pf ppf "%Ld%a" t.v Taint.pp t.taint
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal_v
+  let ( <> ) a b = not (equal_v a b)
+  let ( < ) a b = compare_v a b < 0
+  let ( > ) a b = compare_v a b > 0
+  let ( <= ) a b = compare_v a b <= 0
+  let ( >= ) a b = compare_v a b >= 0
+end

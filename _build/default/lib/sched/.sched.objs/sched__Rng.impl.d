@@ -1,0 +1,1 @@
+lib/sched/rng.ml: Array Int64 List

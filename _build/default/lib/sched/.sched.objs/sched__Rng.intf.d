@@ -1,0 +1,1 @@
+lib/sched/rng.mli:

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Effect Fmt List Rng

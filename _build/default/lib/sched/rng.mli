@@ -1,0 +1,25 @@
+(** SplitMix64 pseudo-random generator with explicit state.
+
+    Deterministic and splittable, so every fuzz campaign is replayable from
+    its seed. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val next : t -> int64
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a array -> 'a array
+(** A shuffled copy (Fisher-Yates); the input is not modified. *)

@@ -1,0 +1,158 @@
+(* Deterministic cooperative scheduler built on OCaml 5 effect handlers.
+
+   Simulated threads are fibers that call [yield] at every instrumented
+   operation (the preemption points of §4.2.2).  The scheduler picks the
+   next runnable fiber with a seeded RNG, so a (seed, program) pair always
+   produces the same interleaving — buggy interleavings found by the fuzzer
+   are replayable.
+
+   A fiber that exceeds neither budget nor failure runs to completion.  When
+   the step budget is exhausted with fibers still suspended, those fibers
+   are killed (their continuations are discontinued so resources unwind) and
+   reported as hung — this is how lock-related hangs (paper bugs 2, 5, 6)
+   surface. *)
+
+exception Killed
+(* Raised inside a fiber when the scheduler kills it at budget exhaustion. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+type resumption =
+  | Finished
+  | Failed of exn
+  | Yielded of (unit, resumption) Effect.Deep.continuation
+
+type fstate =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, resumption) Effect.Deep.continuation
+  | Done
+  | Crashed of exn
+
+type fiber = { tid : int; name : string; mutable state : fstate }
+
+type outcome = {
+  steps : int;
+  finished : int list;
+  hung : (int * string) list;
+  failed : (int * string * exn) list;
+}
+
+type t = {
+  rng : Rng.t;
+  step_budget : int;
+  mutable fibers : fiber list; (* reverse spawn order *)
+  mutable count : int;
+  mutable steps : int;
+  mutable running : bool;
+}
+
+let create ?(step_budget = 200_000) ~rng () =
+  { rng; step_budget; fibers = []; count = 0; steps = 0; running = false }
+
+let spawn t ~name body =
+  if t.running then invalid_arg "Sched.spawn: cannot spawn while running";
+  let tid = t.count in
+  t.count <- t.count + 1;
+  t.fibers <- { tid; name; state = Not_started body } :: t.fibers;
+  tid
+
+let yield () = Effect.perform Yield
+
+let handler : (unit, resumption) Effect.Deep.handler =
+  {
+    retc = (fun () -> Finished);
+    exnc = (fun e -> Failed e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+            Some (fun (k : (a, resumption) Effect.Deep.continuation) -> Yielded k)
+        | _ -> None);
+  }
+
+let start body = Effect.Deep.match_with body () handler
+let resume k = Effect.Deep.continue k ()
+
+let steps t = t.steps
+let fiber_count t = t.count
+
+let run ?on_step t =
+  if t.running then invalid_arg "Sched.run: already running";
+  t.running <- true;
+  let fibers = Array.of_list (List.rev t.fibers) in
+  let runnable () =
+    Array.to_list fibers
+    |> List.filter (fun f ->
+           match f.state with Not_started _ | Suspended _ -> true | Done | Crashed _ -> false)
+  in
+  let record f = function
+    | Finished -> f.state <- Done
+    | Failed e -> f.state <- Crashed e
+    | Yielded k -> f.state <- Suspended k
+  in
+  let rec loop () =
+    match runnable () with
+    | [] -> ()
+    | rs ->
+        if t.steps >= t.step_budget then ()
+        else begin
+          let f = Rng.pick t.rng rs in
+          t.steps <- t.steps + 1;
+          (match on_step with Some g -> g f.tid | None -> ());
+          let r =
+            match f.state with
+            | Not_started body ->
+                f.state <- Done (* placeholder; overwritten below *);
+                start body
+            | Suspended k ->
+                f.state <- Done;
+                resume k
+            | Done | Crashed _ -> assert false
+          in
+          record f r;
+          loop ()
+        end
+  in
+  loop ();
+  (* Kill whatever is still suspended: budget exhausted. *)
+  let hung = ref [] in
+  Array.iter
+    (fun f ->
+      match f.state with
+      | Suspended k ->
+          hung := (f.tid, f.name) :: !hung;
+          (* Unwind the fiber so its resources are released; we ignore the
+             result — the fiber is dead either way. *)
+          (try ignore (Effect.Deep.discontinue k Killed) with _ -> ());
+          f.state <- Crashed Killed
+      | Not_started _ ->
+          hung := (f.tid, f.name) :: !hung;
+          f.state <- Crashed Killed
+      | Done | Crashed _ -> ())
+    fibers;
+  let finished, failed =
+    Array.fold_left
+      (fun (fin, fail) f ->
+        match f.state with
+        | Done -> (f.tid :: fin, fail)
+        | Crashed Killed -> (fin, fail)
+        | Crashed e -> (fin, (f.tid, f.name, e) :: fail)
+        | Not_started _ | Suspended _ -> assert false)
+      ([], []) fibers
+  in
+  t.running <- false;
+  {
+    steps = t.steps;
+    finished = List.rev finished;
+    hung = List.rev !hung;
+    failed = List.rev failed;
+  }
+
+let completed o = o.hung = [] && o.failed = []
+
+let pp_outcome ppf (o : outcome) =
+  Fmt.pf ppf "steps=%d finished=%d hung=[%a] failed=[%a]" o.steps (List.length o.finished)
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") int string))
+    o.hung
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") int string))
+    (List.map (fun (t, n, _) -> (t, n)) o.failed)

@@ -1,0 +1,43 @@
+(** Deterministic cooperative scheduler (OCaml 5 effect handlers).
+
+    Simulated threads are fibers that {!yield} at every instrumented
+    operation; the scheduler picks the next runnable fiber with a seeded
+    {!Rng.t}, so every interleaving is replayable from its seed.  Fibers
+    still suspended when the step budget runs out are killed and reported
+    as hung — this is how lock hangs surface in the reproduction. *)
+
+exception Killed
+(** Raised inside a fiber killed at budget exhaustion. *)
+
+type t
+
+type outcome = {
+  steps : int;  (** scheduling decisions taken *)
+  finished : int list;  (** tids that ran to completion *)
+  hung : (int * string) list;  (** tids (and names) killed at budget *)
+  failed : (int * string * exn) list;  (** tids that raised *)
+}
+
+val create : ?step_budget:int -> rng:Rng.t -> unit -> t
+(** [step_budget] bounds the number of scheduling decisions (default
+    200_000); exhausting it classifies surviving fibers as hung. *)
+
+val spawn : t -> name:string -> (unit -> unit) -> int
+(** Register a fiber; returns its tid (dense, starting at 0).  All fibers
+    must be spawned before {!run}. *)
+
+val yield : unit -> unit
+(** Give up the processor.  Must be called from inside a fiber executed by
+    {!run}; the runtime calls it at every preemption point. *)
+
+val run : ?on_step:(int -> unit) -> t -> outcome
+(** Execute all fibers to completion, failure, or budget exhaustion.
+    [on_step tid] is invoked before every scheduling step. *)
+
+val steps : t -> int
+val fiber_count : t -> int
+
+val completed : outcome -> bool
+(** No hung and no failed fibers. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/workloads/cceh.ml: Fun Hashtbl List Option Pmdk Pmrace Runtime

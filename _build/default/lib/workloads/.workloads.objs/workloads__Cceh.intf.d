@@ -1,0 +1,1 @@
+lib/workloads/cceh.mli: Pmrace Runtime

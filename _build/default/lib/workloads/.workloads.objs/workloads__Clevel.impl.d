@@ -1,0 +1,1 @@
+lib/workloads/clevel.ml: Pmdk Pmrace Runtime

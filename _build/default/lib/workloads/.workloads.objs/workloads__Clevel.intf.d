@@ -1,0 +1,1 @@
+lib/workloads/clevel.mli: Pmrace Runtime

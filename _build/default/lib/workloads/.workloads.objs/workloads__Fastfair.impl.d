@@ -1,0 +1,1 @@
+lib/workloads/fastfair.ml: List Pmdk Pmem Pmrace Runtime

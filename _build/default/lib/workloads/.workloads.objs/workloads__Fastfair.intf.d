@@ -1,0 +1,1 @@
+lib/workloads/fastfair.mli: Pmrace Runtime

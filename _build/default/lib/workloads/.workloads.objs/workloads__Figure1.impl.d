@@ -1,0 +1,1 @@
+lib/workloads/figure1.ml: Pmdk Pmrace Runtime

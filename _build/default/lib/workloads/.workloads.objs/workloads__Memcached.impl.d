@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: Hashtbl Int64 List Memcached_proto Pmdk Pmem Pmrace Printf Runtime String

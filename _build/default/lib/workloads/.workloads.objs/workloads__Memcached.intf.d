@@ -1,0 +1,1 @@
+lib/workloads/memcached.mli: Memcached_proto Pmrace Runtime

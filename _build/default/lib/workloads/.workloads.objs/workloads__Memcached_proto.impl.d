@@ -1,0 +1,1 @@
+lib/workloads/memcached_proto.ml: List String

@@ -1,0 +1,1 @@
+lib/workloads/pclht.ml: Pmdk Pmrace Runtime

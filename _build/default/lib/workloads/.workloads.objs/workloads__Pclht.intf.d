@@ -1,0 +1,1 @@
+lib/workloads/pclht.mli: Pmrace Runtime

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cceh Clevel Fastfair Figure1 List Memcached Pclht Pmrace String

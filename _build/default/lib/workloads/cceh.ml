@@ -1,0 +1,356 @@
+(* CCEH: cache-line conscious extendible hashing (commit 46771e3), a
+   lock-based extendible hash index, carrying the paper's bugs 6 and 7.
+
+   Layout:
+     directory object : [0] capacity  [1] depth  [2] entries_off
+     dir entry array  : capacity words of segment offsets (movnt-published)
+     segment          : [0] lock  [1] local_depth  [2..7] three (k,v) pairs
+
+   Root fields: [0] dir_off  [1] dir_lock (volatile — never flushed)
+
+   Seeded bugs:
+     6 (Sync)  CCEH.h:86 : segment locks are persisted on acquire but not
+       released after restarts -> hang.
+     7 (Intra) CCEH.h:165 -> CCEH.cpp:171 : directory doubling stores the
+       new capacity unflushed, reads it back and writes the new directory
+       header based on it -> undefined capacity and a leaked segment array
+       after restarts (PM leakage).
+
+   Inter-thread inconsistencies: none — directory entries and segment
+   publication are movnt-published before use, as in the original, so only
+   candidates (mostly on segment lock words) appear. *)
+
+module Mem = Runtime.Mem
+module Tval = Runtime.Tval
+module Instr = Runtime.Instr
+module Env = Runtime.Env
+
+let ( +$ ) = Tval.add
+let ( -$ ) = Tval.sub
+
+let seg_pairs = 3
+let seg_words = 8
+let initial_capacity = 4
+
+let r_dir = 0
+let r_dir_lock = 8 (* own cache line: never flushed, so never a sync event *)
+
+let root_off field = Tval.of_int (Pmdk.Layout.root_base + field)
+
+let i_86 = Instr.site "CCEH.h:86" (* segment lock acquire (persisted) *)
+let i_165 = Instr.site "CCEH.h:165" (* store new capacity (unflushed) *)
+let i_171 = Instr.site "CCEH.cpp:171" (* read capacity, size the new directory *)
+let i_seg_unlock = Instr.site "CCEH.h:92"
+let i_dir_lock = Instr.site "CCEH.cpp:dir_lock"
+let i_dir_entry = Instr.site "CCEH.cpp:dir_entry"
+let i_dir_hdr = Instr.site "CCEH.cpp:segment_array"
+let i_pair = Instr.site "CCEH.cpp:pair"
+let i_meta = Instr.site "CCEH.cpp:meta"
+let i_seg_init = Instr.site "CCEH.cpp:seg_init"
+let i_recover = Instr.site "CCEH.cpp:recover"
+
+let b_put = Instr.site "cceh:put"
+let b_get = Instr.site "cceh:get"
+let b_delete = Instr.site "cceh:delete"
+let b_split = Instr.site "cceh:split"
+let b_double = Instr.site "cceh:double"
+let b_probe = Instr.site "cceh:probe"
+
+let key_word k = Tval.of_int (k + 1)
+
+(* Allocate a segment with the given local depth; published clean. *)
+let alloc_segment ctx depth =
+  let seg = Pmdk.Heap.alloc ctx ~words:seg_words in
+  Mem.movnt ctx ~instr:i_seg_init (Tval.of_int (seg + 1)) (Tval.of_int depth);
+  Mem.sfence ctx ~instr:i_seg_init;
+  seg
+
+let alloc_directory ctx capacity =
+  let dir = Pmdk.Heap.alloc ctx ~words:8 in
+  let entries = Pmdk.Heap.alloc ctx ~words:capacity in
+  Mem.movnt ctx ~instr:i_dir_hdr (Tval.of_int dir) (Tval.of_int capacity);
+  Mem.movnt ctx ~instr:i_dir_hdr (Tval.of_int (dir + 1)) Tval.one;
+  Mem.movnt ctx ~instr:i_dir_hdr (Tval.of_int (dir + 2)) (Tval.of_int entries);
+  Mem.sfence ctx ~instr:i_dir_hdr;
+  (dir, entries)
+
+let init (env : Env.t) =
+  let ctx = Env.ctx env ~tid:(-1) in
+  Pmdk.Objpool.create ctx;
+  let dir, entries = alloc_directory ctx initial_capacity in
+  for e = 0 to initial_capacity - 1 do
+    let seg = alloc_segment ctx 1 in
+    Mem.movnt ctx ~instr:i_dir_entry (Tval.of_int (entries + e)) (Tval.of_int seg)
+  done;
+  Mem.sfence ctx ~instr:i_dir_entry;
+  Mem.movnt ctx ~instr:i_meta (root_off r_dir) (Tval.of_int dir);
+  Mem.sfence ctx ~instr:i_meta
+
+let annotate (env : Env.t) =
+  (* Segment locks: one source annotation on the lock field (CCEH.h:86)
+     covering the lock word of the initial segments. *)
+  let first_seg = Pmdk.Layout.heap_base + 8 + initial_capacity + 4 in
+  ignore first_seg;
+  (* Segments are heap-allocated at dynamic offsets; annotate the lock word
+     of every possible segment slot: segments are 8-word aligned heap
+     chunks whose word 0 is the lock.  We annotate lazily via the known
+     initial layout: dir(8) + entries(8, line-rounded) then segments. *)
+  let seg0 = Pmdk.Layout.heap_base + 8 + Pmdk.Heap.round_up_line initial_capacity in
+  for s = 0 to initial_capacity - 1 do
+    Env.annotate_sync env ~name:"CCEH.h:86" ~addr:(seg0 + (s * seg_words)) ~len:1 ~init:0L
+  done;
+  Env.annotate_sync env ~name:"cceh:dir_lock"
+    ~addr:(Pmdk.Layout.root_base + r_dir_lock)
+    ~len:1 ~init:0L
+
+let directory ctx = Mem.load ctx ~instr:i_meta (root_off r_dir)
+let capacity ctx dir = Mem.load ctx ~instr:i_171 dir
+let entries_of ctx dir = Mem.load ctx ~instr:i_meta (dir +$ Tval.of_int 2)
+
+(* Locate the segment for a key through the (clean) directory entry. *)
+let segment_of ctx key =
+  let dir = Tval.untainted (directory ctx) in
+  let cap = Tval.to_int (Tval.untainted (capacity ctx dir)) in
+  let entries = Tval.untainted (entries_of ctx dir) in
+  let idx = key mod max 1 cap in
+  Tval.untainted (Mem.load ctx ~instr:i_dir_entry (entries +$ Tval.of_int idx))
+
+let pair_key seg i = seg +$ Tval.of_int (2 + (2 * i))
+let pair_val seg i = seg +$ Tval.of_int (3 + (2 * i))
+
+(* The segment lock is persisted on acquire — bug 6's pattern. *)
+let lock_segment ctx seg = Mem.spin_lock ~persist_lock:true ctx ~instr:i_86 seg
+let unlock_segment ctx seg = Mem.unlock ~persist_lock:true ctx ~instr:i_seg_unlock seg
+
+let find_pair ctx seg key =
+  Mem.branch ctx ~instr:b_probe;
+  let rec scan i =
+    if i >= seg_pairs then None
+    else
+      let k = Mem.load ctx ~instr:i_pair (pair_key seg i) in
+      if Tval.equal_v k (key_word key) then Some i else scan (i + 1)
+  in
+  scan 0
+
+let find_free ctx seg =
+  let rec scan i =
+    if i >= seg_pairs then None
+    else
+      let k = Mem.load ctx ~instr:i_pair (pair_key seg i) in
+      if Tval.is_zero k then Some i else scan (i + 1)
+  in
+  scan 0
+
+(* Expansion — directory doubling combined with the overflowing
+   segment's split, as in extendible hashing.  Bug 7 lives here: the new
+   capacity is stored (165), read back unflushed (171), and the new
+   directory header is written from that tainted value; the capacity flush
+   comes only afterwards.  Directory entries and segments are
+   movnt-published (flush-before-publish), so readers never see dirty
+   pointers — which is why CCEH has no Inter-thread Inconsistency. *)
+let max_capacity = 64
+
+let expand ctx key =
+  Mem.branch ctx ~instr:b_double;
+  Mem.spin_lock ctx ~instr:i_dir_lock (root_off r_dir_lock);
+  let dir = Tval.untainted (directory ctx) in
+  let cap = Tval.to_int (Tval.untainted (capacity ctx dir)) in
+  let entries = Tval.untainted (entries_of ctx dir) in
+  let idx = key mod max 1 cap in
+  let seg = Tval.untainted (Mem.load ctx ~instr:i_dir_entry (entries +$ Tval.of_int idx)) in
+  let sharers =
+    List.filter
+      (fun e ->
+        Tval.equal_v (Tval.untainted (Mem.load ctx ~instr:i_dir_entry (entries +$ Tval.of_int e))) seg)
+      (List.init cap Fun.id)
+  in
+  if List.length sharers > 1 then begin
+    (* Local split (local depth < global depth): redistribute the shared
+       segment over its directory slots without doubling. *)
+    Mem.branch ctx ~instr:b_split;
+    lock_segment ctx seg;
+    let fresh = List.map (fun e -> (e, alloc_segment ctx 1)) sharers in
+    let fill = Hashtbl.create 4 in
+    for i = 0 to seg_pairs - 1 do
+      let k = Tval.untainted (Mem.load ctx ~instr:i_pair (pair_key seg i)) in
+      if not (Tval.is_zero k) then begin
+        let v = Tval.untainted (Mem.load ctx ~instr:i_pair (pair_val seg i)) in
+        let kk = Tval.to_int k - 1 in
+        let e = kk mod cap in
+        match List.assoc_opt e fresh with
+        | Some dst ->
+            let c = Option.value ~default:0 (Hashtbl.find_opt fill dst) in
+            Mem.movnt ctx ~instr:i_pair (pair_key (Tval.of_int dst) c) k;
+            Mem.movnt ctx ~instr:i_pair (pair_val (Tval.of_int dst) c) v;
+            Hashtbl.replace fill dst (c + 1)
+        | None -> () (* key belongs to a slot no longer sharing this segment *)
+      end
+    done;
+    Mem.sfence ctx ~instr:i_pair;
+    List.iter
+      (fun (e, dst) ->
+        Mem.movnt ctx ~instr:i_dir_entry (entries +$ Tval.of_int e) (Tval.of_int dst))
+      fresh;
+    Mem.sfence ctx ~instr:i_dir_entry;
+    unlock_segment ctx seg;
+    Mem.unlock ctx ~instr:i_dir_lock (root_off r_dir_lock)
+  end
+  else if cap >= max_capacity then Mem.unlock ctx ~instr:i_dir_lock (root_off r_dir_lock)
+  else begin
+    let old_cap = cap and old_entries = entries in
+    lock_segment ctx seg;
+    let new_dir = Pmdk.Heap.alloc ctx ~words:8 in
+    (* 165: the new capacity, stored into the new directory, not flushed. *)
+    Mem.store ctx ~instr:i_165 (Tval.of_int new_dir) (Tval.of_int (old_cap * 2));
+    (* 171: read it back (an intra-thread candidate) and size the new
+       segment array from the tainted value. *)
+    let cap = Mem.load ctx ~instr:i_171 (Tval.of_int new_dir) in
+    let new_entries = Pmdk.Heap.alloc ctx ~words:(Tval.to_int cap) in
+    Mem.store ctx ~instr:i_dir_hdr (Tval.of_int (new_dir + 2)) (Tval.of_int new_entries);
+    (* Bug 7's durable side effect: the segment array's boundary slot is
+       addressed through the still-unflushed capacity and persisted while
+       the capacity word is dirty (the header flush — capacity included —
+       comes only later). *)
+    Mem.store ctx ~instr:i_dir_hdr (Tval.of_int new_entries +$ cap -$ Tval.one) Tval.zero;
+    Mem.persist ctx ~instr:i_dir_hdr (Tval.of_int new_entries +$ cap -$ Tval.one);
+    Mem.branch ctx ~instr:b_split;
+    (* Split the overflowing segment into two by the doubled residue. *)
+    let s0 = alloc_segment ctx 2 and s1 = alloc_segment ctx 2 in
+    let c0 = ref 0 and c1 = ref 0 in
+    for i = 0 to seg_pairs - 1 do
+      let k = Tval.untainted (Mem.load ctx ~instr:i_pair (pair_key seg i)) in
+      if not (Tval.is_zero k) then begin
+        let v = Tval.untainted (Mem.load ctx ~instr:i_pair (pair_val seg i)) in
+        let kk = Tval.to_int k - 1 in
+        let dst, c = if kk mod (old_cap * 2) = idx then (s0, c0) else (s1, c1) in
+        Mem.movnt ctx ~instr:i_pair (pair_key (Tval.of_int dst) !c) k;
+        Mem.movnt ctx ~instr:i_pair (pair_val (Tval.of_int dst) !c) v;
+        incr c
+      end
+    done;
+    Mem.sfence ctx ~instr:i_pair;
+    (* New directory: duplicated entries, except the split slot pair. *)
+    for e = 0 to old_cap - 1 do
+      let s = Tval.untainted (Mem.load ctx ~instr:i_dir_entry (old_entries +$ Tval.of_int e)) in
+      let lo, hi = if e = idx then (Tval.of_int s0, Tval.of_int s1) else (s, s) in
+      Mem.movnt ctx ~instr:i_dir_entry (Tval.of_int (new_entries + e)) lo;
+      Mem.movnt ctx ~instr:i_dir_entry (Tval.of_int (new_entries + old_cap + e)) hi
+    done;
+    Mem.sfence ctx ~instr:i_dir_entry;
+    (* Flush the capacity only now — closing bug 7's window. *)
+    Mem.persist ctx ~instr:i_165 (Tval.of_int new_dir);
+    (* Publish the new directory. *)
+    Mem.movnt ctx ~instr:i_meta (root_off r_dir) (Tval.of_int new_dir);
+    Mem.sfence ctx ~instr:i_meta;
+    unlock_segment ctx seg;
+    Mem.unlock ctx ~instr:i_dir_lock (root_off r_dir_lock)
+  end
+
+let put ctx key value =
+  Mem.branch ctx ~instr:b_put;
+  let rec attempt tries =
+    if tries > 4 then ()
+    else begin
+      let seg = segment_of ctx key in
+      lock_segment ctx seg;
+      match find_pair ctx seg key with
+      | Some i ->
+          Mem.store ctx ~instr:i_pair (pair_val seg i) value;
+          Mem.persist ctx ~instr:i_pair (pair_val seg i);
+          unlock_segment ctx seg
+      | None -> (
+          match find_free ctx seg with
+          | Some i ->
+              Mem.store ctx ~instr:i_pair (pair_val seg i) value;
+              Mem.persist ctx ~instr:i_pair (pair_val seg i);
+              Mem.store ctx ~instr:i_pair (pair_key seg i) (key_word key);
+              Mem.persist ctx ~instr:i_pair (pair_key seg i);
+              unlock_segment ctx seg
+          | None ->
+              unlock_segment ctx seg;
+              expand ctx key;
+              attempt (tries + 1))
+    end
+  in
+  attempt 0
+
+let get ctx key =
+  Mem.branch ctx ~instr:b_get;
+  let seg = segment_of ctx key in
+  match find_pair ctx seg key with
+  | Some i -> Some (Mem.load ctx ~instr:i_pair (pair_val seg i))
+  | None -> None
+
+let delete ctx key =
+  Mem.branch ctx ~instr:b_delete;
+  let seg = segment_of ctx key in
+  lock_segment ctx seg;
+  (match find_pair ctx seg key with
+  | Some i ->
+      Mem.store ctx ~instr:i_pair (pair_key seg i) Tval.zero;
+      Mem.persist ctx ~instr:i_pair (pair_key seg i)
+  | None -> ());
+  unlock_segment ctx seg
+
+let run_op ctx (op : Pmrace.Seed.op) =
+  match op with
+  | Put { key; value } | Update { key; value } | Append { key; value } | Prepend { key; value }
+    ->
+      put ctx key (Tval.of_int value)
+  | Get { key } | Scan { key; _ } -> ignore (get ctx key)
+  | Delete { key } -> delete ctx key
+  | Incr { key; delta } | Decr { key; delta } -> put ctx key (Tval.of_int delta)
+  | Cas { key; value; _ } -> put ctx key (Tval.of_int value)
+  | Touch { key; _ } -> ignore (get ctx key)
+  | Flush_all | Stats -> ()
+
+(* Recovery: releases the directory lock but NOT the segment locks — bug 6.
+   The capacity/segment-array inconsistency of bug 7 is also left as-is. *)
+let recover (env : Env.t) =
+  let ctx = Env.ctx env ~tid:(-2) in
+  Mem.store ctx ~instr:i_recover (root_off r_dir_lock) Tval.zero;
+  Mem.persist ctx ~instr:i_recover (root_off r_dir_lock)
+
+let target : Pmrace.Target.t =
+  {
+    name = "cceh";
+    version = "46771e3";
+    scope = "Extendible hashing";
+    concurrency = "Lock-based";
+    pool_words = 4096;
+    expensive_init = true;
+    init;
+    annotate;
+    recover;
+    run_op;
+    profile =
+      {
+        Pmrace.Seed.supported = [ Pmrace.Seed.KPut; KGet; KUpdate; KDelete ];
+        key_range = 24;
+        value_range = 1000;
+        threads = 4;
+        ops_per_thread = 8;
+      };
+    known_bugs =
+      [
+        {
+          kb_id = 6;
+          kb_type = `Sync;
+          kb_new = true;
+          kb_write_site = Some "CCEH.h:86";
+          kb_read_site = None;
+          kb_description = "do not release segment locks after restarts";
+          kb_consequence = "hang";
+        };
+        {
+          kb_id = 7;
+          kb_type = `Intra;
+          kb_new = true;
+          kb_write_site = Some "CCEH.h:165";
+          kb_read_site = Some "CCEH.cpp:171";
+          kb_description = "read unflushed capacity and allocate segments";
+          kb_consequence = "PM leakage";
+        };
+      ];
+    whitelist_sites = Pmdk.Tx.default_whitelist;
+  }

@@ -1,0 +1,196 @@
+(* clevel hashing (commit cae716f): a lock-free PM hash index built on
+   PMDK transactions, the one tested system in which PMRace found NO bugs —
+   all detected inconsistencies are benign (Table 3: 6 candidates, 2
+   inter-thread inconsistencies, both filtered by the PMDK-aware
+   whitelist).
+
+   Layout:
+     root [0] cons_off : the clevel object, built inside a transaction
+     clevel object : [0] meta_off
+     meta object   : [0] first_level_off  [1] level_size
+     level         : [size] (k, v) slot pairs; slots published with CAS
+
+   The constructor mirrors Figure 7: inside a PMDK transaction it
+   allocates the meta object (storing the pointer unflushed, at the
+   whitelisted tx-allocation site), reads that non-persisted pointer back,
+   and allocates the first level through it — a durable side effect based
+   on non-persisted data that the enclosing transaction makes benign.
+
+   Concurrent puts publish (key, value) with value-then-key order, each
+   persisted before the key CAS, so there is no harmful window; b2t
+   (bottom-to-top) searches may still observe a dirty value briefly —
+   inconsistency candidates without durable side effects. *)
+
+module Mem = Runtime.Mem
+module Tval = Runtime.Tval
+module Instr = Runtime.Instr
+module Env = Runtime.Env
+
+let ( +$ ) = Tval.add
+
+let level_slots = 16
+let r_cons = 0
+let root_off field = Tval.of_int (Pmdk.Layout.root_base + field)
+
+let i_160 = Instr.site "clevel_hash_ycsb.cpp:160" (* tx around construction *)
+let i_300 = Instr.site "clevel_hash.hpp:300" (* read non-persisted meta *)
+let i_meta = Instr.site "clevel_hash.hpp:meta"
+let i_slot_k = Instr.site "clevel_hash.hpp:slot_key"
+let i_slot_v = Instr.site "clevel_hash.hpp:slot_val"
+let i_b2t = Instr.site "clevel_hash.hpp:b2t_read"
+let i_recover = Instr.site "clevel_hash.hpp:recover"
+
+let b_put = Instr.site "clevel:put"
+let b_get = Instr.site "clevel:get"
+let b_update = Instr.site "clevel:update"
+
+let key_word k = Tval.of_int (k + 1)
+
+let r_guard = 16 (* construction guard, on its own cache line *)
+
+(* Pool initialisation only maps and formats the pool; the index itself is
+   constructed lazily by the first operation, as in clevel_hash_ycsb —
+   that is what puts the Figure 7 construction inside the fuzzed
+   execution. *)
+let init (env : Env.t) =
+  let ctx = Env.ctx env ~tid:(-1) in
+  Pmdk.Objpool.create ctx
+
+(* The Figure 7 constructor: transactional allocation, non-persisted read,
+   dependent allocation — all inside one transaction. *)
+let construct ctx =
+  Mem.branch ctx ~instr:i_160;
+  let tx = Pmdk.Tx.begin_ ctx in
+  (* root->cons = make_persistent<clevel_hash>() *)
+  let cons = Pmdk.Tx.alloc_into ctx tx ~dst:(root_off r_cons) ~words:8 in
+  (* meta = make_persistent<level_meta>() — the pointer store is
+     unflushed inside the transaction. *)
+  let _meta = Pmdk.Tx.alloc_into ctx tx ~dst:(Tval.of_int cons) ~words:8 in
+  (* m = convert_to_ptr(meta, ...): reads the non-persisted meta pointer
+     (the benign candidate of Figure 7). *)
+  let m = Mem.load ctx ~instr:i_300 (Tval.of_int cons) in
+  (* m->first_level = make_persistent<level_bucket>(): a durable side
+     effect based on the non-persisted pointer, protected by the
+     transaction. *)
+  let level = Pmdk.Tx.alloc_into ctx tx ~dst:m ~words:(2 * level_slots) in
+  Pmdk.Tx.store ctx tx (m +$ Tval.one) (Tval.of_int level_slots);
+  ignore level;
+  Pmdk.Tx.commit ctx tx
+
+(* First operation wins the construction race; the others poll the cons
+   pointer, which the constructor's transaction has stored but not yet
+   flushed — the whitelisted Inter-thread Inconsistency of Table 3. *)
+let ensure_constructed ctx =
+  let cons = Mem.load ctx ~instr:i_meta (root_off r_cons) in
+  if Tval.is_zero cons then
+    if Mem.cas ctx ~instr:i_160 (root_off r_guard) ~expect:Tval.zero ~value:Tval.one then
+      construct ctx
+    else begin
+      let rec wait n =
+        if n > 100_000 then raise (Mem.Stuck "clevel_hash.hpp:construct_wait")
+        else if Tval.is_zero (Mem.load ctx ~instr:i_meta (root_off r_cons)) then wait (n + 1)
+      in
+      wait 0
+    end
+
+let annotate (_ : Env.t) = () (* no persistent synchronization variables *)
+
+(* Pointer chains keep their taint: an operation that raced past the
+   constructor works through the still-unflushed cons pointer. *)
+let meta ctx =
+  let cons = Mem.load ctx ~instr:i_meta (root_off r_cons) in
+  Mem.load ctx ~instr:i_300 cons
+
+let first_level ctx =
+  let m = meta ctx in
+  (Mem.load ctx ~instr:i_meta m, m)
+
+let slot_key lvl i = lvl +$ Tval.of_int (2 * i)
+let slot_val lvl i = lvl +$ Tval.of_int ((2 * i) + 1)
+
+(* Lock-free put: write and persist the value first, then CAS-publish the
+   key non-temporally — clevel's crash-consistent publication order. *)
+let put ctx key value =
+  Mem.branch ctx ~instr:b_put;
+  let lvl, _ = first_level ctx in
+  let idx = key mod level_slots in
+  let rec probe i tries =
+    if tries >= level_slots then ()
+    else
+      let k = Mem.load ctx ~instr:i_b2t (slot_key lvl i) in
+      if Tval.equal_v k (key_word key) then begin
+        Mem.store ctx ~instr:i_slot_v (slot_val lvl i) value;
+        Mem.persist ctx ~instr:i_slot_v (slot_val lvl i)
+      end
+      else if Tval.is_zero k then begin
+        Mem.store ctx ~instr:i_slot_v (slot_val lvl i) value;
+        Mem.persist ctx ~instr:i_slot_v (slot_val lvl i);
+        if
+          not
+            (Mem.cas ~nt:true ctx ~instr:i_slot_k (slot_key lvl i) ~expect:Tval.zero
+               ~value:(key_word key))
+        then probe ((i + 1) mod level_slots) (tries + 1)
+      end
+      else probe ((i + 1) mod level_slots) (tries + 1)
+  in
+  probe idx 0
+
+let get ctx key =
+  Mem.branch ctx ~instr:b_get;
+  let lvl, _ = first_level ctx in
+  let idx = key mod level_slots in
+  let rec probe i tries =
+    if tries >= level_slots then None
+    else
+      let k = Mem.load ctx ~instr:i_b2t (slot_key lvl i) in
+      if Tval.equal_v k (key_word key) then Some (Mem.load ctx ~instr:i_b2t (slot_val lvl i))
+      else if Tval.is_zero k then None
+      else probe ((i + 1) mod level_slots) (tries + 1)
+  in
+  probe idx 0
+
+let run_op ctx (op : Pmrace.Seed.op) =
+  ensure_constructed ctx;
+  match op with
+  | Put { key; value } | Append { key; value } | Prepend { key; value } ->
+      put ctx key (Tval.of_int value)
+  | Update { key; value } ->
+      Mem.branch ctx ~instr:b_update;
+      put ctx key (Tval.of_int value)
+  | Get { key } | Scan { key; _ } -> ignore (get ctx key)
+  | Delete { key } -> put ctx key Tval.zero
+  | Incr { key; delta } | Decr { key; delta } -> put ctx key (Tval.of_int delta)
+  | Cas { key; value; _ } -> put ctx key (Tval.of_int value)
+  | Touch { key; _ } -> ignore (get ctx key)
+  | Flush_all | Stats -> ()
+
+(* Recovery: replay/abort PMDK transactions — this reverts uncommitted
+   constructor state, fixing the Figure 7 inconsistency. *)
+let recover (env : Env.t) =
+  let ctx = Env.ctx env ~tid:(-2) in
+  Mem.branch ctx ~instr:i_recover;
+  Pmdk.Tx.recover ctx
+
+let target : Pmrace.Target.t =
+  {
+    name = "clevel";
+    version = "cae716f";
+    scope = "PM-optimized hashing";
+    concurrency = "Lock-free";
+    pool_words = 2048;
+    expensive_init = true;
+    init;
+    annotate;
+    recover;
+    run_op;
+    profile =
+      {
+        Pmrace.Seed.supported = [ Pmrace.Seed.KPut; KGet; KUpdate ];
+        key_range = 24;
+        value_range = 1000;
+        threads = 4;
+        ops_per_thread = 8;
+      };
+    known_bugs = []; (* PMRace found no bugs in clevel hashing *)
+    whitelist_sites = Pmdk.Tx.default_whitelist;
+  }

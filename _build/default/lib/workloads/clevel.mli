@@ -1,0 +1,15 @@
+(** clevel hashing (commit cae716f): a lock-free PM hash index built on
+    PMDK transactions — the tested system with no bugs; its
+    inconsistencies (the Figure 7 constructor pattern) are benign and
+    filtered by the PMDK-aware whitelist. *)
+
+val ensure_constructed : Runtime.Env.ctx -> unit
+(** Lazy index construction inside a PMDK transaction (Figure 7); racing
+    threads poll the not-yet-flushed root pointer — the whitelisted
+    inter-thread inconsistency of Table 3. *)
+
+val put : Runtime.Env.ctx -> int -> Runtime.Tval.t -> unit
+(** Lock-free: value persisted first, key CAS-published non-temporally. *)
+
+val get : Runtime.Env.ctx -> int -> Runtime.Tval.t option
+val target : Pmrace.Target.t

@@ -1,0 +1,350 @@
+(* FAST-FAIR B+-Tree (commit 0f047e8): failure-atomic shift (FAST) inserts
+   inside leaves and failure-atomic in-place rebalancing (FAIR) via sibling
+   pointers, with lock-free searches — carrying the paper's bug 8.
+
+   We model the leaf level (where all of FAST-FAIR's PM writes happen): a
+   sorted chain of leaf nodes connected by sibling pointers, a persistent
+   head pointer, and per-node latches that writers take and readers ignore.
+
+   Node layout (32 words, 4 cache lines; header fields and records sit in
+   separate lines, as in the original, so flushing a record line does not
+   incidentally persist the sibling pointer):
+     line 0: [0] latch (reinitialised on recovery)  [1] nkeys
+     line 1: [8] sibling_off  [9] high_key
+     lines 2-3: [16..31] eight (key, value) pairs
+
+   Seeded bug 8 (Inter) btree.h:560 -> btree.h:876: a split stores the new
+   sibling pointer without flushing it; a concurrent insert chases that
+   non-persisted pointer and writes its item into the new node -> the item
+   is unreachable after a crash (data loss).
+
+   FAST's shifting writes entries that lock-free readers (and concurrent
+   shifts) observe while dirty — the source of FAST-FAIR's many
+   inconsistency candidates; most are tolerated by the lazy recovery
+   (duplicate-entry detection on future reads), which is why the paper
+   reports only one unique bug but dozens of reported inconsistencies.
+
+   The high_key mechanism tolerates transient mismatches by construction
+   (readers retry through siblings), so reads of a dirty high_key are
+   whitelisted. *)
+
+module Mem = Runtime.Mem
+module Tval = Runtime.Tval
+module Instr = Runtime.Instr
+module Env = Runtime.Env
+
+let ( +$ ) = Tval.add
+
+let node_words = 32
+let max_pairs = 8
+let infinite_key = 1 lsl 30
+
+let r_head = 0
+let root_off field = Tval.of_int (Pmdk.Layout.root_base + field)
+
+(* Sites. *)
+let i_560 = Instr.site "btree.h:560" (* store sibling_off (unflushed) *)
+let i_562 = Instr.site "btree.h:562" (* flush sibling_off *)
+let i_876 = Instr.site "btree.h:876" (* read sibling_off in traversal *)
+let i_high_key_w = Instr.site "btree.h:high_key"
+let i_high_key_r = Instr.site "btree.h:584" (* read high_key in traversal *)
+let i_latch = Instr.site "btree.h:latch"
+let i_unlatch = Instr.site "btree.h:unlatch"
+let i_nkeys_w = Instr.site "btree.h:nkeys_w"
+let i_nkeys_r = Instr.site "btree.h:nkeys_r"
+let i_shift_r = Instr.site "btree.h:shift_read"
+let i_shift_w = Instr.site "btree.h:shift_write"
+let i_insert_key = Instr.site "btree.h:insert_key"
+let i_insert_val = Instr.site "btree.h:insert_val"
+let i_search_r = Instr.site "btree.h:search_read"
+let i_scan_r = Instr.site "btree.h:scan_read"
+let i_split_r = Instr.site "btree.h:split_read"
+let i_split_w = Instr.site "btree.h:split_write"
+let i_del_r = Instr.site "btree.h:delete_read"
+let i_del_w = Instr.site "btree.h:delete_write"
+let i_node_init = Instr.site "btree.h:node_init"
+let i_recover = Instr.site "btree.h:recover"
+
+let b_insert = Instr.site "fastfair:insert"
+let b_search = Instr.site "fastfair:search"
+let b_scan = Instr.site "fastfair:scan"
+let b_delete = Instr.site "fastfair:delete"
+let b_split = Instr.site "fastfair:split"
+let b_sibling_chase = Instr.site "fastfair:sibling_chase"
+
+let key_word k = Tval.of_int (k + 1)
+
+let latch_of n = n
+let nkeys_of n = n +$ Tval.of_int 1
+let sibling_of n = n +$ Tval.of_int 8
+let high_key_of n = n +$ Tval.of_int 9
+let pair_key n i = n +$ Tval.of_int (16 + (2 * i))
+let pair_val n i = n +$ Tval.of_int (17 + (2 * i))
+
+let alloc_node ctx ~high_key =
+  let n = Pmdk.Heap.alloc ctx ~words:node_words in
+  Mem.movnt ctx ~instr:i_node_init (Tval.of_int (n + 9)) (Tval.of_int high_key);
+  Mem.sfence ctx ~instr:i_node_init;
+  n
+
+let init (env : Env.t) =
+  let ctx = Env.ctx env ~tid:(-1) in
+  Pmdk.Objpool.create ctx;
+  let head = alloc_node ctx ~high_key:infinite_key in
+  Mem.movnt ctx ~instr:i_node_init (root_off r_head) (Tval.of_int head);
+  Mem.sfence ctx ~instr:i_node_init
+
+(* FAST-FAIR has no persistent synchronization variables: latches are
+   reinitialised by recovery (annotations = 0 in Table 3). *)
+let annotate (_ : Env.t) = ()
+
+let latch ctx n = Mem.spin_lock ctx ~instr:i_latch (latch_of n)
+let unlatch ctx n = Mem.unlock ctx ~instr:i_unlatch (latch_of n)
+
+(* Traversal: chase sibling pointers while the key exceeds the node's high
+   key.  Reads of a freshly-split (dirty) sibling pointer are bug 8's
+   candidate (876). *)
+let find_leaf ctx key =
+  let rec chase node depth =
+    if depth > 64 then Tval.untainted node
+    else begin
+      let hk = Mem.load ctx ~instr:i_high_key_r (high_key_of node) in
+      if key >= Tval.to_int hk then begin
+        Mem.branch ctx ~instr:b_sibling_chase;
+        let sib = Mem.load ctx ~instr:i_876 (sibling_of node) in
+        if Tval.is_zero sib then node else chase sib (depth + 1)
+      end
+      else node
+    end
+  in
+  chase (Mem.load ctx ~instr:i_876 (root_off r_head)) 0
+
+let read_nkeys ctx n = Tval.to_int (Tval.untainted (Mem.load ctx ~instr:i_nkeys_r (nkeys_of n)))
+
+(* FAST: shift pairs right from [pos], one line at a time, to make room.
+   The shifting reads entries that may be dirty (another thread's insert
+   in a neighbouring slot of the same node observed mid-flight). *)
+let shift_right ctx n ~from ~nkeys =
+  for i = nkeys - 1 downto from do
+    let k = Mem.load ctx ~instr:i_shift_r (pair_key n i) in
+    let v = Mem.load ctx ~instr:i_shift_r (pair_val n i) in
+    Mem.store ctx ~instr:i_shift_w (pair_key n (i + 1)) k;
+    Mem.store ctx ~instr:i_shift_w (pair_val n (i + 1)) v;
+    (* FAST flushes at cache-line boundaries during the shift. *)
+    if (16 + (2 * i)) mod Pmem.Cacheline.words_per_line = 0 then
+      Mem.clwb ctx ~instr:i_shift_w (pair_key n (i + 1))
+  done;
+  Mem.sfence ctx ~instr:i_shift_w
+
+let find_pos ctx n ~nkeys key =
+  let rec go i =
+    if i >= nkeys then i
+    else
+      let k = Mem.load ctx ~instr:i_search_r (pair_key n i) in
+      if Tval.to_int k >= key + 1 then i else go (i + 1)
+  in
+  go 0
+
+(* Split: move the upper half into a fresh sibling, then publish the
+   sibling pointer WITHOUT flushing (560) — the bug 8 window — and flush
+   only later (562). *)
+let split ctx n =
+  Mem.branch ctx ~instr:b_split;
+  let nkeys = read_nkeys ctx n in
+  let half = nkeys / 2 in
+  let old_high = Mem.load ctx ~instr:i_high_key_r (high_key_of n) in
+  let sib = alloc_node ctx ~high_key:(Tval.to_int (Tval.untainted old_high)) in
+  let split_key = Mem.load ctx ~instr:i_split_r (pair_key n half) in
+  for i = half to nkeys - 1 do
+    let k = Mem.load ctx ~instr:i_split_r (pair_key n i) in
+    let v = Mem.load ctx ~instr:i_split_r (pair_val n i) in
+    Mem.store ctx ~instr:i_split_w (pair_key (Tval.of_int sib) (i - half)) (Tval.untainted k);
+    Mem.store ctx ~instr:i_split_w (pair_val (Tval.of_int sib) (i - half)) (Tval.untainted v)
+  done;
+  Mem.store ctx ~instr:i_split_w
+    (nkeys_of (Tval.of_int sib))
+    (Tval.of_int (nkeys - half));
+  Mem.persist_range ctx ~instr:i_split_w (Tval.of_int sib) ~words:node_words;
+  (* Old node shrinks; its high key becomes the split key. *)
+  Mem.store ctx ~instr:i_nkeys_w (nkeys_of n) (Tval.of_int half);
+  Mem.persist ctx ~instr:i_nkeys_w (nkeys_of n);
+  (* The high key shrinks first (its flush also covers the line that holds
+     the sibling pointer, so it must come before the 560 store for the
+     window to exist).  Slots store key+1; high keys store plain keys. *)
+  Mem.store ctx ~instr:i_high_key_w (high_key_of n)
+    (Tval.sub (Tval.untainted split_key) Tval.one);
+  Mem.clwb ctx ~instr:i_high_key_w (high_key_of n);
+  Mem.sfence ctx ~instr:i_high_key_w;
+  (* 560: the sibling pointer, visible but NOT yet flushed. *)
+  Mem.store ctx ~instr:i_560 (sibling_of n) (Tval.of_int sib);
+  (* Root/parent bookkeeping keeps the window open. *)
+  for i = 0 to 3 do
+    ignore (Mem.load ctx ~instr:i_split_r (pair_key (Tval.of_int sib) i))
+  done;
+  (* 562: the flush closing bug 8's window. *)
+  Mem.clwb ctx ~instr:i_562 (sibling_of n);
+  Mem.sfence ctx ~instr:i_562;
+  sib
+
+let rec insert ctx key value =
+  Mem.branch ctx ~instr:b_insert;
+  let leaf = find_leaf ctx key in
+  latch ctx leaf;
+  let nkeys = read_nkeys ctx leaf in
+  if nkeys >= max_pairs then begin
+    let _sib = split ctx leaf in
+    unlatch ctx leaf;
+    insert ctx key value
+  end
+  else begin
+    let pos = find_pos ctx leaf ~nkeys key in
+    shift_right ctx leaf ~from:pos ~nkeys;
+    (* The insert writes go through the (possibly tainted) leaf address —
+       bug 8's durable side effect when the leaf was reached via a dirty
+       sibling pointer. *)
+    Mem.store ctx ~instr:i_insert_key (pair_key leaf pos) (key_word key);
+    Mem.store ctx ~instr:i_insert_val (pair_val leaf pos) (Tval.of_int value);
+    Mem.clwb ctx ~instr:i_insert_key (pair_key leaf pos);
+    Mem.sfence ctx ~instr:i_insert_key;
+    Mem.store ctx ~instr:i_nkeys_w (nkeys_of leaf) (Tval.of_int (nkeys + 1));
+    Mem.persist ctx ~instr:i_nkeys_w (nkeys_of leaf);
+    unlatch ctx leaf
+  end
+
+let search ctx key =
+  Mem.branch ctx ~instr:b_search;
+  let leaf = find_leaf ctx key in
+  let nkeys = min max_pairs (read_nkeys ctx leaf) in
+  let rec go i =
+    if i >= nkeys then None
+    else
+      let k = Mem.load ctx ~instr:i_search_r (pair_key leaf i) in
+      if Tval.equal_v k (key_word key) then
+        Some (Mem.load ctx ~instr:i_search_r (pair_val leaf i))
+      else go (i + 1)
+  in
+  go 0
+
+let scan ctx key count =
+  Mem.branch ctx ~instr:b_scan;
+  let acc = ref [] in
+  let rec walk node remaining =
+    if remaining > 0 && not (Tval.is_zero node) then begin
+      let nkeys = min max_pairs (read_nkeys ctx node) in
+      for i = 0 to nkeys - 1 do
+        let k = Mem.load ctx ~instr:i_scan_r (pair_key node i) in
+        (* Slots store key+1; collect strictly-greater keys. *)
+        if (not (Tval.is_zero k)) && Tval.to_int k - 1 > key then
+          acc := Tval.to_int (Mem.load ctx ~instr:i_scan_r (pair_val node i)) :: !acc
+      done;
+      let sib = Mem.load ctx ~instr:i_876 (sibling_of node) in
+      walk (Tval.untainted sib) (remaining - 1)
+    end
+  in
+  walk (Tval.untainted (find_leaf ctx key)) ((count / max_pairs) + 1);
+  List.rev !acc
+
+let delete ctx key =
+  Mem.branch ctx ~instr:b_delete;
+  let leaf = find_leaf ctx key in
+  latch ctx leaf;
+  let nkeys = min max_pairs (read_nkeys ctx leaf) in
+  let rec find i = if i >= nkeys then None
+    else
+      let k = Mem.load ctx ~instr:i_del_r (pair_key leaf i) in
+      if Tval.equal_v k (key_word key) then Some i else find (i + 1)
+  in
+  (match find 0 with
+  | Some pos ->
+      (* FAST shift-left, line-flushed like the insert path. *)
+      for i = pos to nkeys - 2 do
+        let k = Mem.load ctx ~instr:i_del_r (pair_key leaf (i + 1)) in
+        let v = Mem.load ctx ~instr:i_del_r (pair_val leaf (i + 1)) in
+        Mem.store ctx ~instr:i_del_w (pair_key leaf i) k;
+        Mem.store ctx ~instr:i_del_w (pair_val leaf i) v
+      done;
+      Mem.store ctx ~instr:i_del_w (pair_key leaf (nkeys - 1)) Tval.zero;
+      Mem.clwb ctx ~instr:i_del_w (pair_key leaf pos);
+      Mem.sfence ctx ~instr:i_del_w;
+      Mem.store ctx ~instr:i_nkeys_w (nkeys_of leaf) (Tval.of_int (nkeys - 1));
+      Mem.persist ctx ~instr:i_nkeys_w (nkeys_of leaf)
+  | None -> ());
+  unlatch ctx leaf
+
+let run_op ctx (op : Pmrace.Seed.op) =
+  match op with
+  | Put { key; value } | Update { key; value } | Append { key; value } | Prepend { key; value }
+    ->
+      insert ctx key value
+  | Get { key } -> ignore (search ctx key)
+  | Scan { key; count } -> ignore (scan ctx key count)
+  | Delete { key } -> delete ctx key
+  | Incr { key; delta } | Decr { key; delta } -> insert ctx key delta
+  | Cas { key; value; _ } -> insert ctx key value
+  | Touch { key; _ } -> ignore (search ctx key)
+  | Flush_all | Stats -> ()
+
+(* Lazy recovery: latches are reinitialised and each node's nkeys is
+   recomputed from its entries (overwriting it — the few validated FPs);
+   everything else is tolerated lazily on future accesses, so most reported
+   inconsistencies remain (as in the paper, where FAST-FAIR is the one
+   system whose tolerated inconsistencies post-failure validation cannot
+   prune). *)
+let recover (env : Env.t) =
+  let ctx = Env.ctx env ~tid:(-2) in
+  let rec walk node depth =
+    if (not (Tval.is_zero node)) && depth < 256 then begin
+      Mem.store ctx ~instr:i_recover (latch_of node) Tval.zero;
+      let rec count i =
+        if i >= max_pairs then i
+        else
+          let k = Mem.load ctx ~instr:i_recover (pair_key node i) in
+          if Tval.is_zero k then i else count (i + 1)
+      in
+      Mem.store ctx ~instr:i_recover (nkeys_of node) (Tval.of_int (count 0));
+      Mem.persist ctx ~instr:i_recover (nkeys_of node);
+      let sib = Mem.load ctx ~instr:i_recover (sibling_of node) in
+      walk (Tval.untainted sib) (depth + 1)
+    end
+  in
+  walk (Tval.untainted (Mem.load ctx ~instr:i_recover (root_off r_head))) 0
+
+(* Post-recovery lookup for the data-loss demonstration of bug 8. *)
+let lookup_after_recovery (env : Env.t) key =
+  let ctx = Env.ctx env ~tid:(-2) in
+  match search ctx key with Some v -> Some (Tval.to_int v) | None -> None
+
+let target : Pmrace.Target.t =
+  {
+    name = "fast-fair";
+    version = "0f047e8";
+    scope = "B+-Tree";
+    concurrency = "Lock-based";
+    pool_words = 8192;
+    expensive_init = true;
+    init;
+    annotate;
+    recover;
+    run_op;
+    profile =
+      {
+        Pmrace.Seed.supported = [ Pmrace.Seed.KPut; KGet; KUpdate; KDelete; KScan ];
+        key_range = 48;
+        value_range = 1000;
+        threads = 4;
+        ops_per_thread = 8;
+      };
+    known_bugs =
+      [
+        {
+          kb_id = 8;
+          kb_type = `Inter;
+          kb_new = true;
+          kb_write_site = Some "btree.h:560";
+          kb_read_site = Some "btree.h:876";
+          kb_description = "read unflushed pointer and insert data";
+          kb_consequence = "data loss";
+        };
+      ];
+    whitelist_sites = "btree.h:high_key" :: Pmdk.Tx.default_whitelist;
+  }

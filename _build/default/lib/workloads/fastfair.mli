@@ -1,0 +1,19 @@
+(** FAST-FAIR B+-tree (commit 0f047e8): failure-atomic shifting inserts,
+    sibling-pointer splits (bug 8, [btree.h:560] -> [btree.h:876]),
+    lock-free searches, and lazy recovery that tolerates most transient
+    inconsistencies. *)
+
+val insert : Runtime.Env.ctx -> int -> int -> unit
+val search : Runtime.Env.ctx -> int -> Runtime.Tval.t option
+val scan : Runtime.Env.ctx -> int -> int -> int list
+(** [scan ctx key count] returns values of keys strictly greater than
+    [key], walking sibling pointers. *)
+
+val delete : Runtime.Env.ctx -> int -> unit
+
+val split : Runtime.Env.ctx -> Runtime.Tval.t -> int
+(** Split a full leaf; publishes the sibling pointer without a flush —
+    bug 8's window. *)
+
+val lookup_after_recovery : Runtime.Env.t -> int -> int option
+val target : Pmrace.Target.t

@@ -1,0 +1,13 @@
+(** memcached-pmem (Lenovo, commit 8f121f6): persistent slabs and LRU
+    links with delayed flushes (bugs 9-14), a DRAM hash index rebuilt from
+    the slabs after a crash, and checksummed value data.  Driven through
+    the memcached text protocol. *)
+
+val process_command : Runtime.Env.ctx -> string -> Memcached_proto.family
+(** Parse and execute one protocol command; returns the command family
+    (the Table 4 counter). *)
+
+val lookup_after_recovery : Runtime.Env.t -> int -> int option
+(** Look a key up through this environment's (possibly rebuilt) index. *)
+
+val target : Pmrace.Target.t

@@ -1,0 +1,143 @@
+(* The memcached text protocol parser (process_command).
+
+   Used by the memcached-pmem driver and by the Table 4 mutator
+   comparison: PMRace's operation mutator emits only grammatical commands,
+   whereas AFL++-style byte mutation mostly produces parse errors and
+   never reaches the storage code behind the parser. *)
+
+type storage = { key : string; flags : int; exptime : int; bytes : int; data : string }
+
+type cmd =
+  | Cmd_get of string list
+  | Cmd_bget of string list
+  | Cmd_set of storage
+  | Cmd_add of storage
+  | Cmd_replace of storage
+  | Cmd_append of storage
+  | Cmd_prepend of storage
+  | Cmd_incr of { key : string; delta : int }
+  | Cmd_decr of { key : string; delta : int }
+  | Cmd_delete of { key : string }
+  | Cmd_gets of string list
+  | Cmd_cas of { store : storage; token : int }
+  | Cmd_touch of { key : string; exptime : int }
+  | Cmd_flush_all
+  | Cmd_stats
+  | Cmd_verbosity of int
+
+type family = F_get | F_update | F_incr | F_decr | F_delete | F_other | F_error
+
+let family_of = function
+  | Cmd_get _ | Cmd_bget _ | Cmd_gets _ -> F_get
+  | Cmd_set _ | Cmd_add _ | Cmd_replace _ | Cmd_append _ | Cmd_prepend _ | Cmd_cas _
+  | Cmd_touch _ -> F_update
+  | Cmd_incr _ -> F_incr
+  | Cmd_decr _ -> F_decr
+  | Cmd_delete _ -> F_delete
+  | Cmd_flush_all | Cmd_stats | Cmd_verbosity _ -> F_other
+
+let family_name = function
+  | F_get -> "Get*"
+  | F_update -> "Update*"
+  | F_incr -> "incr"
+  | F_decr -> "decr"
+  | F_delete -> "delete"
+  | F_other -> "other"
+  | F_error -> "Error"
+
+let valid_key k =
+  String.length k > 0
+  && String.length k <= 250
+  && String.for_all (fun c -> c > ' ' && c <> '\127') k
+
+let int_arg s = match int_of_string_opt s with Some n when n >= 0 -> Some n | Some _ | None -> None
+
+let split_line s =
+  String.split_on_char ' ' s |> List.filter (fun t -> not (String.equal t ""))
+
+(* Split raw input into CRLF-terminated lines; a missing terminator is a
+   protocol error. *)
+let lines_of raw =
+  let rec go acc s =
+    match String.index_opt s '\r' with
+    | Some i when i + 1 < String.length s && s.[i + 1] = '\n' ->
+        let line = String.sub s 0 i in
+        let rest = String.sub s (i + 2) (String.length s - i - 2) in
+        if String.equal rest "" then Ok (List.rev (line :: acc)) else go (line :: acc) rest
+    | Some _ | None -> if String.equal s "" then Ok (List.rev acc) else Error "missing CRLF"
+  in
+  go [] raw
+
+let parse_storage ~mk args data_lines =
+  match (args, data_lines) with
+  | [ key; flags; exptime; bytes ], [ data ] -> (
+      if not (valid_key key) then Error "CLIENT_ERROR bad key"
+      else
+        match (int_arg flags, int_arg exptime, int_arg bytes) with
+        | Some flags, Some exptime, Some bytes ->
+            if String.length data <> bytes then Error "CLIENT_ERROR bad data chunk"
+            else Ok (mk { key; flags; exptime; bytes; data })
+        | _ -> Error "CLIENT_ERROR bad command line format")
+  | _ -> Error "ERROR"
+
+let parse raw =
+  match lines_of raw with
+  | Error e -> Error e
+  | Ok [] -> Error "ERROR empty command"
+  | Ok (first :: rest) -> (
+      match split_line first with
+      | [] -> Error "ERROR empty command"
+      | verb :: args -> (
+          match (String.lowercase_ascii verb, args, rest) with
+          | "get", keys, [] ->
+              if keys <> [] && List.for_all valid_key keys then Ok (Cmd_get keys)
+              else Error "CLIENT_ERROR bad key"
+          | "bget", keys, [] ->
+              if keys <> [] && List.for_all valid_key keys then Ok (Cmd_bget keys)
+              else Error "CLIENT_ERROR bad key"
+          | "set", args, data -> parse_storage ~mk:(fun s -> Cmd_set s) args data
+          | "add", args, data -> parse_storage ~mk:(fun s -> Cmd_add s) args data
+          | "replace", args, data -> parse_storage ~mk:(fun s -> Cmd_replace s) args data
+          | "append", args, data -> parse_storage ~mk:(fun s -> Cmd_append s) args data
+          | "prepend", args, data -> parse_storage ~mk:(fun s -> Cmd_prepend s) args data
+          | "incr", [ key; delta ], [] -> (
+              match int_arg delta with
+              | Some delta when valid_key key -> Ok (Cmd_incr { key; delta })
+              | Some _ | None -> Error "CLIENT_ERROR invalid numeric delta argument")
+          | "decr", [ key; delta ], [] -> (
+              match int_arg delta with
+              | Some delta when valid_key key -> Ok (Cmd_decr { key; delta })
+              | Some _ | None -> Error "CLIENT_ERROR invalid numeric delta argument")
+          | "delete", [ key ], [] ->
+              if valid_key key then Ok (Cmd_delete { key }) else Error "CLIENT_ERROR bad key"
+          | "gets", keys, [] ->
+              if keys <> [] && List.for_all valid_key keys then Ok (Cmd_gets keys)
+              else Error "CLIENT_ERROR bad key"
+          | "cas", [ key; flags; exptime; bytes; token ], [ data ] -> (
+              if not (valid_key key) then Error "CLIENT_ERROR bad key"
+              else
+                match (int_arg flags, int_arg exptime, int_arg bytes, int_arg token) with
+                | Some flags, Some exptime, Some bytes, Some token ->
+                    if String.length data <> bytes then Error "CLIENT_ERROR bad data chunk"
+                    else Ok (Cmd_cas { store = { key; flags; exptime; bytes; data }; token })
+                | _ -> Error "CLIENT_ERROR bad command line format")
+          | "touch", [ key; exptime ], [] -> (
+              match int_arg exptime with
+              | Some exptime when valid_key key -> Ok (Cmd_touch { key; exptime })
+              | Some _ | None -> Error "CLIENT_ERROR bad command line format")
+          | "flush_all", [], [] -> Ok Cmd_flush_all
+          | "stats", [], [] -> Ok Cmd_stats
+          | "verbosity", [ n ], [] -> (
+              match int_arg n with
+              | Some n -> Ok (Cmd_verbosity n)
+              | None -> Error "CLIENT_ERROR bad command line format")
+          | ("get" | "bget" | "gets" | "incr" | "decr" | "delete" | "cas" | "touch"
+            | "flush_all" | "stats" | "verbosity"), _, _ ->
+              Error "CLIENT_ERROR bad command line format"
+          | _ -> Error "ERROR unknown command"))
+
+(* Integer keys of the form "k<n>", as the operation renderer emits. *)
+let key_int k =
+  if String.length k >= 2 && k.[0] = 'k' then
+    int_of_string_opt (String.sub k 1 (String.length k - 1))
+  else None

@@ -1,0 +1,34 @@
+(** The memcached text protocol parser (process_command's front end), used
+    by the memcached-pmem driver and the Table 4 mutator comparison. *)
+
+type storage = { key : string; flags : int; exptime : int; bytes : int; data : string }
+
+type cmd =
+  | Cmd_get of string list
+  | Cmd_bget of string list
+  | Cmd_set of storage
+  | Cmd_add of storage
+  | Cmd_replace of storage
+  | Cmd_append of storage
+  | Cmd_prepend of storage
+  | Cmd_incr of { key : string; delta : int }
+  | Cmd_decr of { key : string; delta : int }
+  | Cmd_delete of { key : string }
+  | Cmd_gets of string list
+  | Cmd_cas of { store : storage; token : int }
+  | Cmd_touch of { key : string; exptime : int }
+  | Cmd_flush_all
+  | Cmd_stats
+  | Cmd_verbosity of int
+
+type family = F_get | F_update | F_incr | F_decr | F_delete | F_other | F_error
+(** The command families of Table 4. *)
+
+val family_of : cmd -> family
+val family_name : family -> string
+
+val parse : string -> (cmd, string) result
+(** Total: any byte string yields a command or a protocol error. *)
+
+val key_int : string -> int option
+(** Integer keys of the form ["k<n>"], as the operation renderer emits. *)

@@ -1,0 +1,440 @@
+(* P-CLHT: the persistent cache-line hash table of RECIPE (commit 70bf21c),
+   a lock-based chained hash index, carrying the five bugs PMRace found in
+   it (paper Table 2, bugs 1-5).  Instruction sites reuse the paper's
+   file:line names.
+
+   Layout (heap objects; offsets relative to object base):
+     table object : [0] nbuckets  [1] buckets_off  [2] table_new  [3] version
+     bucket       : [0] lock  [1,2] k/v slot0  [3,4] slot1  [5,6] slot2  [7] next
+   Root fields   : [0] ht_off  [1] resize_lock  [2] gc_lock  [3] version_lock
+                   [4] gc_head (a persistent list of retired tables)
+
+   Seeded bugs:
+     1 (Inter) clht_lb_res.c:785 -> 417 : resize publishes the new table
+       pointer without an immediate flush; concurrent inserts write items
+       into the new table (movnt) -> data loss on crash.
+     2 (Sync)  clht_lb_res.c:429 : persistent bucket locks are not
+       reinitialised by recovery -> post-restart hang.
+     3 (Intra) clht_lb_res.c:789 -> clht_gc.c:190 : the resizer reads its
+       own unflushed table_new and appends a GC record based on it -> PM
+       leak.
+     4 (Other) clht_lb_res.c:321 -> 616 : migration re-reads the keys it
+       just wrote (unflushed) and writes them again -> redundant PM writes
+       (an inconsistency candidate, not a crash-consistency bug).
+     5 (Other) clht_lb_res.c:526 : clht_update returns without releasing
+       the bucket lock when the key is found in an overflow node -> hang
+       (a conventional concurrency bug). *)
+
+module Mem = Runtime.Mem
+module Tval = Runtime.Tval
+module Instr = Runtime.Instr
+module Env = Runtime.Env
+let ( +$ ) = Tval.add
+let ( *$ ) = Tval.mul
+
+let bucket_slots = 3
+let initial_buckets = 4
+let bucket_words = 8
+
+(* Root fields. *)
+let r_ht = 0
+let r_resize_lock = 1
+let r_gc_lock = 2
+let r_version_lock = 3
+let r_gc_head = 4
+
+let root_off field = Tval.of_int (Pmdk.Layout.root_base + field)
+
+(* Instruction sites (paper's file:line names for the bug sites). *)
+let i_417 = Instr.site "clht_lb_res.c:417" (* read ht_off in put/get *)
+let i_429 = Instr.site "clht_lb_res.c:429" (* bucket lock acquire *)
+let i_483 = Instr.site "clht_lb_res.c:483" (* movnt key *)
+let i_489 = Instr.site "clht_lb_res.c:489" (* movnt value *)
+let i_526 = Instr.site "clht_lb_res.c:526" (* unlock in clht_update *)
+let i_321 = Instr.site "clht_lb_res.c:321" (* migration key write *)
+let i_616 = Instr.site "clht_lb_res.c:616" (* migration key re-read *)
+let i_785 = Instr.site "clht_lb_res.c:785" (* store ht_off (unflushed) *)
+let i_786 = Instr.site "clht_lb_res.c:786" (* flush ht_off *)
+let i_789 = Instr.site "clht_lb_res.c:789" (* store table_new (unflushed) *)
+let i_190 = Instr.site "clht_gc.c:190" (* read table_new in GC *)
+let i_gc_rec = Instr.site "clht_gc.c:record"
+let i_alloc_table = Instr.site "clht_lb_res.c:alloc_table"
+let i_chain = Instr.site "clht_lb_res.c:chain"
+let i_meta = Instr.site "clht_lb_res.c:meta"
+let i_unlock = Instr.site "clht_lb_res.c:unlock"
+let i_resize_lock = Instr.site "clht_lb_res.c:resize_lock"
+let i_gc_lock = Instr.site "clht_gc.c:lock"
+let i_version = Instr.site "clht_lb_res.c:version"
+let i_recover = Instr.site "clht_lb_res.c:recover"
+
+(* Branch-coverage sites. *)
+let b_put = Instr.site "clht:put"
+let b_get = Instr.site "clht:get"
+let b_update = Instr.site "clht:update"
+let b_delete = Instr.site "clht:delete"
+let b_resize = Instr.site "clht:resize"
+let b_chain_walk = Instr.site "clht:chain_walk"
+let b_migrate = Instr.site "clht:migrate"
+let b_gc = Instr.site "clht:gc"
+
+let key_word k = Tval.of_int (k + 1) (* 0 marks an empty slot *)
+
+(* Allocate and zero a table with [n] buckets; returns its offset. *)
+let alloc_table ctx n =
+  let tbl = Pmdk.Heap.alloc ctx ~words:8 in
+  let buckets = Pmdk.Heap.alloc ctx ~words:(n * bucket_words) in
+  (* Fresh heap chunks are zero-filled by construction (the pool starts
+     zeroed and chunks are never reused), so only the header needs
+     stores. *)
+  Mem.store ctx ~instr:i_alloc_table (Tval.of_int tbl) (Tval.of_int n);
+  Mem.store ctx ~instr:i_alloc_table (Tval.of_int (tbl + 1)) (Tval.of_int buckets);
+  Mem.store ctx ~instr:i_alloc_table (Tval.of_int (tbl + 2)) Tval.zero;
+  Mem.store ctx ~instr:i_alloc_table (Tval.of_int (tbl + 3)) Tval.zero;
+  Mem.persist ctx ~instr:i_alloc_table (Tval.of_int tbl);
+  tbl
+
+let init (env : Env.t) =
+  let ctx = Env.ctx env ~tid:(-1) in
+  Pmdk.Objpool.create ctx;
+  let tbl = alloc_table ctx initial_buckets in
+  Mem.store ctx ~instr:i_785 (root_off r_ht) (Tval.of_int tbl);
+  Mem.persist ctx ~instr:i_786 (root_off r_ht)
+
+let annotate (env : Env.t) =
+  (* Bucket locks live at stride [bucket_words] inside bucket arrays; the
+     whole heap area may contain buckets, so the annotation covers the
+     first word of every line in the heap — matching the C annotation on
+     the bucket lock *field* (one annotation in source, many words).  To
+     stay precise we annotate the initial table's bucket locks and rely on
+     the name-based grouping for resized tables. *)
+  let first_buckets =
+    (* The initial table is the first heap object: header (8 words) then
+       the bucket array. *)
+    Pmdk.Layout.heap_base + 8
+  in
+  for b = 0 to initial_buckets - 1 do
+    Env.annotate_sync env ~name:"clht_lb_res.c:429"
+      ~addr:(first_buckets + (b * bucket_words))
+      ~len:1 ~init:0L
+  done;
+  Env.annotate_sync env ~name:"clht:resize_lock"
+    ~addr:(Pmdk.Layout.root_base + r_resize_lock)
+    ~len:1 ~init:0L;
+  Env.annotate_sync env ~name:"clht:gc_lock" ~addr:(Pmdk.Layout.root_base + r_gc_lock) ~len:1
+    ~init:0L;
+  Env.annotate_sync env ~name:"clht:version_lock"
+    ~addr:(Pmdk.Layout.root_base + r_version_lock)
+    ~len:1 ~init:0L
+
+let table ctx = Mem.load ctx ~instr:i_417 (root_off r_ht)
+let nbuckets ctx tbl = Mem.load ctx ~instr:i_meta tbl
+let buckets ctx tbl = Mem.load ctx ~instr:i_meta (tbl +$ Tval.of_int 1)
+
+let bucket_of ctx tbl key =
+  let n = nbuckets ctx tbl in
+  let b = buckets ctx tbl in
+  let idx = Tval.of_int (key mod max 1 (Tval.to_int n)) in
+  b +$ (idx *$ Tval.of_int bucket_words)
+
+let slot_key b s = b +$ Tval.of_int (1 + (2 * s))
+let slot_val b s = b +$ Tval.of_int (2 + (2 * s))
+let bucket_next b = b +$ Tval.of_int 7
+
+(* Find (bucket, slot) of a key along the chain; [None] if absent. *)
+let rec find_slot ctx bucket key =
+  Mem.branch ctx ~instr:b_chain_walk;
+  let rec scan s =
+    if s >= bucket_slots then None
+    else
+      let k = Mem.load ctx ~instr:i_616 (slot_key bucket s) in
+      if Tval.equal_v k (key_word key) then Some (bucket, s) else scan (s + 1)
+  in
+  match scan 0 with
+  | Some _ as r -> r
+  | None ->
+      let next = Mem.load ctx ~instr:i_chain (bucket_next bucket) in
+      if Tval.is_zero next then None else find_slot ctx (Tval.untainted next) key
+
+let rec find_free ctx bucket =
+  let rec scan s =
+    if s >= bucket_slots then None
+    else
+      let k = Mem.load ctx ~instr:i_616 (slot_key bucket s) in
+      if Tval.is_zero k then Some (bucket, s) else scan (s + 1)
+  in
+  match scan 0 with
+  | Some _ as r -> r
+  | None ->
+      let next = Mem.load ctx ~instr:i_chain (bucket_next bucket) in
+      if Tval.is_zero next then None else find_free ctx (Tval.untainted next)
+
+let chain_length ctx bucket =
+  let rec walk b n =
+    let next = Mem.load ctx ~instr:i_chain (bucket_next b) in
+    if Tval.is_zero next || n > 8 then n else walk (Tval.untainted next) (n + 1)
+  in
+  walk bucket 0
+
+(* Append a GC record for a retired table — the durable side effect of
+   Bug 3.  The record value derives from the (possibly unflushed)
+   table_new field. *)
+let gc_retire ctx retired_tbl =
+  Mem.branch ctx ~instr:b_gc;
+  Mem.spin_lock ~persist_lock:true ctx ~instr:i_gc_lock (root_off r_gc_lock);
+  let head = Mem.load ctx ~instr:i_gc_rec (root_off r_gc_head) in
+  let rec_off = Pmdk.Heap.alloc ctx ~words:8 in
+  Mem.store ctx ~instr:i_gc_rec (Tval.of_int rec_off) retired_tbl;
+  Mem.store ctx ~instr:i_gc_rec (Tval.of_int (rec_off + 1)) head;
+  Mem.persist ctx ~instr:i_gc_rec (Tval.of_int rec_off);
+  Mem.store ctx ~instr:i_gc_rec (root_off r_gc_head) (Tval.of_int rec_off);
+  Mem.persist ctx ~instr:i_gc_rec (root_off r_gc_head);
+  Mem.unlock ~persist_lock:true ctx ~instr:i_gc_lock (root_off r_gc_lock)
+
+(* Insert a key/value pair into a table the caller has already chosen;
+   used by both puts and migration.  Items are written with non-temporal
+   stores (Figure 2, lines 483-489). *)
+let insert_into ctx tbl key value ~migration =
+  let bucket = bucket_of ctx tbl key in
+  let ki = if migration then i_321 else i_483 in
+  let vi = if migration then i_321 else i_489 in
+  match find_free ctx bucket with
+  | Some (b, s) ->
+      Mem.movnt ctx ~instr:ki (slot_key b s) (key_word key);
+      Mem.movnt ctx ~instr:vi (slot_val b s) value;
+      Mem.sfence ctx ~instr:vi;
+      true
+  | None ->
+      (* Chain a fresh overflow bucket. *)
+      let last =
+        let rec walk b =
+          let next = Mem.load ctx ~instr:i_chain (bucket_next b) in
+          if Tval.is_zero next then b else walk (Tval.untainted next)
+        in
+        walk bucket
+      in
+      let nb = Pmdk.Heap.alloc ctx ~words:bucket_words in
+      Mem.movnt ctx ~instr:ki (slot_key (Tval.of_int nb) 0) (key_word key);
+      Mem.movnt ctx ~instr:vi (slot_val (Tval.of_int nb) 0) value;
+      Mem.sfence ctx ~instr:vi;
+      Mem.store ctx ~instr:i_chain (bucket_next last) (Tval.of_int nb);
+      Mem.persist ctx ~instr:i_chain (bucket_next last);
+      false
+
+(* Resize: allocate a table twice the size, migrate, publish the new table
+   pointer — with the Bug 1 window between the store (785) and the flush
+   (786), and the Bug 3 GC based on the unflushed table_new (789/190). *)
+let resize ctx =
+  Mem.branch ctx ~instr:b_resize;
+  Mem.spin_lock ~persist_lock:true ctx ~instr:i_resize_lock (root_off r_resize_lock);
+  let old_tbl = Tval.untainted (table ctx) in
+  let n = Tval.to_int (nbuckets ctx old_tbl) in
+  let new_tbl = alloc_table ctx (n * 2) in
+  (* 789: table_new is stored but not flushed yet. *)
+  Mem.store ctx ~instr:i_789 (old_tbl +$ Tval.of_int 2) (Tval.of_int new_tbl);
+  (* Bug 3: the GC record is built from the unflushed table_new. *)
+  let tn = Mem.load ctx ~instr:i_190 (old_tbl +$ Tval.of_int 2) in
+  gc_retire ctx tn;
+  Mem.persist ctx ~instr:i_789 (old_tbl +$ Tval.of_int 2);
+  (* Migrate every item; Bug 4: keys just written are re-read (616) while
+     still unflushed in migration order, then redundantly rewritten. *)
+  Mem.branch ctx ~instr:b_migrate;
+  let b0 = Tval.untainted (buckets ctx old_tbl) in
+  for bi = 0 to n - 1 do
+    let rec migrate_bucket b =
+      for s = 0 to bucket_slots - 1 do
+        let k = Mem.load ctx ~instr:i_616 (slot_key b s) in
+        if not (Tval.is_zero k) then begin
+          let v = Mem.load ctx ~instr:i_616 (slot_val b s) in
+          let key = Tval.to_int k - 1 in
+          ignore
+            (insert_into ctx (Tval.of_int new_tbl) key (Tval.untainted v) ~migration:true);
+          (* Redundant write-back of the migrated key (Bug 4). *)
+          Mem.store ctx ~instr:i_321 (slot_key b s) (Tval.untainted k)
+        end
+      done;
+      let next = Mem.load ctx ~instr:i_chain (bucket_next b) in
+      if not (Tval.is_zero next) then migrate_bucket (Tval.untainted next)
+    in
+    migrate_bucket (b0 +$ Tval.of_int (bi * bucket_words))
+  done;
+  (* Bump the table version under its persistent lock. *)
+  Mem.spin_lock ~persist_lock:true ctx ~instr:i_version (root_off r_version_lock);
+  let v = Mem.load ctx ~instr:i_version (old_tbl +$ Tval.of_int 3) in
+  Mem.store ctx ~instr:i_version (Tval.of_int new_tbl +$ Tval.of_int 3) (v +$ Tval.one);
+  Mem.unlock ~persist_lock:true ctx ~instr:i_version (root_off r_version_lock);
+  (* 785: swap the global table pointer — NOT flushed yet. *)
+  Mem.store ctx ~instr:i_785 (root_off r_ht) (Tval.of_int new_tbl);
+  (* Finalisation work keeps the window open (clearing helper state). *)
+  for i = 0 to 2 do
+    ignore (Mem.load ctx ~instr:i_meta (old_tbl +$ Tval.of_int (i mod 4)))
+  done;
+  (* 786: the flush closing the window. *)
+  Mem.persist ctx ~instr:i_786 (root_off r_ht);
+  Mem.unlock ~persist_lock:true ctx ~instr:i_resize_lock (root_off r_resize_lock)
+
+let lock_bucket ctx bucket = Mem.spin_lock ~persist_lock:true ctx ~instr:i_429 bucket
+let unlock_bucket ctx bucket = Mem.unlock ~persist_lock:true ctx ~instr:i_unlock bucket
+
+let put ctx key value =
+  Mem.branch ctx ~instr:b_put;
+  (* 417: read the (possibly non-persisted) table pointer. *)
+  let tbl = table ctx in
+  let bucket = bucket_of ctx tbl key in
+  lock_bucket ctx bucket;
+  (match find_slot ctx bucket key with
+  | Some (b, s) ->
+      Mem.movnt ctx ~instr:i_489 (slot_val b s) value;
+      Mem.sfence ctx ~instr:i_489
+  | None ->
+      let fit = insert_into ctx tbl key value ~migration:false in
+      if not fit then begin
+        unlock_bucket ctx bucket;
+        if chain_length ctx (Tval.untainted bucket) >= 2 then resize ctx;
+        ignore (Mem.load ctx ~instr:i_417 (root_off r_ht));
+        (* fallthrough: the item was inserted into an overflow bucket *)
+        lock_bucket ctx bucket
+      end);
+  unlock_bucket ctx bucket
+
+let get ctx key =
+  Mem.branch ctx ~instr:b_get;
+  let tbl = table ctx in
+  let bucket = bucket_of ctx tbl key in
+  match find_slot ctx bucket key with
+  | Some (b, s) -> Some (Mem.load ctx ~instr:i_616 (slot_val b s))
+  | None -> None
+
+(* Bug 5: when the key is found in an overflow (chained) bucket, the
+   update path returns without releasing the bucket lock. *)
+let update ctx key value =
+  Mem.branch ctx ~instr:b_update;
+  let tbl = table ctx in
+  let bucket = bucket_of ctx tbl key in
+  lock_bucket ctx bucket;
+  match find_slot ctx bucket key with
+  | Some (b, s) ->
+      Mem.movnt ctx ~instr:i_489 (slot_val b s) value;
+      Mem.sfence ctx ~instr:i_489;
+      let in_overflow = not (Tval.equal_v b bucket) in
+      if in_overflow then
+        (* missing unlock — clht_update's early-return path (526) *)
+        Mem.branch ctx ~instr:i_526
+      else unlock_bucket ctx bucket
+  | None -> unlock_bucket ctx bucket
+
+let delete ctx key =
+  Mem.branch ctx ~instr:b_delete;
+  let tbl = table ctx in
+  let bucket = bucket_of ctx tbl key in
+  lock_bucket ctx bucket;
+  (match find_slot ctx bucket key with
+  | Some (b, s) ->
+      Mem.movnt ctx ~instr:i_483 (slot_key b s) Tval.zero;
+      Mem.movnt ctx ~instr:i_489 (slot_val b s) Tval.zero;
+      Mem.sfence ctx ~instr:i_489
+  | None -> ());
+  unlock_bucket ctx bucket
+
+let run_op ctx (op : Pmrace.Seed.op) =
+  match op with
+  | Put { key; value } -> put ctx key (Tval.of_int value)
+  | Get { key } -> ignore (get ctx key)
+  | Update { key; value } -> update ctx key (Tval.of_int value)
+  | Delete { key } -> delete ctx key
+  | Incr { key; delta } -> update ctx key (Tval.of_int delta)
+  | Decr { key; delta } -> update ctx key (Tval.of_int delta)
+  | Append { key; value } | Prepend { key; value } -> put ctx key (Tval.of_int value)
+  | Scan { key; _ } -> ignore (get ctx key)
+  | Cas { key; value; _ } -> update ctx key (Tval.of_int value)
+  | Touch { key; _ } -> ignore (get ctx key)
+  | Flush_all | Stats -> ()
+
+(* Recovery: reset the resize/GC/version locks (so their sync
+   inconsistencies validate as false positives) but NOT the bucket locks —
+   Bug 2.  table_new and the GC list are left alone, so the Bug 3 records
+   (and the retired-table leak) survive. *)
+let recover (env : Env.t) =
+  let ctx = Env.ctx env ~tid:(-2) in
+  Mem.store ctx ~instr:i_recover (root_off r_resize_lock) Tval.zero;
+  Mem.persist ctx ~instr:i_recover (root_off r_resize_lock);
+  Mem.store ctx ~instr:i_recover (root_off r_gc_lock) Tval.zero;
+  Mem.persist ctx ~instr:i_recover (root_off r_gc_lock);
+  Mem.store ctx ~instr:i_recover (root_off r_version_lock) Tval.zero;
+  Mem.persist ctx ~instr:i_recover (root_off r_version_lock)
+
+(* Post-recovery lookup used by examples and tests to demonstrate the data
+   loss of Bug 1. *)
+let lookup_after_recovery (env : Env.t) key =
+  let ctx = Env.ctx env ~tid:(-2) in
+  match get ctx key with Some v -> Some (Tval.to_int v) | None -> None
+
+let target : Pmrace.Target.t =
+  {
+    name = "p-clht";
+    version = "70bf21c";
+    scope = "Static hashing";
+    concurrency = "Lock-based";
+    pool_words = 4096;
+    expensive_init = true;
+    init;
+    annotate;
+    recover;
+    run_op;
+    profile =
+      {
+        Pmrace.Seed.supported = [ Pmrace.Seed.KPut; KGet; KUpdate; KDelete ];
+        key_range = 32;
+        value_range = 1000;
+        threads = 4;
+        ops_per_thread = 8;
+      };
+    known_bugs =
+      [
+        {
+          kb_id = 1;
+          kb_type = `Inter;
+          kb_new = true;
+          kb_write_site = Some "clht_lb_res.c:785";
+          kb_read_site = Some "clht_lb_res.c:417";
+          kb_description = "read unflushed table pointer and insert items";
+          kb_consequence = "data loss";
+        };
+        {
+          kb_id = 2;
+          kb_type = `Sync;
+          kb_new = true;
+          kb_write_site = Some "clht_lb_res.c:429";
+          kb_read_site = None;
+          kb_description = "do not initialize bucket locks after restarts";
+          kb_consequence = "hang";
+        };
+        {
+          kb_id = 3;
+          kb_type = `Intra;
+          kb_new = true;
+          kb_write_site = Some "clht_lb_res.c:789";
+          kb_read_site = Some "clht_gc.c:190";
+          kb_description = "read unflushed table pointer and perform GC";
+          kb_consequence = "PM leakage";
+        };
+        {
+          kb_id = 4;
+          kb_type = `Other;
+          kb_new = true;
+          kb_write_site = Some "clht_lb_res.c:321";
+          kb_read_site = Some "clht_lb_res.c:616";
+          kb_description = "read unflushed keys";
+          kb_consequence = "redundant PM writes";
+        };
+        {
+          kb_id = 5;
+          kb_type = `Other;
+          kb_new = true;
+          kb_write_site = Some "clht_lb_res.c:526";
+          kb_read_site = None;
+          kb_description = "do not release bucket locks in update";
+          kb_consequence = "hang";
+        };
+      ];
+    whitelist_sites = Pmdk.Tx.default_whitelist;
+  }

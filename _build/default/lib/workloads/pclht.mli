@@ -1,0 +1,19 @@
+(** P-CLHT (RECIPE, commit 70bf21c): a lock-based persistent chained hash
+    table carrying the paper's bugs 1-5 at identically named instruction
+    sites ([clht_lb_res.c:785] etc.).  See the implementation header for
+    the per-bug mechanics. *)
+
+val put : Runtime.Env.ctx -> int -> Runtime.Tval.t -> unit
+val get : Runtime.Env.ctx -> int -> Runtime.Tval.t option
+val update : Runtime.Env.ctx -> int -> Runtime.Tval.t -> unit
+(** Carries bug 5: the early-return path leaks the bucket lock. *)
+
+val delete : Runtime.Env.ctx -> int -> unit
+
+val resize : Runtime.Env.ctx -> unit
+(** Table doubling with migration; carries bugs 1, 3 and 4. *)
+
+val lookup_after_recovery : Runtime.Env.t -> int -> int option
+(** Post-crash lookup used to demonstrate bug 1's data loss. *)
+
+val target : Pmrace.Target.t

@@ -1,0 +1,18 @@
+(* The tested concurrent PM systems (paper Table 1), plus the Figure 1
+   running example used by the quickstart. *)
+
+let all : Pmrace.Target.t list =
+  [ Pclht.target; Clevel.target; Cceh.target; Fastfair.target; Memcached.target ]
+
+let with_examples = Figure1.target :: all
+
+let find name =
+  List.find_opt (fun (t : Pmrace.Target.t) -> String.equal t.name name) with_examples
+
+let names () = List.map (fun (t : Pmrace.Target.t) -> t.name) with_examples
+
+(* Table 1 rows: system, version, scope, concurrency. *)
+let table1 () =
+  List.map
+    (fun (t : Pmrace.Target.t) -> (t.name, t.version, t.scope, t.concurrency))
+    all

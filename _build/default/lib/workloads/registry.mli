@@ -1,0 +1,13 @@
+(** The tested concurrent PM systems (paper Table 1) and lookup helpers. *)
+
+val all : Pmrace.Target.t list
+(** The five systems of Table 1, in the paper's order. *)
+
+val with_examples : Pmrace.Target.t list
+(** [all] plus the Figure 1 running example. *)
+
+val find : string -> Pmrace.Target.t option
+val names : unit -> string list
+
+val table1 : unit -> (string * string * string * string) list
+(** (system, version, scope, concurrency) rows. *)

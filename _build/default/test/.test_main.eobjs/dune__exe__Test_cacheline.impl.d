@@ -1,0 +1,1 @@
+test/test_cacheline.ml: Alcotest Cacheline Pmem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Int64 List Option Pmem Pmrace Runtime Sched Workloads

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Hashtbl List Pmrace Printf QCheck QCheck_alcotest Runtime

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Buffer Format Hashtbl List Pmem Pmrace Runtime String Workloads

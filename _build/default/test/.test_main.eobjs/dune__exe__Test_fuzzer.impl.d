@@ -1,0 +1,1 @@
+test/test_fuzzer.ml: Alcotest List Pmrace Runtime Workloads

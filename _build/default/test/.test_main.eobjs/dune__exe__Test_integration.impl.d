@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Pmrace Printf Runtime Workloads

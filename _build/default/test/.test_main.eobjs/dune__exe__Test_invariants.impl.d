@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Hashtbl Int64 Lazy List Pmrace Printf Runtime Workloads

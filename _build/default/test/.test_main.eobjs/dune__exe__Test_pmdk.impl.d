@@ -1,0 +1,1 @@
+test/test_pmdk.ml: Alcotest Int64 List Pmdk Pmem QCheck QCheck_alcotest Runtime Sched

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Pmrace Printf Runtime Sched

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Cacheline Gen Hashtbl Int64 List Option Pmem Pool QCheck QCheck_alcotest Test

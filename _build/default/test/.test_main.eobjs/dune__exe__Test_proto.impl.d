@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Fun Int64 List QCheck QCheck_alcotest Sched

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array Buffer Fun List QCheck QCheck_alcotest Sched

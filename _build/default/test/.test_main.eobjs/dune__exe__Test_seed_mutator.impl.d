@@ -1,0 +1,1 @@
+test/test_seed_mutator.ml: Alcotest Array List Pmrace Printf QCheck QCheck_alcotest Sched String Workloads

@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest List QCheck QCheck_alcotest Runtime

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Int64 List Option Pmdk Pmem Pmrace Printf QCheck QCheck_alcotest Runtime Sched Workloads

@@ -1,0 +1,39 @@
+(* Cache-line geometry. *)
+
+open Pmem
+
+let test_constants () =
+  Alcotest.(check int) "bytes/word" 8 Cacheline.bytes_per_word;
+  Alcotest.(check int) "words/line" 8 Cacheline.words_per_line;
+  Alcotest.(check int) "bytes/line" 64 Cacheline.bytes_per_line
+
+let test_line_of_word () =
+  Alcotest.(check int) "word 0" 0 (Cacheline.line_of_word 0);
+  Alcotest.(check int) "word 7" 0 (Cacheline.line_of_word 7);
+  Alcotest.(check int) "word 8" 1 (Cacheline.line_of_word 8);
+  Alcotest.(check int) "word 63" 7 (Cacheline.line_of_word 63)
+
+let test_words_of_line () =
+  Alcotest.(check (list int)) "line of 10" [ 8; 9; 10; 11; 12; 13; 14; 15 ]
+    (Cacheline.words_of_line_containing 10)
+
+let test_same_line () =
+  Alcotest.(check bool) "8 and 15" true (Cacheline.same_line 8 15);
+  Alcotest.(check bool) "7 and 8" false (Cacheline.same_line 7 8)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"cacheline: first_word_of_line inverts line_of_word" ~count:100
+    QCheck.(int_bound 10_000)
+    (fun w ->
+      let l = Cacheline.line_of_word w in
+      let f = Cacheline.first_word_of_line l in
+      f <= w && w < f + Cacheline.words_per_line)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "line_of_word" `Quick test_line_of_word;
+    Alcotest.test_case "words_of_line_containing" `Quick test_words_of_line;
+    Alcotest.test_case "same_line" `Quick test_same_line;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,85 @@
+(* The coverage-guided fuzzing loop: session behaviour, modes, ablations,
+   timelines, and end-to-end bug finding on the Figure 1 example. *)
+
+module Fuzzer = Pmrace.Fuzzer
+module Report = Pmrace.Report
+
+let cfg campaigns = { Fuzzer.default_config with max_campaigns = campaigns; master_seed = 3 }
+
+let test_finds_figure1_bugs () =
+  let s = Fuzzer.run Workloads.Figure1.target (cfg 40) in
+  let found = Fuzzer.found_known_bugs s Workloads.Figure1.target in
+  Alcotest.(check int) "two known bugs" 2 (List.length found);
+  Alcotest.(check bool) "all found" true (List.for_all snd found)
+
+let test_respects_budget () =
+  let s = Fuzzer.run Workloads.Figure1.target (cfg 25) in
+  Alcotest.(check int) "campaign budget" 25 s.campaigns_run;
+  Alcotest.(check int) "timeline point per campaign" 25 (List.length s.timeline)
+
+let test_timeline_monotonic () =
+  let s = Fuzzer.run Workloads.Figure1.target (cfg 30) in
+  let rec check = function
+    | (a : Fuzzer.timeline_point) :: (b :: _ as rest) ->
+        Alcotest.(check bool) "campaigns increase" true (b.tp_campaign > a.tp_campaign);
+        Alcotest.(check bool) "coverage monotonic" true
+          (b.tp_alias_bits + b.tp_branch_bits >= a.tp_alias_bits + a.tp_branch_bits);
+        Alcotest.(check bool) "inter count monotonic" true (b.tp_inter_unique >= a.tp_inter_unique);
+        check rest
+    | _ -> ()
+  in
+  check s.timeline
+
+let test_modes_run () =
+  List.iter
+    (fun mode ->
+      let s = Fuzzer.run Workloads.Figure1.target { (cfg 15) with mode } in
+      Alcotest.(check int) "campaigns" 15 s.campaigns_run)
+    [ Fuzzer.Mode_pmrace; Fuzzer.Mode_delay; Fuzzer.Mode_random ]
+
+let test_ablations_run () =
+  List.iter
+    (fun (ie, se) ->
+      let s =
+        Fuzzer.run Workloads.Figure1.target
+          { (cfg 15) with interleaving_tier = ie; seed_tier = se }
+      in
+      Alcotest.(check int) "campaigns" 15 s.campaigns_run)
+    [ (false, true); (true, false); (false, false) ]
+
+let test_validate_flag () =
+  let s = Fuzzer.run Workloads.Figure1.target { (cfg 30) with validate = false } in
+  let _, _, _, pending = Report.verdict_summary s.report Runtime.Candidates.Inter in
+  let fp, wl, bugs, _ = Report.verdict_summary s.report Runtime.Candidates.Inter in
+  Alcotest.(check int) "no verdicts without validation" 0 (fp + wl + bugs);
+  Alcotest.(check bool) "findings pending" true (pending >= 0)
+
+let test_annotations_counted () =
+  let s = Fuzzer.run Workloads.Figure1.target (cfg 5) in
+  Alcotest.(check int) "one annotation (the lock g)" 1 s.annotations
+
+let test_without_checkpoint () =
+  let s = Fuzzer.run Workloads.Figure1.target { (cfg 20) with use_checkpoint = false } in
+  Alcotest.(check int) "campaigns" 20 s.campaigns_run
+
+let test_deterministic_sessions () =
+  let run () =
+    let s = Fuzzer.run Workloads.Figure1.target (cfg 30) in
+    ( Report.candidate_count s.report Runtime.Candidates.Inter,
+      Report.inconsistency_count s.report Runtime.Candidates.Inter,
+      Pmrace.Alias_cov.count s.alias )
+  in
+  Alcotest.(check bool) "sessions replay identically" true (run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "finds the Figure 1 bugs" `Quick test_finds_figure1_bugs;
+    Alcotest.test_case "respects campaign budget" `Quick test_respects_budget;
+    Alcotest.test_case "timeline monotonic" `Quick test_timeline_monotonic;
+    Alcotest.test_case "all modes run" `Quick test_modes_run;
+    Alcotest.test_case "ablations run" `Quick test_ablations_run;
+    Alcotest.test_case "validate flag" `Quick test_validate_flag;
+    Alcotest.test_case "annotations counted" `Quick test_annotations_counted;
+    Alcotest.test_case "without checkpoint" `Quick test_without_checkpoint;
+    Alcotest.test_case "deterministic sessions" `Quick test_deterministic_sessions;
+  ]

@@ -1,0 +1,188 @@
+(* mini-PMDK: heap allocator, undo-log transactions, pool management. *)
+
+module Env = Runtime.Env
+module Mem = Runtime.Mem
+module Tval = Runtime.Tval
+module Heap = Pmdk.Heap
+module Tx = Pmdk.Tx
+module Layout = Pmdk.Layout
+
+let mk () =
+  let env = Env.create ~pool_words:1024 () in
+  let ctx = Env.ctx env ~tid:0 in
+  Pmdk.Objpool.create ctx;
+  (env, ctx)
+
+let test_heap_alloc () =
+  let _, ctx = mk () in
+  let a = Heap.alloc ctx ~words:3 in
+  let b = Heap.alloc ctx ~words:8 in
+  Alcotest.(check int) "first chunk at heap base" Layout.heap_base a;
+  Alcotest.(check int) "line-aligned rounding" (Layout.heap_base + 8) b;
+  Alcotest.(check int) "used" 16 (Heap.used ctx)
+
+let test_heap_alignment () =
+  let _, ctx = mk () in
+  for _ = 1 to 10 do
+    let a = Heap.alloc ctx ~words:5 in
+    Alcotest.(check int) "line aligned" 0 (a mod Pmem.Cacheline.words_per_line)
+  done
+
+let test_heap_oom () =
+  let _, ctx = mk () in
+  Alcotest.check_raises "oom" Heap.Out_of_memory (fun () ->
+      ignore (Heap.alloc ctx ~words:100_000))
+
+let test_heap_invalid () =
+  let _, ctx = mk () in
+  Alcotest.check_raises "zero words" (Invalid_argument "Heap.alloc: words must be positive")
+    (fun () -> ignore (Heap.alloc ctx ~words:0))
+
+let test_heap_metadata_never_dirty () =
+  let env, ctx = mk () in
+  ignore (Heap.alloc ctx ~words:8);
+  Alcotest.(check bool) "bump pointer clean" false (Pmem.Pool.is_dirty env.pool Layout.heap_meta)
+
+let test_heap_concurrent_alloc_disjoint () =
+  (* Under a preempting scheduler, two allocating fibers never receive the
+     same chunk. *)
+  let env = Env.create ~pool_words:2048 () in
+  let init_ctx = Env.ctx env ~tid:(-1) in
+  Pmdk.Objpool.create init_ctx;
+  Env.set_policy env Env.preempt_policy;
+  let results = ref [] in
+  let sched = Sched.Scheduler.create ~rng:(Sched.Rng.create 3) () in
+  for t = 0 to 3 do
+    ignore
+      (Sched.Scheduler.spawn sched ~name:"alloc" (fun () ->
+           let ctx = Env.ctx env ~tid:t in
+           for _ = 1 to 5 do
+             (* Bind first: the alloc yields, and [!results] must be read
+                after it returns. *)
+             let chunk = Heap.alloc ctx ~words:8 in
+             results := chunk :: !results
+           done))
+  done;
+  ignore (Sched.Scheduler.run sched);
+  let sorted = List.sort_uniq compare !results in
+  Alcotest.(check int) "20 distinct chunks" 20 (List.length sorted)
+
+let test_tx_commit () =
+  let env, ctx = mk () in
+  let addr = Tval.of_int (Layout.root_base + 4) in
+  let tx = Tx.begin_ ctx in
+  Tx.store ctx tx addr (Tval.of_int 42);
+  Tx.commit ctx tx;
+  Alcotest.(check int64) "durable after commit" 42L
+    (Pmem.Pool.image_word (Pmem.Pool.crash_image env.pool) (Layout.root_base + 4))
+
+let test_tx_uncommitted_reverted () =
+  let env, ctx = mk () in
+  let addr = Tval.of_int (Layout.root_base + 4) in
+  Mem.store ctx ~instr:(Runtime.Instr.site "t:init") addr (Tval.of_int 7);
+  Mem.persist ctx ~instr:(Runtime.Instr.site "t:init") addr;
+  let tx = Tx.begin_ ctx in
+  Tx.store ctx tx addr (Tval.of_int 42);
+  (* Crash before commit: the dirty data may or may not have reached PM;
+     force the worst case by flushing it, then recover. *)
+  Mem.persist ctx ~instr:(Runtime.Instr.site "t:crash") addr;
+  let env2 = Env.of_image (Pmem.Pool.crash_image env.pool) in
+  let rctx = Env.ctx env2 ~tid:(-2) in
+  Tx.recover rctx;
+  Alcotest.(check int) "reverted to pre-tx value" 7
+    (Tval.to_int (Mem.load rctx ~instr:(Runtime.Instr.site "t:check") addr))
+
+let test_tx_recover_idempotent_on_clean () =
+  let env, ctx = mk () in
+  let tx = Tx.begin_ ctx in
+  Tx.store ctx tx (Tval.of_int (Layout.root_base + 4)) (Tval.of_int 1);
+  Tx.commit ctx tx;
+  let env2 = Env.of_image (Pmem.Pool.crash_image env.pool) in
+  let rctx = Env.ctx env2 ~tid:(-2) in
+  Tx.recover rctx;
+  Alcotest.(check int) "committed data untouched" 1
+    (Tval.to_int (Mem.load rctx ~instr:(Runtime.Instr.site "t:check") (Tval.of_int (Layout.root_base + 4))))
+
+let test_tx_alloc_into () =
+  let env, ctx = mk () in
+  let dst = Tval.of_int (Layout.root_base + 6) in
+  let tx = Tx.begin_ ctx in
+  let off = Tx.alloc_into ctx tx ~dst ~words:8 in
+  Alcotest.(check int) "pointer stored" off
+    (Tval.to_int (Mem.load ctx ~instr:(Runtime.Instr.site "t:check") dst));
+  Tx.commit ctx tx;
+  Alcotest.(check int64) "pointer durable" (Int64.of_int off)
+    (Pmem.Pool.image_word (Pmem.Pool.crash_image env.pool) (Layout.root_base + 6))
+
+let test_tx_log_full () =
+  let _, ctx = mk () in
+  let tx = Tx.begin_ ctx in
+  Alcotest.check_raises "log full" Tx.Log_full (fun () ->
+      for i = 0 to Layout.log_entries do
+        Tx.store ctx tx (Tval.of_int (Layout.root_base + i)) Tval.one
+      done)
+
+let test_objpool_root () =
+  let env, ctx = mk () in
+  Pmdk.Objpool.set_root ctx 3 (Tval.of_int 99);
+  Alcotest.(check int) "root field" 99 (Tval.to_int (Pmdk.Objpool.get_root ctx 3));
+  Alcotest.(check bool) "is pmemobj" true (Pmdk.Objpool.is_pmemobj ctx);
+  Alcotest.(check int64) "root durable" 99L
+    (Pmem.Pool.image_word (Pmem.Pool.crash_image env.pool) (Layout.root_base + 3));
+  Alcotest.check_raises "root bounds"
+    (Invalid_argument "Objpool.root_field: out of root area") (fun () ->
+      ignore (Pmdk.Objpool.root_field Layout.root_words))
+
+let test_layout () =
+  Alcotest.(check int) "lane of worker" 2 (Layout.lane_of_tid 2);
+  Alcotest.(check int) "lane of recovery ctx" (Layout.log_lanes - 1) (Layout.lane_of_tid (-2));
+  Alcotest.(check int) "lane of overflow tid" (Layout.log_lanes - 1) (Layout.lane_of_tid 99);
+  Alcotest.check_raises "bad lane" (Invalid_argument "Layout.log_off: bad lane") (fun () ->
+      ignore (Layout.log_off 99))
+
+let prop_tx_atomicity =
+  (* Whatever the crash point inside a transaction, recovery restores all
+     tracked words to their pre-transaction values. *)
+  QCheck.Test.make ~name:"tx: crash anywhere inside tx reverts cleanly" ~count:60
+    QCheck.(pair (int_range 1 8) (int_range 0 8))
+    (fun (nwrites, flushes) ->
+      let env, ctx = mk () in
+      let init_i = Runtime.Instr.site "t:prop_init" in
+      for i = 0 to nwrites - 1 do
+        Mem.store ctx ~instr:init_i (Tval.of_int (Layout.root_base + i)) (Tval.of_int (100 + i));
+        Mem.persist ctx ~instr:init_i (Tval.of_int (Layout.root_base + i))
+      done;
+      let tx = Tx.begin_ ctx in
+      for i = 0 to nwrites - 1 do
+        Tx.store ctx tx (Tval.of_int (Layout.root_base + i)) (Tval.of_int (200 + i));
+        (* Simulate arbitrary cache eviction of some of the dirty data. *)
+        if i < flushes then Mem.persist ctx ~instr:init_i (Tval.of_int (Layout.root_base + i))
+      done;
+      (* Crash before commit. *)
+      let env2 = Env.of_image (Pmem.Pool.crash_image env.pool) in
+      let rctx = Env.ctx env2 ~tid:(-2) in
+      Tx.recover rctx;
+      let ok = ref true in
+      for i = 0 to nwrites - 1 do
+        let v = Tval.to_int (Mem.load rctx ~instr:init_i (Tval.of_int (Layout.root_base + i))) in
+        if v <> 100 + i then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "heap alloc" `Quick test_heap_alloc;
+    Alcotest.test_case "heap alignment" `Quick test_heap_alignment;
+    Alcotest.test_case "heap out of memory" `Quick test_heap_oom;
+    Alcotest.test_case "heap invalid size" `Quick test_heap_invalid;
+    Alcotest.test_case "heap metadata never dirty" `Quick test_heap_metadata_never_dirty;
+    Alcotest.test_case "concurrent allocs disjoint" `Quick test_heap_concurrent_alloc_disjoint;
+    Alcotest.test_case "tx commit persists" `Quick test_tx_commit;
+    Alcotest.test_case "tx uncommitted reverted" `Quick test_tx_uncommitted_reverted;
+    Alcotest.test_case "tx recover on clean state" `Quick test_tx_recover_idempotent_on_clean;
+    Alcotest.test_case "tx alloc_into" `Quick test_tx_alloc_into;
+    Alcotest.test_case "tx log full" `Quick test_tx_log_full;
+    Alcotest.test_case "objpool root" `Quick test_objpool_root;
+    Alcotest.test_case "layout lanes" `Quick test_layout;
+    QCheck_alcotest.to_alcotest prop_tx_atomicity;
+  ]

@@ -1,0 +1,249 @@
+(* Pool: the visibility/persistency gap, flush/fence pipeline, crash
+   images, snapshots, eviction. *)
+
+open Pmem
+
+let mk () = Pool.create ~words:256 ()
+
+let test_create_invalid () =
+  Alcotest.check_raises "non-multiple size" (Invalid_argument
+    "Pool.create: size must be a positive multiple of the line size")
+    (fun () -> ignore (Pool.create ~words:100 ()));
+  Alcotest.check_raises "zero size" (Invalid_argument
+    "Pool.create: size must be a positive multiple of the line size")
+    (fun () -> ignore (Pool.create ~words:0 ()))
+
+let test_store_visible_not_durable () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 10 42L;
+  Alcotest.(check int64) "visible" 42L (Pool.load p 10);
+  Alcotest.(check bool) "dirty" true (Pool.is_dirty p 10);
+  let img = Pool.crash_image p in
+  Alcotest.(check int64) "not durable" 0L (Pool.image_word img 10)
+
+let test_flush_fence_persists () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 10 42L;
+  Pool.clwb p 10;
+  Alcotest.(check bool) "clean after clwb" false (Pool.is_dirty p 10);
+  Alcotest.(check bool) "pending after clwb" true (Pool.is_pending p 10);
+  let img = Pool.crash_image p in
+  Alcotest.(check int64) "unfenced write-back lost on crash" 0L (Pool.image_word img 10);
+  let persisted = Pool.sfence p in
+  Alcotest.(check (list int)) "fence reports word" [ 10 ] persisted;
+  Alcotest.(check int64) "durable" 42L (Pool.image_word (Pool.crash_image p) 10)
+
+let test_line_granular_flush () =
+  let p = mk () in
+  (* Words 8..15 share a line; 16 does not. *)
+  Pool.store p ~tid:0 ~instr:1 8 1L;
+  Pool.store p ~tid:0 ~instr:1 15 2L;
+  Pool.store p ~tid:0 ~instr:1 16 3L;
+  Pool.clwb p 9;
+  ignore (Pool.sfence p);
+  let img = Pool.crash_image p in
+  Alcotest.(check int64) "same line persisted (low)" 1L (Pool.image_word img 8);
+  Alcotest.(check int64) "same line persisted (high)" 2L (Pool.image_word img 15);
+  Alcotest.(check int64) "next line not persisted" 0L (Pool.image_word img 16)
+
+let test_store_after_clwb_needs_reflush () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 10 1L;
+  Pool.clwb p 10;
+  Pool.store p ~tid:0 ~instr:2 10 2L;
+  ignore (Pool.sfence p);
+  (* The second store invalidated the pending write-back. *)
+  Alcotest.(check int64) "second store not persisted" 0L
+    (Pool.image_word (Pool.crash_image p) 10);
+  Alcotest.(check bool) "still dirty" true (Pool.is_dirty p 10)
+
+let test_movnt () =
+  let p = mk () in
+  Pool.movnt p ~tid:3 ~instr:7 20 99L;
+  Alcotest.(check bool) "movnt is never dirty" false (Pool.is_dirty p 20);
+  Alcotest.(check int64) "visible at once" 99L (Pool.load p 20);
+  Alcotest.(check int64) "durable only after fence" 0L
+    (Pool.image_word (Pool.crash_image p) 20);
+  ignore (Pool.sfence p);
+  Alcotest.(check int64) "durable after fence" 99L (Pool.image_word (Pool.crash_image p) 20)
+
+let test_dirty_writer () =
+  let p = mk () in
+  Pool.store p ~tid:3 ~instr:7 11 5L;
+  (match Pool.dirty_writer p 11 with
+  | Some w ->
+      Alcotest.(check int) "tid" 3 w.Pool.tid;
+      Alcotest.(check int) "instr" 7 w.Pool.instr
+  | None -> Alcotest.fail "expected dirty writer");
+  Pool.clwb p 11;
+  Alcotest.(check bool) "clean after flush" true (Pool.dirty_writer p 11 = None)
+
+let test_eviction () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 10 7L;
+  let evicted = Pool.evict_line p (10 / Cacheline.words_per_line) in
+  Alcotest.(check (list int)) "evicted words" [ 10 ] evicted;
+  Alcotest.(check bool) "clean after eviction" false (Pool.is_dirty p 10);
+  Alcotest.(check int64) "durable after eviction" 7L (Pool.image_word (Pool.crash_image p) 10)
+
+let test_of_image () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 10 7L;
+  Pool.clwb p 10;
+  ignore (Pool.sfence p);
+  Pool.store p ~tid:0 ~instr:1 11 8L (* lost *);
+  let p2 = Pool.of_image (Pool.crash_image p) in
+  Alcotest.(check int64) "persisted data survives" 7L (Pool.load p2 10);
+  Alcotest.(check int64) "volatile data lost" 0L (Pool.load p2 11);
+  Alcotest.(check (list int)) "fresh pool clean" [] (Pool.dirty_words p2)
+
+let test_snapshot_restore () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 10 7L;
+  Pool.quiesce p;
+  let snap = Pool.snapshot p in
+  Pool.store p ~tid:0 ~instr:1 10 100L;
+  Pool.store p ~tid:0 ~instr:1 50 1L;
+  Pool.restore p snap;
+  Alcotest.(check int64) "restored value" 7L (Pool.load p 10);
+  Alcotest.(check int64) "other word restored" 0L (Pool.load p 50);
+  Alcotest.(check (list int)) "no dirty words after restore" [] (Pool.dirty_words p)
+
+let test_quiesce () =
+  let p = mk () in
+  for w = 0 to 31 do
+    Pool.store p ~tid:0 ~instr:1 w (Int64.of_int w)
+  done;
+  Pool.quiesce p;
+  Alcotest.(check (list int)) "all clean" [] (Pool.dirty_words p);
+  Alcotest.(check int64) "all durable" 31L (Pool.image_word (Pool.crash_image p) 31)
+
+let test_bounds () =
+  let p = mk () in
+  Alcotest.check_raises "load oob"
+    (Invalid_argument "Pool: word offset 256 out of bounds [0,256)") (fun () ->
+      ignore (Pool.load p 256));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Pool: word offset -1 out of bounds [0,256)") (fun () ->
+      ignore (Pool.load p (-1)))
+
+let test_durably_equal_and_pending () =
+  let p = mk () in
+  Alcotest.(check bool) "fresh word durably equal" true (Pool.is_durably_equal p 10);
+  Pool.store p ~tid:0 ~instr:1 10 5L;
+  Alcotest.(check bool) "diverged after store" false (Pool.is_durably_equal p 10);
+  Pool.clwb p 10;
+  Alcotest.(check (list int)) "pending words" [ 10 ] (Pool.pending_words p);
+  ignore (Pool.sfence p);
+  Alcotest.(check bool) "converged after persist" true (Pool.is_durably_equal p 10);
+  Alcotest.(check (list int)) "nothing pending" [] (Pool.pending_words p)
+
+let test_image_words () =
+  let p = mk () in
+  Alcotest.(check int) "image size" 256 (Pool.image_words (Pool.crash_image p))
+
+let test_stats () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 0 1L;
+  ignore (Pool.load p 0);
+  Pool.movnt p ~tid:0 ~instr:1 8 1L;
+  Pool.clwb p 0;
+  ignore (Pool.sfence p);
+  let s = Pool.stats p in
+  Alcotest.(check int) "stores" 1 s.Pool.stores;
+  Alcotest.(check int) "loads" 1 s.Pool.loads;
+  Alcotest.(check int) "movnts" 1 s.Pool.movnts;
+  Alcotest.(check int) "flushes" 1 s.Pool.flushes;
+  Alcotest.(check int) "fences" 1 s.Pool.fences
+
+(* Property: after arbitrary (store | movnt | clwb | fence) sequences,
+   crash + reboot never exposes a value that was never stored, and every
+   fence-persisted word reads back its last pre-fence value. *)
+let prop_crash_soundness =
+  let open QCheck in
+  let op =
+    Gen.(
+      oneof
+        [
+          map2 (fun w v -> `Store (w, v)) (int_bound 63) (int_range 1 1000);
+          map2 (fun w v -> `Movnt (w, v)) (int_bound 63) (int_range 1 1000);
+          map (fun w -> `Clwb w) (int_bound 63);
+          return `Fence;
+        ])
+  in
+  Test.make ~name:"pool: crash exposes only stored values"
+    ~count:200
+    (make Gen.(list_size (int_range 1 60) op))
+    (fun ops ->
+      let p = Pool.create ~words:64 () in
+      let stored = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Store (w, v) ->
+              Pool.store p ~tid:0 ~instr:0 w (Int64.of_int v);
+              Hashtbl.replace stored w ()
+          | `Movnt (w, v) ->
+              Pool.movnt p ~tid:0 ~instr:0 w (Int64.of_int v);
+              Hashtbl.replace stored w ()
+          | `Clwb w -> Pool.clwb p w
+          | `Fence -> ignore (Pool.sfence p))
+        ops;
+      let img = Pool.crash_image p in
+      let ok = ref true in
+      for w = 0 to 63 do
+        if (not (Int64.equal (Pool.image_word img w) 0L)) && not (Hashtbl.mem stored w) then
+          ok := false
+      done;
+      !ok)
+
+(* Property: a durable word equals either its last stored value or an
+   earlier one — never a mix of unrelated data. *)
+let prop_durable_is_prefix =
+  let open QCheck in
+  Test.make ~name:"pool: durable value is some previously stored value" ~count:200
+    (make Gen.(list_size (int_range 1 40) (pair (int_bound 15) (int_range 1 100))))
+    (fun writes ->
+      let p = Pool.create ~words:16 () in
+      let history = Hashtbl.create 16 in
+      List.iteri
+        (fun i (w, v) ->
+          Pool.store p ~tid:0 ~instr:0 w (Int64.of_int v);
+          let prev = Option.value ~default:[] (Hashtbl.find_opt history w) in
+          Hashtbl.replace history w (Int64.of_int v :: prev);
+          if i mod 3 = 0 then begin
+            Pool.clwb p w;
+            ignore (Pool.sfence p)
+          end)
+        writes;
+      let img = Pool.crash_image p in
+      let ok = ref true in
+      for w = 0 to 15 do
+        let d = Pool.image_word img w in
+        if not (Int64.equal d 0L) then begin
+          let hist = Option.value ~default:[] (Hashtbl.find_opt history w) in
+          if not (List.mem d hist) then ok := false
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_invalid;
+    Alcotest.test_case "store visible, not durable" `Quick test_store_visible_not_durable;
+    Alcotest.test_case "flush + fence persists" `Quick test_flush_fence_persists;
+    Alcotest.test_case "line-granular flush" `Quick test_line_granular_flush;
+    Alcotest.test_case "store after clwb needs reflush" `Quick test_store_after_clwb_needs_reflush;
+    Alcotest.test_case "non-temporal stores" `Quick test_movnt;
+    Alcotest.test_case "dirty writer identity" `Quick test_dirty_writer;
+    Alcotest.test_case "eviction persists silently" `Quick test_eviction;
+    Alcotest.test_case "boot from crash image" `Quick test_of_image;
+    Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+    Alcotest.test_case "quiesce" `Quick test_quiesce;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "durably-equal + pending" `Quick test_durably_equal_and_pending;
+    Alcotest.test_case "image size" `Quick test_image_words;
+    QCheck_alcotest.to_alcotest prop_crash_soundness;
+    QCheck_alcotest.to_alcotest prop_durable_is_prefix;
+  ]

@@ -1,0 +1,101 @@
+(* The memcached text protocol parser. *)
+
+module P = Workloads.Memcached_proto
+
+let ok input =
+  match P.parse input with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "unexpected parse error on %S: %s" input e
+
+let err input =
+  match P.parse input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected parse error on %S" input
+
+let test_get () =
+  (match ok "get k1\r\n" with
+  | P.Cmd_get [ "k1" ] -> ()
+  | _ -> Alcotest.fail "bad get");
+  match ok "get k1 k2 k3\r\n" with
+  | P.Cmd_get [ "k1"; "k2"; "k3" ] -> ()
+  | _ -> Alcotest.fail "bad multi-get"
+
+let test_bget () =
+  match ok "bget k1 k2\r\n" with P.Cmd_bget [ "k1"; "k2" ] -> () | _ -> Alcotest.fail "bad bget"
+
+let test_storage () =
+  (match ok "set key1 5 0 3\r\nabc\r\n" with
+  | P.Cmd_set { key = "key1"; flags = 5; exptime = 0; bytes = 3; data = "abc" } -> ()
+  | _ -> Alcotest.fail "bad set");
+  (match ok "add k 0 0 0\r\n\r\n" with
+  | P.Cmd_add { bytes = 0; data = ""; _ } -> ()
+  | _ -> Alcotest.fail "bad add");
+  (match ok "replace k 0 0 1\r\nx\r\n" with
+  | P.Cmd_replace _ -> ()
+  | _ -> Alcotest.fail "bad replace");
+  (match ok "append k 0 0 1\r\nx\r\n" with
+  | P.Cmd_append _ -> ()
+  | _ -> Alcotest.fail "bad append");
+  match ok "prepend k 0 0 1\r\nx\r\n" with
+  | P.Cmd_prepend _ -> ()
+  | _ -> Alcotest.fail "bad prepend"
+
+let test_delta_delete () =
+  (match ok "incr k1 5\r\n" with
+  | P.Cmd_incr { key = "k1"; delta = 5 } -> ()
+  | _ -> Alcotest.fail "bad incr");
+  (match ok "decr k1 2\r\n" with
+  | P.Cmd_decr { delta = 2; _ } -> ()
+  | _ -> Alcotest.fail "bad decr");
+  match ok "delete k9\r\n" with
+  | P.Cmd_delete { key = "k9" } -> ()
+  | _ -> Alcotest.fail "bad delete"
+
+let test_case_insensitive_verb () =
+  match ok "GET k1\r\n" with P.Cmd_get _ -> () | _ -> Alcotest.fail "verb case"
+
+let test_errors () =
+  err "";
+  err "get k1" (* missing CRLF *);
+  err "get\r\n" (* no keys *);
+  err "frobnicate k1\r\n" (* unknown *);
+  err "set k1 0 0 3\r\nabcd\r\n" (* length mismatch *);
+  err "set k1 0 0\r\nabc\r\n" (* missing arg *);
+  err "set k1 x 0 3\r\nabc\r\n" (* non-numeric flags *);
+  err "set k1 0 0 -1\r\n\r\n" (* negative bytes *);
+  err "incr k1\r\n" (* missing delta *);
+  err "incr k1 abc\r\n" (* bad delta *);
+  err "delete\r\n";
+  err "delete k1 k2\r\n";
+  err "get k1\nk2\r\n" (* bare LF *)
+
+let test_families () =
+  Alcotest.(check string) "get family" "Get*" (P.family_name (P.family_of (ok "get k\r\n")));
+  Alcotest.(check string) "update family" "Update*"
+    (P.family_name (P.family_of (ok "set k 0 0 1\r\nx\r\n")));
+  Alcotest.(check string) "incr family" "incr" (P.family_name (P.family_of (ok "incr k 1\r\n")));
+  Alcotest.(check string) "error family" "Error" (P.family_name P.F_error)
+
+let test_key_int () =
+  Alcotest.(check (option int)) "k12" (Some 12) (P.key_int "k12");
+  Alcotest.(check (option int)) "no prefix" None (P.key_int "12");
+  Alcotest.(check (option int)) "not numeric" None (P.key_int "kx")
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"proto: parser never raises on arbitrary bytes" ~count:500
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 40) QCheck.Gen.char)
+    (fun s ->
+      match P.parse s with Ok _ | Error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "get" `Quick test_get;
+    Alcotest.test_case "bget" `Quick test_bget;
+    Alcotest.test_case "storage commands" `Quick test_storage;
+    Alcotest.test_case "incr/decr/delete" `Quick test_delta_delete;
+    Alcotest.test_case "verb case" `Quick test_case_insensitive_verb;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "families" `Quick test_families;
+    Alcotest.test_case "key_int" `Quick test_key_int;
+    QCheck_alcotest.to_alcotest prop_parser_total;
+  ]

@@ -1,0 +1,90 @@
+(* SplitMix64 determinism and distribution sanity. *)
+
+module Rng = Sched.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Rng.next a) (Rng.next b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_int_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done
+
+let test_int_invalid () =
+  let r = Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_float_range () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of range"
+  done
+
+let test_pick () =
+  let r = Rng.create 3 in
+  Alcotest.(check int) "singleton" 5 (Rng.pick r [ 5 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick r []))
+
+let test_copy_independent () =
+  let a = Rng.create 42 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies aligned" (Rng.next a) (Rng.next b)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"rng: shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      let sh = Rng.shuffle (Rng.create seed) a in
+      List.sort compare (Array.to_list sh) = List.sort compare xs)
+
+let prop_shuffle_preserves_input =
+  QCheck.Test.make ~name:"rng: shuffle does not mutate its input" ~count:100
+    QCheck.(small_list int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      let copy = Array.copy a in
+      ignore (Rng.shuffle (Rng.create 1) a);
+      a = copy)
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"rng: int covers the whole range" ~count:20
+    QCheck.(int_range 2 20)
+    (fun n ->
+      let r = Rng.create 1234 in
+      let seen = Array.make n false in
+      for _ = 1 to n * 100 do
+        seen.(Rng.int r n) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
+    QCheck_alcotest.to_alcotest prop_shuffle_preserves_input;
+    QCheck_alcotest.to_alcotest prop_int_uniformish;
+  ]

@@ -1,0 +1,241 @@
+(* Instrumented runtime: instruction registry, DRAM store, memory hooks,
+   candidate creation, taint through shadow memory, locks. *)
+
+module Instr = Runtime.Instr
+module Tval = Runtime.Tval
+module Taint = Runtime.Taint
+module Env = Runtime.Env
+module Mem = Runtime.Mem
+module Dram = Runtime.Dram
+module Checkers = Runtime.Checkers
+module Candidates = Runtime.Candidates
+
+let mk () = Env.create ~pool_words:512 ()
+
+let test_instr_registry () =
+  let a = Instr.site "test_runtime:a" in
+  let a' = Instr.site "test_runtime:a" in
+  let b = Instr.site "test_runtime:b" in
+  Alcotest.(check bool) "memoised" true (Instr.equal a a');
+  Alcotest.(check bool) "distinct" false (Instr.equal a b);
+  Alcotest.(check string) "name roundtrip" "test_runtime:a" (Instr.name a);
+  Alcotest.(check bool) "of_int roundtrip" true (Instr.equal a (Instr.of_int (Instr.to_int a)));
+  Alcotest.check_raises "of_int unknown"
+    (Invalid_argument (Printf.sprintf "Instr.of_int: unknown id %d" 99999)) (fun () ->
+      ignore (Instr.of_int 99999))
+
+let test_dram () =
+  let d = Dram.create () in
+  let k1 : int Dram.key = Dram.key ~name:"k1" () in
+  let k2 : string Dram.key = Dram.key ~name:"k2" () in
+  Alcotest.(check (option int)) "missing" None (Dram.find d k1);
+  Dram.set d k1 42;
+  Dram.set d k2 "hello";
+  Alcotest.(check (option int)) "typed get" (Some 42) (Dram.find d k1);
+  Alcotest.(check (option string)) "typed get 2" (Some "hello") (Dram.find d k2);
+  Dram.set d k1 7;
+  Alcotest.(check (option int)) "overwrite" (Some 7) (Dram.find d k1);
+  Alcotest.(check int) "find_or_add existing" 7 (Dram.find_or_add d k1 (fun () -> 0));
+  Dram.clear d;
+  Alcotest.(check (option int)) "cleared" None (Dram.find d k1)
+
+let i_w = Instr.site "test_runtime:w"
+let i_r = Instr.site "test_runtime:r"
+let i_e = Instr.site "test_runtime:e"
+
+let test_load_store_roundtrip () =
+  let env = mk () in
+  let ctx = Env.ctx env ~tid:0 in
+  Mem.store ctx ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+  Alcotest.(check int) "roundtrip" 7 (Tval.to_int (Mem.load ctx ~instr:i_r (Tval.of_int 100)))
+
+let test_candidate_on_dirty_read () =
+  let env = mk () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+  let v = Mem.load c1 ~instr:i_r (Tval.of_int 100) in
+  Alcotest.(check bool) "tainted" true (Tval.is_tainted v);
+  Alcotest.(check int) "one inter candidate" 1
+    (Candidates.unique_count (Checkers.candidates env.checkers) Candidates.Inter);
+  (* Same-thread read: intra candidate. *)
+  let _ = Mem.load c0 ~instr:i_r (Tval.of_int 100) in
+  Alcotest.(check int) "one intra candidate" 1
+    (Candidates.unique_count (Checkers.candidates env.checkers) Candidates.Intra)
+
+let test_clean_read_untainted () =
+  let env = mk () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+  Mem.persist c0 ~instr:i_w (Tval.of_int 100);
+  let v = Mem.load c1 ~instr:i_r (Tval.of_int 100) in
+  Alcotest.(check bool) "clean read untainted" false (Tval.is_tainted v);
+  Alcotest.(check int) "no candidates" 0
+    (Candidates.dynamic_count (Checkers.candidates env.checkers))
+
+let test_taint_through_shadow_memory () =
+  (* Tainted value stored to PM, loaded back: the taint persists. *)
+  let env = mk () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+  let dirty = Mem.load c1 ~instr:i_r (Tval.of_int 100) in
+  Mem.store c1 ~instr:i_e (Tval.of_int 200) dirty;
+  Mem.persist c1 ~instr:i_e (Tval.of_int 200);
+  let back = Mem.load c1 ~instr:i_r (Tval.of_int 200) in
+  Alcotest.(check bool) "taint survives PM roundtrip" true (Tval.is_tainted back)
+
+let test_inconsistency_value_flow () =
+  let env = mk () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+  let v = Mem.load c1 ~instr:i_r (Tval.of_int 100) in
+  Mem.store c1 ~instr:i_e (Tval.of_int 200) v;
+  Mem.persist c1 ~instr:i_e (Tval.of_int 200);
+  match Checkers.inconsistencies env.checkers with
+  | [ inc ] ->
+      Alcotest.(check string) "write site" "test_runtime:w"
+        (Instr.name inc.source.Candidates.write_instr);
+      Alcotest.(check bool) "value flow" false inc.addr_flow;
+      Alcotest.(check bool) "image captured" true (inc.image <> None)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 inconsistency, got %d" (List.length l))
+
+let test_inconsistency_addr_flow () =
+  let env = mk () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 256);
+  let p = Mem.load c1 ~instr:i_r (Tval.of_int 100) in
+  Mem.store c1 ~instr:i_e p (Tval.of_int 1);
+  Mem.persist c1 ~instr:i_e p;
+  match Checkers.inconsistencies env.checkers with
+  | [ inc ] -> Alcotest.(check bool) "addr flow" true inc.addr_flow
+  | _ -> Alcotest.fail "expected 1 inconsistency"
+
+let test_window_closed_no_inconsistency () =
+  (* If the source is flushed before the dependent write persists, there is
+     no crash window, hence no inconsistency. *)
+  let env = mk () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+  let v = Mem.load c1 ~instr:i_r (Tval.of_int 100) in
+  Mem.store c1 ~instr:i_e (Tval.of_int 200) v;
+  Mem.persist c0 ~instr:i_w (Tval.of_int 100) (* source persisted first *);
+  Mem.persist c1 ~instr:i_e (Tval.of_int 200);
+  Alcotest.(check int) "no inconsistency" 0
+    (List.length (Checkers.inconsistencies env.checkers));
+  Alcotest.(check int) "but the candidate was seen" 1
+    (Candidates.unique_count (Checkers.candidates env.checkers) Candidates.Inter)
+
+let test_unpersisted_effect_no_inconsistency () =
+  let env = mk () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+  let v = Mem.load c1 ~instr:i_r (Tval.of_int 100) in
+  Mem.store c1 ~instr:i_e (Tval.of_int 200) v;
+  (* no flush of the dependent write *)
+  Alcotest.(check int) "no inconsistency without durability" 0
+    (List.length (Checkers.inconsistencies env.checkers))
+
+let test_external_effect () =
+  let env = mk () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+  let v = Mem.load c1 ~instr:i_r (Tval.of_int 100) in
+  Mem.external_effect c1 ~instr:i_e v;
+  match Checkers.inconsistencies env.checkers with
+  | [ inc ] -> Alcotest.(check bool) "external" true inc.external_effect
+  | _ -> Alcotest.fail "expected 1 external inconsistency"
+
+let test_sync_events () =
+  let env = mk () in
+  Env.annotate_sync env ~name:"test:lock" ~addr:64 ~len:1 ~init:0L;
+  let ctx = Env.ctx env ~tid:0 in
+  Mem.store ctx ~instr:i_w (Tval.of_int 64) Tval.one;
+  Alcotest.(check int) "not persisted yet" 0
+    (List.length (Checkers.sync_events env.checkers));
+  Mem.persist ctx ~instr:i_w (Tval.of_int 64);
+  (match Checkers.sync_events env.checkers with
+  | [ ev ] ->
+      Alcotest.(check string) "var" "test:lock" ev.var.Checkers.sv_name;
+      Alcotest.(check int64) "value" 1L ev.sy_value
+  | _ -> Alcotest.fail "expected 1 sync event");
+  (* Re-persisting the same value type is recorded once. *)
+  Mem.store ctx ~instr:i_w (Tval.of_int 64) Tval.one;
+  Mem.persist ctx ~instr:i_w (Tval.of_int 64);
+  Alcotest.(check int) "deduplicated per value" 1
+    (List.length (Checkers.sync_events env.checkers));
+  (* Persisting the init value is not an event. *)
+  Mem.store ctx ~instr:i_w (Tval.of_int 64) Tval.zero;
+  Mem.persist ctx ~instr:i_w (Tval.of_int 64);
+  Alcotest.(check int) "init value is benign" 1
+    (List.length (Checkers.sync_events env.checkers))
+
+let test_cas () =
+  let env = mk () in
+  let ctx = Env.ctx env ~tid:0 in
+  Alcotest.(check bool) "cas succeeds" true
+    (Mem.cas ctx ~instr:i_w (Tval.of_int 100) ~expect:Tval.zero ~value:Tval.one);
+  Alcotest.(check bool) "cas fails" false
+    (Mem.cas ctx ~instr:i_w (Tval.of_int 100) ~expect:Tval.zero ~value:Tval.one);
+  Alcotest.(check int) "value" 1 (Tval.to_int (Mem.load ctx ~instr:i_r (Tval.of_int 100)))
+
+let test_cas_nt_is_clean () =
+  let env = mk () in
+  let ctx = Env.ctx env ~tid:0 in
+  ignore (Mem.cas ~nt:true ctx ~instr:i_w (Tval.of_int 100) ~expect:Tval.zero ~value:Tval.one);
+  Alcotest.(check bool) "nt cas never dirty" false (Pmem.Pool.is_dirty env.pool 100)
+
+let test_spin_lock_stuck () =
+  let env = mk () in
+  let ctx = Env.ctx env ~tid:0 in
+  Mem.spin_lock ctx ~instr:i_w (Tval.of_int 100);
+  match Mem.spin_lock ctx ~instr:i_w (Tval.of_int 100) with
+  | () -> Alcotest.fail "expected Stuck"
+  | exception Mem.Stuck _ -> ()
+
+let test_reset_checkers_keeps_annotations () =
+  let env = mk () in
+  Env.annotate_sync env ~name:"test:lock2" ~addr:64 ~len:1 ~init:0L;
+  let ctx = Env.ctx env ~tid:0 in
+  Mem.store ctx ~instr:i_w (Tval.of_int 8) Tval.one;
+  ignore (Mem.load ctx ~instr:i_r (Tval.of_int 8));
+  Env.reset_checkers env;
+  Alcotest.(check int) "candidates cleared" 0
+    (Candidates.dynamic_count (Checkers.candidates env.checkers));
+  Alcotest.(check int) "annotations kept" 1 (Checkers.annotation_count env.checkers)
+
+let test_eviction_confirms () =
+  (* An eviction (instead of an explicit fence) can also persist a
+     dependent write and confirm the inconsistency. *)
+  let env = Env.create ~pool_words:512 ~evict_prob:1.0 ~evict_seed:3 () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+  let v = Mem.load c1 ~instr:i_r (Tval.of_int 100) in
+  (* Repeated dependent stores: with eviction probability 1 some line gets
+     evicted after each store; eventually the dependent word persists. *)
+  for i = 0 to 60 do
+    if Pmem.Pool.is_dirty env.pool 100 then
+      Mem.store c1 ~instr:i_e (Tval.of_int (200 + (8 * (i mod 8)))) v
+  done;
+  Alcotest.(check bool) "eviction-confirmed inconsistency" true
+    (Checkers.inconsistencies env.checkers <> []
+    || not (Pmem.Pool.is_dirty env.pool 100))
+
+let suite =
+  [
+    Alcotest.test_case "instruction registry" `Quick test_instr_registry;
+    Alcotest.test_case "dram typed store" `Quick test_dram;
+    Alcotest.test_case "load/store roundtrip" `Quick test_load_store_roundtrip;
+    Alcotest.test_case "candidate on dirty read" `Quick test_candidate_on_dirty_read;
+    Alcotest.test_case "clean read untainted" `Quick test_clean_read_untainted;
+    Alcotest.test_case "taint through shadow memory" `Quick test_taint_through_shadow_memory;
+    Alcotest.test_case "inconsistency: value flow" `Quick test_inconsistency_value_flow;
+    Alcotest.test_case "inconsistency: addr flow" `Quick test_inconsistency_addr_flow;
+    Alcotest.test_case "window closed: benign" `Quick test_window_closed_no_inconsistency;
+    Alcotest.test_case "unpersisted effect: benign" `Quick test_unpersisted_effect_no_inconsistency;
+    Alcotest.test_case "external durable effect" `Quick test_external_effect;
+    Alcotest.test_case "sync-variable events" `Quick test_sync_events;
+    Alcotest.test_case "cas" `Quick test_cas;
+    Alcotest.test_case "cas nt is clean" `Quick test_cas_nt_is_clean;
+    Alcotest.test_case "spin lock stuck" `Quick test_spin_lock_stuck;
+    Alcotest.test_case "reset keeps annotations" `Quick test_reset_checkers_keeps_annotations;
+    Alcotest.test_case "eviction can confirm" `Quick test_eviction_confirms;
+  ]

@@ -1,0 +1,147 @@
+(* Deterministic cooperative scheduler: interleaving, determinism, hangs,
+   failures. *)
+
+module Rng = Sched.Rng
+module Scheduler = Sched.Scheduler
+
+let test_runs_to_completion () =
+  let s = Scheduler.create ~rng:(Rng.create 1) () in
+  let hits = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Scheduler.spawn s ~name:"w" (fun () -> incr hits))
+  done;
+  let o = Scheduler.run s in
+  Alcotest.(check int) "all ran" 3 !hits;
+  Alcotest.(check int) "finished" 3 (List.length o.finished);
+  Alcotest.(check bool) "completed" true (Scheduler.completed o)
+
+let test_interleaving () =
+  (* Two fibers alternate; with yields the trace must interleave rather
+     than run back-to-back for every seed in a small sample. *)
+  let interleaved = ref false in
+  for seed = 1 to 10 do
+    let s = Scheduler.create ~rng:(Rng.create seed) () in
+    let trace = ref [] in
+    let fiber id () =
+      for i = 0 to 2 do
+        trace := (id, i) :: !trace;
+        Scheduler.yield ()
+      done
+    in
+    ignore (Scheduler.spawn s ~name:"a" (fiber 0));
+    ignore (Scheduler.spawn s ~name:"b" (fiber 1));
+    ignore (Scheduler.run s);
+    let order = List.rev_map fst !trace in
+    let rec changes = function
+      | a :: (b :: _ as rest) -> (if a <> b then 1 else 0) + changes rest
+      | _ -> 0
+    in
+    if changes order > 1 then interleaved := true
+  done;
+  Alcotest.(check bool) "some seed interleaves" true !interleaved
+
+let trace_for seed =
+  let s = Scheduler.create ~rng:(Rng.create seed) () in
+  let trace = Buffer.create 64 in
+  let fiber c () =
+    for _ = 0 to 4 do
+      Buffer.add_char trace c;
+      Scheduler.yield ()
+    done
+  in
+  ignore (Scheduler.spawn s ~name:"a" (fiber 'a'));
+  ignore (Scheduler.spawn s ~name:"b" (fiber 'b'));
+  ignore (Scheduler.spawn s ~name:"c" (fiber 'c'));
+  ignore (Scheduler.run s);
+  Buffer.contents trace
+
+let test_determinism () =
+  Alcotest.(check string) "same seed, same schedule" (trace_for 42) (trace_for 42);
+  Alcotest.(check bool) "different seeds usually differ" true
+    (trace_for 1 <> trace_for 2 || trace_for 3 <> trace_for 4)
+
+let test_budget_hang () =
+  let s = Scheduler.create ~step_budget:50 ~rng:(Rng.create 1) () in
+  ignore
+    (Scheduler.spawn s ~name:"spinner" (fun () ->
+         while true do
+           Scheduler.yield ()
+         done));
+  let o = Scheduler.run s in
+  Alcotest.(check int) "steps capped" 50 o.steps;
+  Alcotest.(check (list (pair int string))) "hung" [ (0, "spinner") ] o.hung
+
+let test_failure_capture () =
+  let s = Scheduler.create ~rng:(Rng.create 1) () in
+  ignore (Scheduler.spawn s ~name:"ok" (fun () -> Scheduler.yield ()));
+  ignore (Scheduler.spawn s ~name:"bad" (fun () -> failwith "boom"));
+  let o = Scheduler.run s in
+  Alcotest.(check int) "one finished" 1 (List.length o.finished);
+  (match o.failed with
+  | [ (_, name, Failure m) ] ->
+      Alcotest.(check string) "name" "bad" name;
+      Alcotest.(check string) "message" "boom" m
+  | _ -> Alcotest.fail "expected one failure");
+  Alcotest.(check bool) "not completed" false (Scheduler.completed o)
+
+let test_killed_unwinds () =
+  let s = Scheduler.create ~step_budget:10 ~rng:(Rng.create 1) () in
+  let cleaned = ref false in
+  ignore
+    (Scheduler.spawn s ~name:"w" (fun () ->
+         Fun.protect
+           ~finally:(fun () -> cleaned := true)
+           (fun () ->
+             while true do
+               Scheduler.yield ()
+             done)));
+  ignore (Scheduler.run s);
+  Alcotest.(check bool) "finalizer ran on kill" true !cleaned
+
+let test_spawn_while_running_rejected () =
+  let s = Scheduler.create ~rng:(Rng.create 1) () in
+  let failed = ref false in
+  ignore
+    (Scheduler.spawn s ~name:"w" (fun () ->
+         match Scheduler.spawn s ~name:"x" (fun () -> ()) with
+         | exception Invalid_argument _ -> failed := true
+         | _ -> ()));
+  ignore (Scheduler.run s);
+  Alcotest.(check bool) "spawn rejected mid-run" true !failed
+
+let test_on_step () =
+  let s = Scheduler.create ~rng:(Rng.create 1) () in
+  let steps = ref [] in
+  ignore (Scheduler.spawn s ~name:"w" (fun () -> Scheduler.yield ()));
+  let o = Scheduler.run ~on_step:(fun tid -> steps := tid :: !steps) s in
+  Alcotest.(check int) "on_step per step" o.steps (List.length !steps)
+
+let prop_all_fibers_complete =
+  QCheck.Test.make ~name:"scheduler: every fiber completes within budget" ~count:100
+    QCheck.(pair small_int (int_range 1 8))
+    (fun (seed, n) ->
+      let s = Scheduler.create ~rng:(Rng.create seed) () in
+      let done_ = Array.make n false in
+      for i = 0 to n - 1 do
+        ignore
+          (Scheduler.spawn s ~name:"w" (fun () ->
+               for _ = 1 to 5 do
+                 Scheduler.yield ()
+               done;
+               done_.(i) <- true))
+      done;
+      let o = Scheduler.run s in
+      Array.for_all Fun.id done_ && List.length o.finished = n)
+
+let suite =
+  [
+    Alcotest.test_case "runs to completion" `Quick test_runs_to_completion;
+    Alcotest.test_case "fibers interleave" `Quick test_interleaving;
+    Alcotest.test_case "deterministic given seed" `Quick test_determinism;
+    Alcotest.test_case "budget exhaustion = hang" `Quick test_budget_hang;
+    Alcotest.test_case "failures are captured" `Quick test_failure_capture;
+    Alcotest.test_case "killed fibers unwind" `Quick test_killed_unwinds;
+    Alcotest.test_case "spawn while running rejected" `Quick test_spawn_while_running_rejected;
+    Alcotest.test_case "on_step callback" `Quick test_on_step;
+    QCheck_alcotest.to_alcotest prop_all_fibers_complete;
+  ]

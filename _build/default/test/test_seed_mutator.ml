@@ -1,0 +1,155 @@
+(* Seeds, the operation mutator, and the AFL havoc baseline. *)
+
+module Seed = Pmrace.Seed
+module Mutator = Pmrace.Mutator
+module Rng = Sched.Rng
+
+let profile = { Seed.default_profile with key_range = 10; threads = 3; ops_per_thread = 4 }
+
+let valid_op (op : Seed.op) =
+  let k = Seed.key_of op in
+  k >= 0 && k < profile.key_range
+
+let test_gen_shape () =
+  let s = Seed.gen (Rng.create 1) profile in
+  Alcotest.(check int) "threads" 3 (Array.length (Seed.threads s));
+  Alcotest.(check int) "ops" 12 (Seed.op_count s);
+  Alcotest.(check bool) "ops valid" true (List.for_all valid_op (Seed.all_ops s))
+
+let test_gen_only_supported () =
+  let p = { profile with Seed.supported = [ Seed.KGet ] } in
+  let s = Seed.gen (Rng.create 2) p in
+  Alcotest.(check bool) "only gets" true
+    (List.for_all (fun op -> Seed.kind_of_op op = Seed.KGet) (Seed.all_ops s))
+
+let test_ids_unique () =
+  let a = Seed.gen (Rng.create 1) profile and b = Seed.gen (Rng.create 1) profile in
+  Alcotest.(check bool) "fresh ids" true (Seed.id a <> Seed.id b)
+
+let test_render () =
+  Alcotest.(check string) "set" "set k3 0 0 2\r\n55\r\n"
+    (Seed.render_op (Seed.Put { key = 3; value = 55 }));
+  Alcotest.(check string) "get" "get k3\r\n" (Seed.render_op (Seed.Get { key = 3 }));
+  Alcotest.(check string) "delete" "delete k1\r\n" (Seed.render_op (Seed.Delete { key = 1 }));
+  Alcotest.(check string) "incr" "incr k2 4\r\n" (Seed.render_op (Seed.Incr { key = 2; delta = 4 }))
+
+let rendered_parses op =
+  match Workloads.Memcached_proto.parse (Seed.render_op op) with Ok _ -> true | Error _ -> false
+
+let prop_render_parses =
+  QCheck.Test.make ~name:"seed: every rendered op parses" ~count:300
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let p = { profile with Seed.supported = Seed.[ KPut; KGet; KUpdate; KDelete; KIncr; KDecr; KAppend; KPrepend; KScan ] } in
+      let s = Seed.gen (Rng.create seed) p in
+      List.for_all rendered_parses (Seed.all_ops s))
+
+let multiset s =
+  List.sort compare (List.map Seed.render_op (Seed.all_ops s))
+
+let prop_shuffle_preserves_ops =
+  QCheck.Test.make ~name:"mutator: shuffling preserves the operation multiset" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let seed = Seed.gen (Rng.create s1) profile in
+      let shuffled = Mutator.shuffle_ops (Rng.create s2) profile seed in
+      multiset seed = multiset shuffled)
+
+let prop_mutation_valid =
+  QCheck.Test.make ~name:"mutator: all strategies keep ops valid" ~count:200
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let rng = Rng.create s2 in
+      let seed = Seed.gen (Rng.create s1) profile in
+      let _, child = Mutator.evolve rng profile ~corpus:[ seed ] seed in
+      List.for_all valid_op (Seed.all_ops child))
+
+let prop_addition_grows =
+  QCheck.Test.make ~name:"mutator: addition adds exactly one op" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let seed = Seed.gen (Rng.create s1) profile in
+      Seed.op_count (Mutator.add_op (Rng.create s2) profile seed) = Seed.op_count seed + 1)
+
+let prop_deletion_shrinks =
+  QCheck.Test.make ~name:"mutator: deletion removes at most one op" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let seed = Seed.gen (Rng.create s1) profile in
+      let n = Seed.op_count (Mutator.delete_op (Rng.create s2) profile seed) in
+      n = Seed.op_count seed - 1 || n = Seed.op_count seed)
+
+let prop_merge_combines =
+  QCheck.Test.make ~name:"mutator: merging concatenates both seeds" ~count:100
+    QCheck.(triple small_int small_int small_int)
+    (fun (s1, s2, s3) ->
+      let a = Seed.gen (Rng.create s1) profile and b = Seed.gen (Rng.create s2) profile in
+      let m = Mutator.merge (Rng.create s3) profile a b in
+      Seed.op_count m = Seed.op_count a + Seed.op_count b)
+
+let test_populate () =
+  let s = Mutator.populate (Rng.create 5) profile ~factor:3 in
+  Alcotest.(check int) "3x ops" (3 * 4 * 3) (Seed.op_count s);
+  Alcotest.(check bool) "all inserts" true
+    (List.for_all (fun op -> Seed.kind_of_op op = Seed.KPut) (Seed.all_ops s))
+
+let test_near_key_bias () =
+  (* The generator biases towards keys near already-used ones (§4.5): with
+     a large key space, consecutive ops collide far more often than two
+     uniform draws would. *)
+  let p = { profile with Seed.key_range = 1000; ops_per_thread = 200; threads = 1 } in
+  let s = Seed.gen (Rng.create 9) p in
+  let ops = Seed.all_ops s in
+  let near = ref 0 and total = ref 0 in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        incr total;
+        if abs (Seed.key_of a - Seed.key_of b) <= 2 then incr near;
+        walk rest
+    | _ -> ()
+  in
+  walk ops;
+  Alcotest.(check bool)
+    (Printf.sprintf "near-key ratio %d/%d" !near !total)
+    true
+    (float_of_int !near /. float_of_int !total > 0.3)
+
+let test_afl_havoc_changes () =
+  let rng = Rng.create 11 in
+  let original = "set k1 0 0 3\r\nabc\r\n" in
+  let changed = ref 0 in
+  for _ = 1 to 20 do
+    if not (String.equal (Mutator.afl_havoc rng original) original) then incr changed
+  done;
+  Alcotest.(check bool) "havoc mutates" true (!changed > 15)
+
+let test_afl_mostly_invalid () =
+  (* The headline behind Table 4: grammar-oblivious mutation mostly breaks
+     the protocol. *)
+  let rng = Rng.create 13 in
+  let original = "set k1 0 0 3\r\nabc\r\n" in
+  let invalid = ref 0 in
+  for _ = 1 to 100 do
+    match Workloads.Memcached_proto.parse (Mutator.afl_havoc rng original) with
+    | Error _ -> incr invalid
+    | Ok _ -> ()
+  done;
+  Alcotest.(check bool) "mostly parse errors" true (!invalid > 50)
+
+let suite =
+  [
+    Alcotest.test_case "gen shape" `Quick test_gen_shape;
+    Alcotest.test_case "gen respects profile" `Quick test_gen_only_supported;
+    Alcotest.test_case "seed ids unique" `Quick test_ids_unique;
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "populate" `Quick test_populate;
+    Alcotest.test_case "near-key bias" `Quick test_near_key_bias;
+    Alcotest.test_case "afl havoc mutates" `Quick test_afl_havoc_changes;
+    Alcotest.test_case "afl output mostly invalid" `Quick test_afl_mostly_invalid;
+    QCheck_alcotest.to_alcotest prop_render_parses;
+    QCheck_alcotest.to_alcotest prop_shuffle_preserves_ops;
+    QCheck_alcotest.to_alcotest prop_mutation_valid;
+    QCheck_alcotest.to_alcotest prop_addition_grows;
+    QCheck_alcotest.to_alcotest prop_deletion_shrinks;
+    QCheck_alcotest.to_alcotest prop_merge_combines;
+  ]
