@@ -2,6 +2,7 @@
 
      pmrace list                        show the available targets
      pmrace fuzz TARGET [options]       fuzz one target and print the report
+     pmrace analyze TARGET [options]    offline persistency analysis (no fuzzing)
      pmrace inspect TARGET              show a target's seeded ground truth
 
    The table/figure reproductions live in the benchmark harness
@@ -14,8 +15,12 @@ module Report = Pmrace.Report
 
 let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
   Format.fprintf ppf "== %s: %d campaigns in %.2fs ==@." target.name s.campaigns_run s.wall_time;
-  Format.fprintf ppf "coverage: %d PM alias pairs, %d branches@." (Pmrace.Alias_cov.count s.alias)
+  Format.fprintf ppf "coverage: %d PM alias pairs (%a), %d branches@."
+    (Pmrace.Alias_cov.count s.alias) Pmrace.Alias_cov.pp_site_coverage s.alias
     (Pmrace.Branch_cov.count s.branch);
+  (match Pmrace.Report.lint_findings s.report with
+  | [] -> ()
+  | fs -> Format.fprintf ppf "static pre-pass: %d lint findings (see pmrace analyze)@." (List.length fs));
   Format.fprintf ppf "candidates: %d inter, %d intra@."
     (Report.candidate_count s.report Runtime.Candidates.Inter)
     (Report.candidate_count s.report Runtime.Candidates.Intra);
@@ -84,11 +89,17 @@ let fuzz_cmd =
   in
   let no_ie = Arg.(value & flag & info [ "no-ie" ] ~doc:"Disable the interleaving tier.") in
   let no_se = Arg.(value & flag & info [ "no-se" ] ~doc:"Disable the seed tier.") in
+  let no_static =
+    Arg.(value & flag
+         & info [ "no-static" ]
+             ~doc:"Skip the static pre-pass (alias-pair denominator, lint, seed prioritisation).")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log campaign progress.") in
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Print detailed bug reports with reproduction inputs.")
   in
-  let run target campaigns seed mode no_checkpoint no_validate no_ie no_se verbose report =
+  let run target campaigns seed mode no_checkpoint no_validate no_ie no_se no_static verbose report
+      =
     let cfg =
       {
         Fuzzer.default_config with
@@ -99,6 +110,7 @@ let fuzz_cmd =
         validate = not no_validate;
         interleaving_tier = not no_ie;
         seed_tier = not no_se;
+        static_prepass = not no_static;
       }
     in
     let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
@@ -113,7 +125,41 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Fuzz a PM system for concurrency bugs")
     Term.(
       const run $ target $ campaigns $ seed $ mode $ no_checkpoint $ no_validate $ no_ie $ no_se
-      $ verbose $ report)
+      $ no_static $ verbose $ report)
+
+let analyze_cmd =
+  let target =
+    Arg.(required & pos 0 (some target_conv) None & info [] ~docv:"TARGET" ~doc:"Target to analyse.")
+  in
+  let seeds =
+    Arg.(value & opt int Pmrace.Analyze.default_config.Pmrace.Analyze.seeds
+         & info [ "seeds" ] ~doc:"Number of seed executions to record and analyse.")
+  in
+  let master_seed =
+    Arg.(value & opt int Pmrace.Analyze.default_config.Pmrace.Analyze.master_seed
+         & info [ "seed" ] ~doc:"Master random seed for the recorded executions.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit with a nonzero status when the lint pass has findings (CI gate).")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full finding reports.") in
+  let run (target : Pmrace.Target.t) seeds master_seed strict verbose =
+    let cfg = { Pmrace.Analyze.default_config with seeds; master_seed } in
+    let r = Pmrace.Analyze.run ~cfg target in
+    Format.printf "== %s: offline persistency analysis over %d executions ==@." target.name
+      r.Analysis.Analyzer.r_executions;
+    Analysis.Analyzer.pp_report Format.std_formatter r;
+    if verbose && r.Analysis.Analyzer.r_findings <> [] then begin
+      Format.printf "@.=== detailed lint reports ===@.";
+      Pmrace.Bug_report.render_lint Format.std_formatter r.Analysis.Analyzer.r_findings
+    end;
+    if strict && r.Analysis.Analyzer.r_findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Offline persistency analysis: site graph, alias-pair denominator, lint pass")
+    Term.(const run $ target $ seeds $ master_seed $ strict $ verbose)
 
 let list_cmd =
   let run () =
@@ -140,4 +186,4 @@ let inspect_cmd =
 
 let () =
   let doc = "PMRace: PM-aware coverage-guided fuzzing for persistent-memory concurrency bugs" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "pmrace" ~doc) [ fuzz_cmd; list_cmd; inspect_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "pmrace" ~doc) [ fuzz_cmd; analyze_cmd; list_cmd; inspect_cmd ]))

@@ -1,0 +1,56 @@
+(* Offline persistency analyzer: site graph + alias pairs + lint, driven
+   over recorded traces.
+
+   Achieved alias pairs are derived from the lint pass's
+   unflushed-store-published findings: a cross-thread dirty read is
+   precisely a dynamically achieved (write site, read site) alias pair.
+   Because the same traces feed the site graph, every achieved pair's
+   writer and reader also appear in the graph's per-address writer/reader
+   sets — achieved <= possible holds by construction. *)
+
+type t = { graph : Site_graph.t; lint : Lint.t; mutable executions : int }
+
+type result = {
+  r_graph : Site_graph.t;
+  r_pairs : Alias_pairs.t;
+  r_findings : Lint.finding list;
+  r_executions : int;
+}
+
+let create () = { graph = Site_graph.create (); lint = Lint.create (); executions = 0 }
+
+let absorb t events =
+  t.executions <- t.executions + 1;
+  Site_graph.absorb t.graph events;
+  Lint.absorb t.lint events
+
+let absorb_trace t trace = absorb t (Runtime.Trace.events trace)
+
+let result t =
+  let pairs = Alias_pairs.of_site_graph t.graph in
+  List.iter
+    (fun (f : Lint.finding) ->
+      match (f.f_kind, f.f_write_site) with
+      | Lint.Unflushed_publish, Some w -> Alias_pairs.mark_achieved pairs ~write:w ~read:f.f_site
+      | _ -> ())
+    (Lint.findings t.lint);
+  {
+    r_graph = t.graph;
+    r_pairs = pairs;
+    r_findings = Lint.findings t.lint;
+    r_executions = t.executions;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf "%a" Site_graph.pp_summary r.r_graph;
+  Fmt.pf ppf "%a@." Alias_pairs.pp r.r_pairs;
+  if r.r_findings = [] then Fmt.pf ppf "lint: clean — no persistency findings@."
+  else begin
+    Fmt.pf ppf "lint: %d finding%s (%d high, %d medium, %d low)@."
+      (List.length r.r_findings)
+      (if List.length r.r_findings = 1 then "" else "s")
+      (List.length (List.filter (fun (f : Lint.finding) -> f.f_severity = Lint.High) r.r_findings))
+      (List.length (List.filter (fun (f : Lint.finding) -> f.f_severity = Lint.Medium) r.r_findings))
+      (List.length (List.filter (fun (f : Lint.finding) -> f.f_severity = Lint.Low) r.r_findings));
+    List.iter (fun f -> Fmt.pf ppf "  %a@." Lint.pp_finding f) r.r_findings
+  end

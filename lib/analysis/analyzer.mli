@@ -1,0 +1,32 @@
+(** Offline persistency analyzer: the orchestration layer.
+
+    Feed it the recorded event streams of a set of seed executions
+    ({!Runtime.Trace}); it builds the {!Site_graph}, computes the
+    statically-possible alias pairs with achieved accounting
+    ({!Alias_pairs}), and runs the {!Lint} pass — one consumer pass per
+    trace, all offline. *)
+
+type t
+
+type result = {
+  r_graph : Site_graph.t;
+  r_pairs : Alias_pairs.t;
+  r_findings : Lint.finding list;
+  r_executions : int;
+}
+
+val create : unit -> t
+
+val absorb : t -> Runtime.Env.event list -> unit
+(** Analyse one execution's recorded event stream. *)
+
+val absorb_trace : t -> Runtime.Trace.t -> unit
+
+val result : t -> result
+(** Snapshot the analysis: possible pairs come from the site graph,
+    achieved pairs from the cross-thread dirty reads the lint FSM
+    observed, so achieved is always a subset of possible. *)
+
+val pp_report : Format.formatter -> result -> unit
+(** The [pmrace analyze] report: site-graph summary, alias coverage as
+    achieved/possible, and the deduplicated findings. *)

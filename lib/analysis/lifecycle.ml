@@ -1,0 +1,90 @@
+(* Per-address persistency lifecycle FSM.
+
+   The event stream already linearises the execution (the cooperative
+   scheduler emits events in the order operations actually interleaved),
+   so the FSM is a straight fold: a hash table of per-word states plus
+   one global flush-since-last-fence flag for fence-redundancy. *)
+
+module Env = Runtime.Env
+module Instr = Runtime.Instr
+
+type state =
+  | S_clean
+  | S_dirty of { w_site : Instr.t; w_tid : int }
+  | S_flushed of { w_site : Instr.t; w_tid : int; f_site : Instr.t }
+
+type obs =
+  | O_dirty_read of {
+      w_site : Instr.t;
+      w_tid : int;
+      r_site : Instr.t;
+      r_tid : int;
+      addr : int;
+    }
+  | O_unfenced_read of {
+      w_site : Instr.t;
+      w_tid : int;
+      f_site : Instr.t;
+      r_site : Instr.t;
+      r_tid : int;
+      addr : int;
+    }
+  | O_redundant_flush of { f_site : Instr.t; addr : int }
+  | O_redundant_fence of { site : Instr.t }
+
+type t = {
+  words : (int, state) Hashtbl.t;
+  mutable flush_since_fence : bool;
+}
+
+let create () = { words = Hashtbl.create 256; flush_since_fence = false }
+
+let state t addr = Option.value ~default:S_clean (Hashtbl.find_opt t.words addr)
+
+let set t addr = function
+  | S_clean -> Hashtbl.remove t.words addr
+  | s -> Hashtbl.replace t.words addr s
+
+let step t ~emit (ev : Env.event) =
+  match ev with
+  | Env.Ev_store { instr; tid; addr } -> set t addr (S_dirty { w_site = instr; w_tid = tid })
+  | Env.Ev_movnt { instr; tid; addr } ->
+      t.flush_since_fence <- true;
+      set t addr (S_flushed { w_site = instr; w_tid = tid; f_site = instr })
+  | Env.Ev_load { instr; tid; addr; _ } -> (
+      match state t addr with
+      | S_dirty { w_site; w_tid } when w_tid <> tid ->
+          emit (O_dirty_read { w_site; w_tid; r_site = instr; r_tid = tid; addr })
+      | S_flushed { w_site; w_tid; f_site } when w_tid <> tid ->
+          emit (O_unfenced_read { w_site; w_tid; f_site; r_site = instr; r_tid = tid; addr })
+      | S_clean | S_dirty _ | S_flushed _ -> ())
+  | Env.Ev_clwb { instr; addr; dirty_words; _ } ->
+      t.flush_since_fence <- true;
+      if dirty_words = 0 then emit (O_redundant_flush { f_site = instr; addr });
+      List.iter
+        (fun w ->
+          match state t w with
+          | S_dirty { w_site; w_tid } ->
+              set t w (S_flushed { w_site; w_tid; f_site = instr })
+          | S_clean | S_flushed _ -> ())
+        (Pmem.Cacheline.words_of_line_containing addr)
+  | Env.Ev_fence { instr; persisted; _ } ->
+      if (not t.flush_since_fence) && persisted = [] then emit (O_redundant_fence { site = instr });
+      t.flush_since_fence <- false;
+      List.iter
+        (fun w ->
+          match state t w with
+          | S_flushed _ -> set t w S_clean
+          | S_clean | S_dirty _ -> () (* re-dirtied after the flush: stays dirty *))
+        persisted
+  | Env.Ev_branch _ -> ()
+
+let dirty_words t =
+  Hashtbl.fold
+    (fun addr s acc -> match s with S_dirty { w_site; _ } -> (addr, w_site) :: acc | _ -> acc)
+    t.words []
+  |> List.sort compare
+
+let reset t =
+  Hashtbl.reset t.words;
+  t.flush_since_fence <- false

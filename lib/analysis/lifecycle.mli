@@ -1,0 +1,57 @@
+(** Per-address persistency lifecycle FSM (Agamotto/WITCHER-style).
+
+    Every pool word moves through [clean → dirty → flushed → clean]:
+    a cached store dirties it, CLWB moves it to flushed-awaiting-fence,
+    and the draining SFENCE makes it durable (clean).  Non-temporal
+    stores skip the dirty state and wait for the fence directly.  The FSM
+    consumes one execution's recorded event stream and emits an
+    observation at every transition that violates (or wastes) the
+    store→flushed→fenced discipline; {!Lint} aggregates the observations
+    into deduplicated findings. *)
+
+module Instr = Runtime.Instr
+
+type state =
+  | S_clean  (** durable (or never written) *)
+  | S_dirty of { w_site : Instr.t; w_tid : int }  (** stored, not flushed *)
+  | S_flushed of { w_site : Instr.t; w_tid : int; f_site : Instr.t }
+      (** flushed (or written non-temporally), awaiting a fence *)
+
+type obs =
+  | O_dirty_read of {
+      w_site : Instr.t;
+      w_tid : int;
+      r_site : Instr.t;
+      r_tid : int;
+      addr : int;
+    }  (** another thread consumed a store that was never flushed *)
+  | O_unfenced_read of {
+      w_site : Instr.t;
+      w_tid : int;
+      f_site : Instr.t;
+      r_site : Instr.t;
+      r_tid : int;
+      addr : int;
+    }  (** another thread consumed a store flushed but not yet fenced *)
+  | O_redundant_flush of { f_site : Instr.t; addr : int }
+      (** CLWB of a line holding no dirty words *)
+  | O_redundant_fence of { site : Instr.t }
+      (** SFENCE with no flush or non-temporal store since the previous
+          fence *)
+
+type t
+
+val create : unit -> t
+
+val step : t -> emit:(obs -> unit) -> Runtime.Env.event -> unit
+(** Feed one event in program order; [emit] receives any observations. *)
+
+val state : t -> int -> state
+(** Current lifecycle state of a word. *)
+
+val dirty_words : t -> (int * Instr.t) list
+(** Words still dirty, with their writing site — the end-of-trace
+    missing-flush residue. *)
+
+val reset : t -> unit
+(** Forget all per-word state (between executions). *)

@@ -1,0 +1,103 @@
+(* Persistency lint pass: Lifecycle observations -> deduplicated,
+   severity-ranked findings. *)
+
+module Instr = Runtime.Instr
+
+type severity = High | Medium | Low
+
+type kind =
+  | Unflushed_publish
+  | Unfenced_publish
+  | Redundant_flush
+  | Redundant_fence
+
+type finding = {
+  f_kind : kind;
+  f_severity : severity;
+  f_write_site : Instr.t option;
+  f_site : Instr.t;
+  f_addr : int;
+  f_first_exec : int;
+  mutable f_count : int;
+}
+
+type key = kind * Instr.t option * Instr.t
+
+type t = {
+  fsm : Lifecycle.t;
+  uniq : (key, finding) Hashtbl.t;
+  mutable execs : int;
+}
+
+let severity_of = function
+  | Unflushed_publish -> High
+  | Unfenced_publish -> Medium
+  | Redundant_flush | Redundant_fence -> Low
+
+let kind_label = function
+  | Unflushed_publish -> "unflushed-store-published"
+  | Unfenced_publish -> "flush-without-fence-before-release"
+  | Redundant_flush -> "redundant CLWB"
+  | Redundant_fence -> "redundant SFENCE"
+
+let create () = { fsm = Lifecycle.create (); uniq = Hashtbl.create 32; execs = 0 }
+
+let record t ~kind ~write_site ~site ~addr =
+  let key = (kind, write_site, site) in
+  match Hashtbl.find_opt t.uniq key with
+  | Some f -> f.f_count <- f.f_count + 1
+  | None ->
+      Hashtbl.add t.uniq key
+        {
+          f_kind = kind;
+          f_severity = severity_of kind;
+          f_write_site = write_site;
+          f_site = site;
+          f_addr = addr;
+          f_first_exec = t.execs;
+          f_count = 1;
+        }
+
+let on_obs t = function
+  | Lifecycle.O_dirty_read { w_site; r_site; addr; _ } ->
+      record t ~kind:Unflushed_publish ~write_site:(Some w_site) ~site:r_site ~addr
+  | Lifecycle.O_unfenced_read { w_site; r_site; addr; _ } ->
+      record t ~kind:Unfenced_publish ~write_site:(Some w_site) ~site:r_site ~addr
+  | Lifecycle.O_redundant_flush { f_site; addr } ->
+      record t ~kind:Redundant_flush ~write_site:None ~site:f_site ~addr
+  | Lifecycle.O_redundant_fence { site } ->
+      record t ~kind:Redundant_fence ~write_site:None ~site ~addr:(-1)
+
+let absorb t events =
+  Lifecycle.reset t.fsm;
+  t.execs <- t.execs + 1;
+  List.iter (Lifecycle.step t.fsm ~emit:(on_obs t)) events
+
+let sev_rank = function High -> 0 | Medium -> 1 | Low -> 2
+
+let findings t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.uniq []
+  |> List.sort (fun a b ->
+         match compare (sev_rank a.f_severity) (sev_rank b.f_severity) with
+         | 0 -> compare (b.f_count, Instr.to_int a.f_site) (a.f_count, Instr.to_int b.f_site)
+         | c -> c)
+
+let count t = Hashtbl.length t.uniq
+
+let count_severity t sev =
+  Hashtbl.fold (fun _ f n -> if f.f_severity = sev then n + 1 else n) t.uniq 0
+
+let pp_severity ppf = function
+  | High -> Fmt.string ppf "HIGH"
+  | Medium -> Fmt.string ppf "MEDIUM"
+  | Low -> Fmt.string ppf "LOW"
+
+let pp_finding ppf f =
+  Fmt.pf ppf "[%a] %s: %a%s (%d occurrence%s%s)" pp_severity f.f_severity (kind_label f.f_kind)
+    Instr.pp f.f_site
+    (match f.f_write_site with
+    | Some w -> Printf.sprintf " <- store at %s" (Instr.name w)
+    | None -> "")
+    f.f_count
+    (if f.f_count = 1 then "" else "s")
+    (if f.f_addr >= 0 then Printf.sprintf ", e.g. PM word %d" f.f_addr else "")

@@ -1,0 +1,53 @@
+(** Persistency lint pass: run the {!Lifecycle} FSM over recorded traces
+    and aggregate its observations into findings, deduplicated by site
+    pair and ranked by severity.
+
+    The four rules (WITCHER's persistence lifecycle rules, specialised to
+    the event stream we record):
+    - {e unflushed-store-published}: a store still in the dirty state was
+      read by another thread — the classic PM inter-thread hazard
+      (severity High);
+    - {e flush-without-fence-before-release}: a store was flushed but no
+      fence had ordered it when another thread consumed it (Medium);
+    - {e redundant CLWB}: a flush of a line with no dirty words (Low);
+    - {e redundant SFENCE}: a fence with no flush or non-temporal store
+      since the previous fence (Low). *)
+
+module Instr = Runtime.Instr
+
+type severity = High | Medium | Low
+
+type kind =
+  | Unflushed_publish
+  | Unfenced_publish
+  | Redundant_flush
+  | Redundant_fence
+
+type finding = {
+  f_kind : kind;
+  f_severity : severity;
+  f_write_site : Instr.t option;  (** the store site, for the publish rules *)
+  f_site : Instr.t;  (** read site / flush site / fence site *)
+  f_addr : int;  (** sample address of the first occurrence; -1 for fences *)
+  f_first_exec : int;  (** index of the trace of the first occurrence *)
+  mutable f_count : int;  (** dynamic occurrences across all traces *)
+}
+
+type t
+
+val create : unit -> t
+
+val absorb : t -> Runtime.Env.event list -> unit
+(** Lint one execution's event stream; per-word FSM state is reset
+    between calls. *)
+
+val findings : t -> finding list
+(** Deduplicated by (rule, write site, site), most severe first. *)
+
+val count : t -> int
+val count_severity : t -> severity -> int
+
+val severity_of : kind -> severity
+val kind_label : kind -> string
+val pp_severity : Format.formatter -> severity -> unit
+val pp_finding : Format.formatter -> finding -> unit

@@ -14,11 +14,23 @@ type t = {
   bits : Bytes.t;
   size : int; (* bits *)
   mutable count : int; (* set bits *)
+  (* Site-level accounting on top of the bitmap: achieved (write site,
+     read site) pairs — cross-thread dirty reads — against the
+     statically-possible denominator computed by the offline analyzer
+     (Analysis.Site_graph). *)
+  achieved : (int * int, unit) Hashtbl.t;
+  mutable possible : int option;
 }
 
 let create ?(size_log = 16) () =
   let size = 1 lsl size_log in
-  { bits = Bytes.make (size / 8) '\000'; size; count = 0 }
+  {
+    bits = Bytes.make (size / 8) '\000';
+    size;
+    count = 0;
+    achieved = Hashtbl.create 64;
+    possible = None;
+  }
 
 let mix h x =
   let h = h lxor (x * 0x9E3779B1) in
@@ -51,10 +63,30 @@ let observe t ~prev ~cur =
 
 let count t = t.count
 
+let record_site_pair t ~write_instr ~read_instr =
+  Hashtbl.replace t.achieved (write_instr, read_instr) ()
+
+let achieved_site_pairs t = Hashtbl.length t.achieved
+
+let site_pairs t =
+  Hashtbl.fold (fun (w, r) () acc -> (w, r) :: acc) t.achieved [] |> List.sort compare
+
+let set_possible t n = t.possible <- Some n
+let possible t = t.possible
+
+let pp_site_coverage ppf t =
+  match t.possible with
+  | Some p -> Fmt.pf ppf "%d/%d site pairs" (Hashtbl.length t.achieved) p
+  | None -> Fmt.pf ppf "%d site pairs (no static denominator)" (Hashtbl.length t.achieved)
+
 (* Attach a listener to an execution environment: it tracks the previous
-   accessor of every PM address and feeds alias pairs into the bitmap. *)
+   accessor of every PM address and feeds alias pairs into the bitmap.
+   The last *writer* of each address is tracked separately so that
+   cross-thread dirty reads also register as achieved site pairs against
+   the static denominator. *)
 let attach t env =
   let last : (int, access) Hashtbl.t = Hashtbl.create 256 in
+  let last_writer : (int, access) Hashtbl.t = Hashtbl.create 256 in
   let on_access addr cur =
     (match Hashtbl.find_opt last addr with
     | Some prev -> ignore (observe t ~prev ~cur)
@@ -63,7 +95,15 @@ let attach t env =
   in
   Runtime.Env.add_listener env (function
     | Runtime.Env.Ev_load { instr; tid; addr; dirty } ->
-        on_access addr { a_instr = Runtime.Instr.to_int instr; a_dirty = dirty; a_tid = tid }
+        let cur = { a_instr = Runtime.Instr.to_int instr; a_dirty = dirty; a_tid = tid } in
+        (if dirty then
+           match Hashtbl.find_opt last_writer addr with
+           | Some w when w.a_tid <> tid ->
+               record_site_pair t ~write_instr:w.a_instr ~read_instr:cur.a_instr
+           | Some _ | None -> ());
+        on_access addr cur
     | Runtime.Env.Ev_store { instr; tid; addr } | Runtime.Env.Ev_movnt { instr; tid; addr } ->
-        on_access addr { a_instr = Runtime.Instr.to_int instr; a_dirty = true; a_tid = tid }
+        let cur = { a_instr = Runtime.Instr.to_int instr; a_dirty = true; a_tid = tid } in
+        Hashtbl.replace last_writer addr cur;
+        on_access addr cur
     | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ())

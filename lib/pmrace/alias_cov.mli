@@ -17,5 +17,25 @@ val observe : t -> prev:access -> cur:access -> bool
 val count : t -> int
 (** Number of set bits — the coverage measure. *)
 
+val record_site_pair : t -> write_instr:int -> read_instr:int -> unit
+(** Register a (write site, read site) pair as dynamically achieved — a
+    cross-thread dirty read.  {!attach} does this automatically. *)
+
+val achieved_site_pairs : t -> int
+(** Distinct achieved (write site, read site) pairs. *)
+
+val site_pairs : t -> (int * int) list
+(** The achieved pairs themselves, as raw instruction ids, sorted. *)
+
+val set_possible : t -> int -> unit
+(** Install the statically-possible pair count computed by the offline
+    analyzer's site graph — the coverage denominator. *)
+
+val possible : t -> int option
+
+val pp_site_coverage : Format.formatter -> t -> unit
+(** "achieved/possible site pairs", or just the achieved count when no
+    static pre-pass ran. *)
+
 val attach : t -> Runtime.Env.t -> unit
 (** Subscribe to an execution's access events and feed the bitmap. *)

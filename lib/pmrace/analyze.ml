@@ -1,0 +1,43 @@
+(* Driver for the offline persistency analyzer: run seed executions with
+   trace capture, feed the traces to Analysis.Analyzer.
+
+   The executions use plain random scheduling (every instrumented
+   operation a preemption point) so cross-thread publishes show up in the
+   traces; the analyzer itself is entirely offline.  A private RNG keeps
+   the driver deterministic and independent of the fuzzer's streams. *)
+
+module Rng = Sched.Rng
+module Trace = Runtime.Trace
+
+type config = {
+  seeds : int;
+  scheds_per_seed : int;
+  master_seed : int;
+  step_budget : int;
+}
+
+let default_config = { seeds = 6; scheds_per_seed = 2; master_seed = 7; step_budget = 60_000 }
+
+let run ?(cfg = default_config) (target : Target.t) =
+  let rng = Rng.create cfg.master_seed in
+  let az = Analysis.Analyzer.create () in
+  let snapshot =
+    if target.Target.expensive_init then Some (Campaign.prepare_snapshot target) else None
+  in
+  for _ = 1 to cfg.seeds do
+    let seed = Seed.gen rng target.Target.profile in
+    for _ = 1 to cfg.scheds_per_seed do
+      let sched_seed = Rng.int rng 1_000_000_000 in
+      let trace = Trace.create () in
+      let input =
+        Campaign.input ~sched_seed ~policy:Campaign.Random_sched ?snapshot
+          ~step_budget:cfg.step_budget ~capture_images:false target seed
+      in
+      ignore (Campaign.run ~listeners:[ Trace.attach trace ] input);
+      Analysis.Analyzer.absorb_trace az trace
+    done
+  done;
+  Analysis.Analyzer.result az
+
+let prepass ?(seeds = 4) target =
+  run ~cfg:{ default_config with seeds; master_seed = 11 } target

@@ -1,0 +1,25 @@
+(** Driver for the offline persistency analyzer ([lib/analysis]).
+
+    Runs a bounded set of seed executions of a target with trace capture
+    ({!Runtime.Trace}), then hands the recorded event streams to
+    {!Analysis.Analyzer} — the reproduction's stand-in for PMRace's LLVM
+    pre-pass: it bounds alias-pair coverage (the possible-pair
+    denominator) and lints the traces against the persistency lifecycle
+    rules.  Used standalone by [pmrace analyze] and as the fuzzer's
+    static pre-pass. *)
+
+type config = {
+  seeds : int;  (** distinct generated seeds to execute *)
+  scheds_per_seed : int;  (** random schedules per seed *)
+  master_seed : int;
+  step_budget : int;
+}
+
+val default_config : config
+
+val run : ?cfg:config -> Target.t -> Analysis.Analyzer.result
+(** Execute the seed set with trace capture and analyse the traces. *)
+
+val prepass : ?seeds:int -> Target.t -> Analysis.Analyzer.result
+(** The fuzzer-facing entry point: a smaller seed set, fixed master seed
+    (deterministic across fuzzer configurations). *)

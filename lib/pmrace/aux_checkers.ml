@@ -2,8 +2,10 @@
    §4.3 sketches to show extensibility:
 
    - Redundant persistency operations: a CLWB whose target line holds no
-     dirty words persists nothing (the data is already PM_CLEAN).  Chronic
-     redundant flushes are a PM performance bug.
+     dirty words persists nothing (the data is already PM_CLEAN), and an
+     SFENCE with no flush or non-temporal store since the previous fence
+     drains an empty write-back queue.  Chronic redundant persistency
+     operations are a PM performance bug.
    - Missing flushes: PM words still dirty when an execution ends were
      modified but never persisted; grouped by the writing site, these are
      the classic sequential crash-consistency bug the PM-specific linters
@@ -17,29 +19,57 @@ module Instr = Runtime.Instr
 
 type t = {
   redundant : (Instr.t, int) Hashtbl.t; (* flush site -> redundant flushes *)
+  redundant_fence : (Instr.t, int) Hashtbl.t; (* fence site -> redundant fences *)
   mutable flushes : int;
   mutable redundant_total : int;
+  mutable fences : int;
+  mutable redundant_fence_total : int;
+  mutable flush_since_fence : bool;
 }
 
-let create () = { redundant = Hashtbl.create 16; flushes = 0; redundant_total = 0 }
+let create () =
+  {
+    redundant = Hashtbl.create 16;
+    redundant_fence = Hashtbl.create 16;
+    flushes = 0;
+    redundant_total = 0;
+    fences = 0;
+    redundant_fence_total = 0;
+    flush_since_fence = false;
+  }
+
+let bump tbl site = Hashtbl.replace tbl site (1 + Option.value ~default:0 (Hashtbl.find_opt tbl site))
 
 let attach t env =
   Env.add_listener env (function
     | Env.Ev_clwb { instr; dirty_words; _ } ->
         t.flushes <- t.flushes + 1;
+        t.flush_since_fence <- true;
         if dirty_words = 0 then begin
           t.redundant_total <- t.redundant_total + 1;
-          Hashtbl.replace t.redundant instr
-            (1 + Option.value ~default:0 (Hashtbl.find_opt t.redundant instr))
+          bump t.redundant instr
         end
-    | Env.Ev_load _ | Env.Ev_store _ | Env.Ev_movnt _ | Env.Ev_fence _ | Env.Ev_branch _ -> ())
+    | Env.Ev_movnt _ -> t.flush_since_fence <- true
+    | Env.Ev_fence { instr; persisted; _ } ->
+        t.fences <- t.fences + 1;
+        if (not t.flush_since_fence) && persisted = [] then begin
+          t.redundant_fence_total <- t.redundant_fence_total + 1;
+          bump t.redundant_fence instr
+        end;
+        t.flush_since_fence <- false
+    | Env.Ev_load _ | Env.Ev_store _ | Env.Ev_branch _ -> ())
 
 let flushes t = t.flushes
 let redundant_total t = t.redundant_total
+let fences t = t.fences
+let redundant_fence_total t = t.redundant_fence_total
 
-let redundant_sites t =
-  Hashtbl.fold (fun i n acc -> (Instr.name i, n) :: acc) t.redundant []
+let sites tbl =
+  Hashtbl.fold (fun i n acc -> (Instr.name i, n) :: acc) tbl []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let redundant_sites t = sites t.redundant
+let redundant_fence_sites t = sites t.redundant_fence
 
 (* Missing flushes: PM words left dirty when the execution ended, grouped
    by the site that wrote them.  Run at the end of a campaign. *)
@@ -57,6 +87,8 @@ let unflushed_at_exit (env : Env.t) =
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
 let pp ppf t =
-  Fmt.pf ppf "flushes=%d redundant=%d (%a)" t.flushes t.redundant_total
+  Fmt.pf ppf "flushes=%d redundant=%d (%a) fences=%d redundant=%d (%a)" t.flushes t.redundant_total
     Fmt.(list ~sep:comma (pair ~sep:(any ":") string int))
-    (redundant_sites t)
+    (redundant_sites t) t.fences t.redundant_fence_total
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") string int))
+    (redundant_fence_sites t)

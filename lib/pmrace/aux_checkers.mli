@@ -18,6 +18,14 @@ val redundant_total : t -> int
 val redundant_sites : t -> (string * int) list
 (** Redundant-flush counts per site, most frequent first. *)
 
+val fences : t -> int
+val redundant_fence_total : t -> int
+(** SFENCEs with no flush or non-temporal store since the previous fence
+    — they drain an empty write-back queue. *)
+
+val redundant_fence_sites : t -> (string * int) list
+(** Redundant-fence counts per site, most frequent first. *)
+
 val unflushed_at_exit : Env.t -> (string * int) list
 (** PM words still dirty when the execution ended, grouped by writing
     site — candidate missing-flush bugs. *)

@@ -61,6 +61,31 @@ let pp_sync_finding ppf (session : Fuzzer.session) (f : Report.sync_finding) =
   Fmt.pf ppf "  first seen         : campaign %d@." f.sync_found_at;
   pp_provenance ppf session f.sync_found_at
 
+(* Persistency-lint findings from the offline analyzer, as numbered
+   reports in the same style as the dynamic ones. *)
+let pp_lint_finding ppf (f : Analysis.Lint.finding) =
+  Fmt.pf ppf "%s [%a]@." (Analysis.Lint.kind_label f.f_kind) Analysis.Lint.pp_severity f.f_severity;
+  (match f.f_write_site with
+  | Some w -> Fmt.pf ppf "  store site         : %s@." (Instr.name w)
+  | None -> ());
+  Fmt.pf ppf "  %s : %s@."
+    (match f.f_kind with
+    | Analysis.Lint.Unflushed_publish | Analysis.Lint.Unfenced_publish -> "racy read         "
+    | Analysis.Lint.Redundant_flush -> "flush site        "
+    | Analysis.Lint.Redundant_fence -> "fence site        ")
+    (Instr.name f.f_site);
+  if f.f_addr >= 0 then Fmt.pf ppf "  sample address     : PM word %d@." f.f_addr;
+  Fmt.pf ppf "  occurrences        : %d (first in execution %d)@." f.f_count f.f_first_exec
+
+let render_lint ppf (findings : Analysis.Lint.finding list) =
+  if findings = [] then Fmt.pf ppf "no lint findings.@."
+  else
+    List.iteri
+      (fun i f ->
+        Fmt.pf ppf "--- finding %d ---@." (i + 1);
+        pp_lint_finding ppf f)
+      findings
+
 (* All surviving bugs of a session, most recently confirmed last. *)
 let render_bugs ppf (session : Fuzzer.session) =
   let findings =

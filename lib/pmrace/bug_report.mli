@@ -9,3 +9,9 @@ val pp_sync_finding : Format.formatter -> Fuzzer.session -> Report.sync_finding 
 val render_bugs : Format.formatter -> Fuzzer.session -> unit
 (** Every finding that survived post-failure validation, as numbered
     reports with reproduction instructions. *)
+
+val pp_lint_finding : Format.formatter -> Analysis.Lint.finding -> unit
+
+val render_lint : Format.formatter -> Analysis.Lint.finding list -> unit
+(** The offline analyzer's persistency-lint findings, as numbered reports
+    (used by [pmrace analyze]). *)

@@ -34,6 +34,10 @@ type config = {
   workers : int; (* concurrent fuzzing workers sharing coverage (§5) *)
   initial_seeds : int;
   whitelist_extra : string list;
+  static_prepass : bool;
+      (* run the offline analyzer first (the LLVM pre-pass analogue): its
+         site graph bounds alias coverage (achieved/possible) and seeds
+         touching uncovered possible pairs are preferred as parents *)
 }
 
 let default_config =
@@ -53,6 +57,7 @@ let default_config =
     workers = 1;
     initial_seeds = 2;
     whitelist_extra = [];
+    static_prepass = false;
   }
 
 (* Reproduction provenance for one campaign: the exact inputs that replay
@@ -78,6 +83,7 @@ type session = {
   annotations : int;
   whitelist : Whitelist.t;
   provenance : (int, provenance) Hashtbl.t; (* campaign index -> inputs *)
+  static : Analysis.Analyzer.result option; (* the pre-pass, when enabled *)
 }
 
 (* A fuzzing worker: its own generator state and corpus; everything else
@@ -97,6 +103,8 @@ type state = {
   snapshot : Pmem.Pool.snapshot option;
   skip_store : (int * int, int) Hashtbl.t; (* (seed id, addr) -> skip *)
   explored : (int, int) Hashtbl.t;
+  static : Analysis.Alias_pairs.t option; (* possible pairs from the pre-pass *)
+  seed_sites : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* seed id -> sites touched *)
   (* shared across workers, like the shared bitmap of §5 *)
   provenance : (int, provenance) Hashtbl.t;
   (* per-address exploration state: number of attempts, negative once the
@@ -132,6 +140,56 @@ let policy_label = function
   | Campaign.Random_sched -> "random scheduling"
   | Campaign.No_preempt -> "no preemption"
 
+(* Record which instruction sites a seed's executions touch, for scoring
+   against the pre-pass's uncovered possible pairs. *)
+let seed_site_listener st seed env =
+  match st.static with
+  | None -> ()
+  | Some _ ->
+      let sites =
+        match Hashtbl.find_opt st.seed_sites (Seed.id seed) with
+        | Some s -> s
+        | None ->
+            let s = Hashtbl.create 32 in
+            Hashtbl.add st.seed_sites (Seed.id seed) s;
+            s
+      in
+      Runtime.Env.add_listener env (function
+        | Runtime.Env.Ev_load { instr; _ }
+        | Runtime.Env.Ev_store { instr; _ }
+        | Runtime.Env.Ev_movnt { instr; _ } ->
+            Hashtbl.replace sites (Runtime.Instr.to_int instr) ()
+        | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ())
+
+(* Re-score a seed after a campaign: its priority is the number of
+   statically-possible, still-uncovered alias pairs whose write and read
+   sites the seed has both reached.  Seeds that keep touching covered
+   ground decay to priority 0 and lose their parent preference. *)
+let rescore_seed st seed =
+  match st.static with
+  | None -> ()
+  | Some pairs ->
+      List.iter
+        (fun (w, r) ->
+          Analysis.Alias_pairs.mark_achieved pairs ~write:(Runtime.Instr.of_int w)
+            ~read:(Runtime.Instr.of_int r))
+        (Alias_cov.site_pairs st.alias);
+      let sites =
+        Option.value ~default:(Hashtbl.create 1) (Hashtbl.find_opt st.seed_sites (Seed.id seed))
+      in
+      let score =
+        List.fold_left
+          (fun n (p : Analysis.Alias_pairs.pair) ->
+            if
+              Hashtbl.mem sites (Runtime.Instr.to_int p.Analysis.Alias_pairs.pw)
+              && Hashtbl.mem sites (Runtime.Instr.to_int p.Analysis.Alias_pairs.pr)
+            then n + 1
+            else n)
+          0
+          (Analysis.Alias_pairs.uncovered pairs)
+      in
+      Seed.set_priority seed score
+
 let do_campaign st seed policy =
   let before = Alias_cov.count st.alias + Branch_cov.count st.branch in
   let inter_before = Report.inconsistency_count st.report Runtime.Candidates.Inter in
@@ -143,7 +201,12 @@ let do_campaign st seed policy =
       ~capture_images:true ~evict_prob:st.cfg.evict_prob ~eadr:st.cfg.eadr st.target seed
   in
   let listeners =
-    [ Alias_cov.attach st.alias; Branch_cov.attach st.branch; Shared_queue.attach st.queue ]
+    [
+      Alias_cov.attach st.alias;
+      Branch_cov.attach st.branch;
+      Shared_queue.attach st.queue;
+      seed_site_listener st seed;
+    ]
   in
   let result = Campaign.run ~listeners input in
   let new_findings, new_sync =
@@ -160,6 +223,7 @@ let do_campaign st seed policy =
       new_sync
   end;
   st.campaigns <- st.campaigns + 1;
+  rescore_seed st seed;
   let inter_now = Report.inconsistency_count st.report Runtime.Candidates.Inter in
   st.timeline <-
     {
@@ -264,7 +328,21 @@ let next_seed st (w : worker) =
     s
   end
   else begin
-    let parent = Rng.pick w.w_rng w.w_corpus in
+    (* Parent selection: when the static pre-pass is live, prefer seeds
+       touching uncovered statically-possible alias pairs (highest
+       priority wins, random among ties); otherwise uniform. *)
+    let parent =
+      let best =
+        match st.static with
+        | None -> []
+        | Some _ ->
+            let top =
+              List.fold_left (fun m s -> max m (Seed.priority s)) 0 w.w_corpus
+            in
+            if top = 0 then [] else List.filter (fun s -> Seed.priority s = top) w.w_corpus
+      in
+      match best with [] -> Rng.pick w.w_rng w.w_corpus | cs -> Rng.pick w.w_rng cs
+    in
     let _, child = Mutator.evolve w.w_rng st.target.Target.profile ~corpus:w.w_corpus parent in
     w.w_corpus <- child :: w.w_corpus;
     child
@@ -273,6 +351,10 @@ let next_seed st (w : worker) =
 let run ?(log = fun _ -> ()) target cfg =
   let rng = Rng.create cfg.master_seed in
   let snapshot = if cfg.use_checkpoint then Some (Campaign.prepare_snapshot target) else None in
+  (* Static pre-pass (the LLVM-pass analogue): bound the alias-pair
+     coverage map and collect the lint findings before fuzzing starts.
+     Pre-pass executions do not count against the campaign budget. *)
+  let prepass = if cfg.static_prepass then Some (Analyze.prepass target) else None in
   let st =
     {
       cfg;
@@ -286,6 +368,8 @@ let run ?(log = fun _ -> ()) target cfg =
       snapshot;
       skip_store = Hashtbl.create 32;
       explored = Hashtbl.create 32;
+      static = Option.map (fun (r : Analysis.Analyzer.result) -> r.r_pairs) prepass;
+      seed_sites = Hashtbl.create 32;
       provenance = Hashtbl.create 64;
       campaigns = 0;
       timeline = [];
@@ -293,6 +377,15 @@ let run ?(log = fun _ -> ()) target cfg =
       log;
     }
   in
+  (match prepass with
+  | Some r ->
+      Alias_cov.set_possible st.alias (Analysis.Alias_pairs.possible_count r.r_pairs);
+      Report.set_lint st.report r.r_findings;
+      log
+        (Printf.sprintf "static pre-pass: %d possible alias pairs, %d lint findings"
+           (Analysis.Alias_pairs.possible_count r.r_pairs)
+           (List.length r.r_findings))
+  | None -> ());
   (* Worker pool (§5): the main process dispatches seeds to workers that
      share coverage, the priority queue and the report; each has its own
      generator state and corpus, so their campaigns do not contend. *)
@@ -362,6 +455,7 @@ let run ?(log = fun _ -> ()) target cfg =
     annotations;
     whitelist = st.whitelist;
     provenance = st.provenance;
+    static = prepass;
   }
 
 (* Session-level matching of the target's seeded ground truth:

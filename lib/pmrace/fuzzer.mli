@@ -24,6 +24,12 @@ type config = {
   workers : int;  (** concurrent fuzzing workers sharing coverage (§5) *)
   initial_seeds : int;
   whitelist_extra : string list;
+  static_prepass : bool;
+      (** run the offline analyzer ({!Analyze}) first: its site graph
+          bounds alias coverage (achieved/possible) and seeds touching
+          uncovered possible pairs are preferred as mutation parents.
+          Off by default so that the paper-profile sessions are driven by
+          coverage alone; the CLI turns it on unless [--no-static]. *)
 }
 
 val default_config : config
@@ -50,6 +56,8 @@ type session = {
   annotations : int;  (** sync-variable annotations the target registers *)
   whitelist : Whitelist.t;
   provenance : (int, provenance) Hashtbl.t;  (** campaign index -> inputs *)
+  static : Analysis.Analyzer.result option;
+      (** the static pre-pass result, when [static_prepass] was on *)
 }
 
 val run : ?log:(string -> unit) -> Target.t -> config -> session

@@ -29,6 +29,7 @@ type t = {
   findings : (inc_key, finding) Hashtbl.t;
   sync_findings : (string * int64, sync_finding) Hashtbl.t;
   hangs : (string, int) Hashtbl.t; (* hung-thread description -> occurrences *)
+  mutable lint : Analysis.Lint.finding list; (* static pre-pass lint findings *)
   mutable campaigns : int;
 }
 
@@ -38,6 +39,7 @@ let create () =
     findings = Hashtbl.create 64;
     sync_findings = Hashtbl.create 16;
     hangs = Hashtbl.create 8;
+    lint = [];
     campaigns = 0;
   }
 
@@ -97,6 +99,8 @@ let absorb t (env : Runtime.Env.t) ~hung ~hang_info =
   (new_findings, new_sync)
 
 let campaigns t = t.campaigns
+let set_lint t fs = t.lint <- fs
+let lint_findings t = t.lint
 let findings t = Hashtbl.fold (fun _ f acc -> f :: acc) t.findings []
 let sync_findings t = Hashtbl.fold (fun _ f acc -> f :: acc) t.sync_findings []
 let hangs t = Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.hangs []

@@ -28,6 +28,13 @@ val absorb :
     then validates. *)
 
 val campaigns : t -> int
+
+val set_lint : t -> Analysis.Lint.finding list -> unit
+(** Attach the static pre-pass's persistency-lint findings, so sessions
+    carry them alongside the dynamic findings. *)
+
+val lint_findings : t -> Analysis.Lint.finding list
+
 val findings : t -> finding list
 val sync_findings : t -> sync_finding list
 val hangs : t -> (string * int) list

@@ -69,7 +69,15 @@ let default_profile =
     ops_per_thread = 6;
   }
 
-type t = { sid : int; threads : op array array }
+type t = {
+  sid : int;
+  threads : op array array;
+  (* Static-analysis priority: how many uncovered statically-possible
+     alias pairs this seed's executions have touched.  Written by the
+     fuzzer after each campaign; higher-priority seeds are preferred as
+     mutation parents. *)
+  mutable priority : int;
+}
 
 let key_of = function
   | Put { key; _ }
@@ -114,7 +122,7 @@ let seed_counter = ref 0
 
 let make threads =
   incr seed_counter;
-  { sid = !seed_counter; threads }
+  { sid = !seed_counter; threads; priority = 0 }
 
 let gen rng profile =
   let near = ref None in
@@ -130,6 +138,8 @@ let threads t = t.threads
 let all_ops t = Array.to_list t.threads |> List.concat_map Array.to_list
 let op_count t = Array.fold_left (fun n ops -> n + Array.length ops) 0 t.threads
 let id t = t.sid
+let priority t = t.priority
+let set_priority t p = t.priority <- p
 
 (* Text rendering in the memcached protocol, used by the driver of
    memcached-pmem and by the Table 4 mutator comparison. *)

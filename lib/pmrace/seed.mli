@@ -62,6 +62,13 @@ val all_ops : t -> op list
 val op_count : t -> int
 val id : t -> int
 
+val priority : t -> int
+(** Static-analysis priority: number of uncovered statically-possible
+    alias pairs this seed's executions touch (0 until the fuzzer scores
+    it).  Higher-priority seeds are preferred as mutation parents. *)
+
+val set_priority : t -> int -> unit
+
 val render_op : op -> string
 (** Text rendering in the memcached protocol (driver input and the Table 4
     mutator comparison). *)

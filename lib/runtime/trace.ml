@@ -1,0 +1,23 @@
+(* Trace capture: an append-only buffer of instrumented events, filled by
+   an Env listener.  The offline analyzer replays these buffers instead of
+   consuming events online, so one recorded execution can feed several
+   analyses (site graph, lint FSM) without re-running the target. *)
+
+type t = { mutable rev : Env.event list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let attach t env =
+  Env.add_listener env (fun ev ->
+      t.rev <- ev :: t.rev;
+      t.n <- t.n + 1)
+
+let events t = List.rev t.rev
+let length t = t.n
+let is_empty t = t.n = 0
+
+let clear t =
+  t.rev <- [];
+  t.n <- 0
+
+let iter f t = List.iter f (List.rev t.rev)

@@ -1,0 +1,27 @@
+(** Trace capture: record an execution's instrumented event stream for
+    offline analysis.
+
+    The fuzzer's coverage metrics consume events online and throw them
+    away; the offline persistency analyzer ({!Analysis} in [lib/analysis])
+    instead wants the whole, ordered stream of one or more executions.  A
+    trace is an append-only buffer of {!Env.event}s in program order,
+    filled by an {!Env.add_listener} subscription. *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Env.t -> unit
+(** Subscribe to an environment; every subsequent event is appended. *)
+
+val events : t -> Env.event list
+(** The captured events, in the order they were emitted. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop the captured events (subscriptions stay live). *)
+
+val iter : (Env.event -> unit) -> t -> unit
+(** Iterate in emission order without materialising the list. *)

@@ -65,6 +65,24 @@ let test_redundant_flush () =
   | [ (site, 1) ] -> Alcotest.(check string) "site" "ext:flush" site
   | _ -> Alcotest.fail "expected one redundant site"
 
+let test_redundant_fence () =
+  let env = Env.create ~pool_words:256 () in
+  let aux = Pmrace.Aux_checkers.create () in
+  Pmrace.Aux_checkers.attach aux env;
+  let ctx = Env.ctx env ~tid:0 in
+  let i = Instr.site "ext:fence" in
+  Mem.store ctx ~instr:i (Tval.of_int 10) Tval.one;
+  Mem.clwb ctx ~instr:i (Tval.of_int 10);
+  Mem.sfence ctx ~instr:i (* useful: drains the flush *);
+  Mem.sfence ctx ~instr:i (* redundant: nothing flushed since the last fence *);
+  Mem.movnt ctx ~instr:i (Tval.of_int 11) Tval.one;
+  Mem.sfence ctx ~instr:i (* useful: persists the non-temporal store *);
+  Alcotest.(check int) "fences" 3 (Pmrace.Aux_checkers.fences aux);
+  Alcotest.(check int) "one redundant" 1 (Pmrace.Aux_checkers.redundant_fence_total aux);
+  match Pmrace.Aux_checkers.redundant_fence_sites aux with
+  | [ (site, 1) ] -> Alcotest.(check string) "site" "ext:fence" site
+  | _ -> Alcotest.fail "expected one redundant-fence site"
+
 let test_unflushed_at_exit () =
   let env = Env.create ~pool_words:256 () in
   let ctx = Env.ctx env ~tid:0 in
@@ -154,6 +172,7 @@ let suite =
     Alcotest.test_case "eadr: sync events still fire" `Quick test_eadr_sync_events_still_fire;
     Alcotest.test_case "eadr: figure1 session (6.6)" `Quick test_eadr_session_figure1;
     Alcotest.test_case "aux: redundant flush checker" `Quick test_redundant_flush;
+    Alcotest.test_case "aux: redundant fence checker" `Quick test_redundant_fence;
     Alcotest.test_case "aux: unflushed at exit" `Quick test_unflushed_at_exit;
     Alcotest.test_case "workers: shared budget" `Quick test_workers_share_budget;
     Alcotest.test_case "workers: find bugs" `Quick test_workers_find_bugs;

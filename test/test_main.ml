@@ -21,6 +21,7 @@ let () =
       ("fuzzer", Test_fuzzer.suite);
       ("workloads", Test_workloads.suite);
       ("extensions", Test_extensions.suite);
+      ("analysis", Test_analysis.suite);
       ("invariants", Test_invariants.suite);
       ("integration", Test_integration.suite);
     ]

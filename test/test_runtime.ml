@@ -22,7 +22,9 @@ let test_instr_registry () =
   Alcotest.(check bool) "of_int roundtrip" true (Instr.equal a (Instr.of_int (Instr.to_int a)));
   Alcotest.check_raises "of_int unknown"
     (Invalid_argument (Printf.sprintf "Instr.of_int: unknown id %d" 99999)) (fun () ->
-      ignore (Instr.of_int 99999))
+      ignore (Instr.of_int 99999));
+  Alcotest.check_raises "of_int negative"
+    (Invalid_argument "Instr.of_int: unknown id -1") (fun () -> ignore (Instr.of_int (-1)))
 
 let test_dram () =
   let d = Dram.create () in
@@ -61,6 +63,24 @@ let test_candidate_on_dirty_read () =
   let _ = Mem.load c0 ~instr:i_r (Tval.of_int 100) in
   Alcotest.(check int) "one intra candidate" 1
     (Candidates.unique_count (Checkers.candidates env.checkers) Candidates.Intra)
+
+let test_candidate_unique_dedup () =
+  (* The same (write-site, read-site) pair hit twice: two dynamic
+     candidates, one unique pair. *)
+  let env = mk () in
+  let c0 = Env.ctx env ~tid:0 and c1 = Env.ctx env ~tid:1 in
+  for _ = 1 to 2 do
+    Mem.store c0 ~instr:i_w (Tval.of_int 100) (Tval.of_int 7);
+    ignore (Mem.load c1 ~instr:i_r (Tval.of_int 100))
+  done;
+  let cands = Checkers.candidates env.checkers in
+  Alcotest.(check int) "dynamic 2" 2 (Candidates.dynamic_count cands);
+  Alcotest.(check int) "unique 1" 1 (Candidates.unique_count cands Candidates.Inter);
+  match Candidates.unique cands Candidates.Inter with
+  | [ c ] ->
+      Alcotest.(check bool) "write site" true (Instr.equal c.Candidates.write_instr i_w);
+      Alcotest.(check bool) "read site" true (Instr.equal c.Candidates.read_instr i_r)
+  | l -> Alcotest.failf "expected 1 unique candidate, got %d" (List.length l)
 
 let test_clean_read_untainted () =
   let env = mk () in
@@ -225,6 +245,7 @@ let suite =
     Alcotest.test_case "dram typed store" `Quick test_dram;
     Alcotest.test_case "load/store roundtrip" `Quick test_load_store_roundtrip;
     Alcotest.test_case "candidate on dirty read" `Quick test_candidate_on_dirty_read;
+    Alcotest.test_case "candidate dedup by site pair" `Quick test_candidate_unique_dedup;
     Alcotest.test_case "clean read untainted" `Quick test_clean_read_untainted;
     Alcotest.test_case "taint through shadow memory" `Quick test_taint_through_shadow_memory;
     Alcotest.test_case "inconsistency: value flow" `Quick test_inconsistency_value_flow;
