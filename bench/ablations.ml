@@ -84,11 +84,12 @@ let checkers ppf =
   Format.fprintf ppf " show up directly in the unflushed-at-exit column.)@."
 
 (* ------------------------------------------------------------------ *)
-(* §5: worker-pool dispatch.  Workers share coverage, the priority queue
-   and the report; the findings are the union of their campaigns. *)
+(* §5: worker-pool dispatch.  Workers run on OCaml 5 domains sharing the
+   hub (coverage, priority queue, report); the findings are the union of
+   their campaigns, deduplicated by bug identity. *)
 
 let workers ppf =
-  Format.fprintf ppf "@.Ablation (5): concurrent fuzzing workers (shared coverage).@.";
+  Format.fprintf ppf "@.Ablation (5): worker domains (shared hub).@.";
   hr ppf;
   Format.fprintf ppf "%-8s %10s %12s %12s %14s@." "workers" "campaigns" "inter-cand" "inter-inc"
     "bugs found";
@@ -110,3 +111,56 @@ let workers ppf =
         (List.length target.known_bugs))
     [ 1; 2; 4; 8 ];
   hr ppf
+
+(* ------------------------------------------------------------------ *)
+(* Worker scaling: executions per second at 1/2/4 domains on the same
+   campaign budget.  Also records BENCH_workers.json for CI tracking.
+   Scaling tracks the machine: with D hardware cores, expect ~min(w, D)×
+   throughput (a single-core container shows ~1× everywhere, with a
+   domain-coordination penalty above 1 worker). *)
+
+let workers_scaling ppf =
+  Format.fprintf ppf "@.Worker scaling (§5): executions/sec by domain count.@.";
+  hr ppf;
+  Format.fprintf ppf "%-8s %10s %10s %12s %10s@." "workers" "campaigns" "wall (s)" "execs/sec"
+    "speedup";
+  hr ppf;
+  let target = Workloads.Pclht.target in
+  let budget = 300 in
+  let measure w =
+    let cfg =
+      {
+        Fuzzer.default_config with
+        max_campaigns = budget;
+        master_seed = 5;
+        workers = w;
+        use_checkpoint = target.expensive_init;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let s = Fuzzer.run target cfg in
+    let wall = Unix.gettimeofday () -. t0 in
+    (s.campaigns_run, wall, float_of_int s.campaigns_run /. Float.max 1e-9 wall)
+  in
+  let results = List.map (fun w -> (w, measure w)) [ 1; 2; 4 ] in
+  let base_eps = match results with (_, (_, _, eps)) :: _ -> eps | [] -> 1. in
+  List.iter
+    (fun (w, (campaigns, wall, eps)) ->
+      Format.fprintf ppf "%-8d %10d %10.2f %12.1f %9.2fx@." w campaigns wall eps (eps /. base_eps))
+    results;
+  hr ppf;
+  Format.fprintf ppf "(%d hardware cores available to this run)@."
+    (Domain.recommended_domain_count ());
+  let oc = open_out "BENCH_workers.json" in
+  Printf.fprintf oc "{\n  \"target\": %S,\n  \"budget\": %d,\n  \"cores\": %d,\n  \"runs\": [\n%s\n  ]\n}\n"
+    target.name budget
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n"
+       (List.map
+          (fun (w, (campaigns, wall, eps)) ->
+            Printf.sprintf
+              "    { \"workers\": %d, \"campaigns\": %d, \"wall_s\": %.3f, \"execs_per_sec\": %.1f }"
+              w campaigns wall eps)
+          results));
+  close_out oc;
+  Format.fprintf ppf "(wrote BENCH_workers.json)@."

@@ -18,6 +18,7 @@ let sections : (string * (Format.formatter -> unit)) list =
     ("eadr", Ablations.eadr);
     ("checkers", Ablations.checkers);
     ("workers", Ablations.workers);
+    ("workers-scaling", Ablations.workers_scaling);
     ("micro", Micro.run);
   ]
 

@@ -14,7 +14,9 @@ module Fuzzer = Pmrace.Fuzzer
 module Report = Pmrace.Report
 
 let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
-  Format.fprintf ppf "== %s: %d campaigns in %.2fs ==@." target.name s.campaigns_run s.wall_time;
+  Format.fprintf ppf "== %s: %d campaigns in %.2fs (%.0f execs/sec) ==@." target.name
+    s.campaigns_run s.wall_time
+    (float_of_int s.campaigns_run /. Float.max 1e-9 s.wall_time);
   Format.fprintf ppf "coverage: %d PM alias pairs (%a), %d branches@."
     (Pmrace.Alias_cov.count s.alias) Pmrace.Alias_cov.pp_site_coverage s.alias
     (Pmrace.Branch_cov.count s.branch);
@@ -77,6 +79,14 @@ let fuzz_cmd =
     Arg.(value & opt int 300 & info [ "campaigns"; "n" ] ~doc:"Number of fuzz campaigns.")
   in
   let seed = Arg.(value & opt int 5 & info [ "seed" ] ~doc:"Master random seed.") in
+  let workers =
+    Arg.(value & opt int 1
+         & info [ "workers"; "j" ]
+             ~doc:
+               "Number of fuzzing worker domains sharing coverage (§5). With 1 the session is \
+                bit-reproducible; with more, the unique-bug set is deterministic but campaign \
+                order is not.")
+  in
   let mode =
     Arg.(value & opt mode_conv Fuzzer.Mode_pmrace
          & info [ "mode" ] ~doc:"Exploration mode: pmrace, delay, or random.")
@@ -98,13 +108,14 @@ let fuzz_cmd =
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Print detailed bug reports with reproduction inputs.")
   in
-  let run target campaigns seed mode no_checkpoint no_validate no_ie no_se no_static verbose report
-      =
+  let run target campaigns seed workers mode no_checkpoint no_validate no_ie no_se no_static
+      verbose report =
     let cfg =
       {
         Fuzzer.default_config with
         max_campaigns = campaigns;
         master_seed = seed;
+        workers = max 1 workers;
         mode;
         use_checkpoint = (not no_checkpoint) && target.Pmrace.Target.expensive_init;
         validate = not no_validate;
@@ -124,8 +135,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a PM system for concurrency bugs")
     Term.(
-      const run $ target $ campaigns $ seed $ mode $ no_checkpoint $ no_validate $ no_ie $ no_se
-      $ no_static $ verbose $ report)
+      const run $ target $ campaigns $ seed $ workers $ mode $ no_checkpoint $ no_validate $ no_ie
+      $ no_se $ no_static $ verbose $ report)
 
 let analyze_cmd =
   let target =

@@ -63,6 +63,28 @@ let observe t ~prev ~cur =
 
 let count t = t.count
 
+(* Fold a worker-local per-campaign delta into a shared map: OR the
+   bitmaps (recounting only genuinely new bits) and union the achieved
+   site pairs.  The §5 worker pool calls this at campaign boundaries under
+   the hub lock, so campaign execution itself never touches shared
+   coverage state. *)
+let merge_into ~src dst =
+  if src.size <> dst.size then invalid_arg "Alias_cov.merge_into: size mismatch";
+  let bytes = src.size / 8 in
+  for b = 0 to bytes - 1 do
+    let s = Char.code (Bytes.get src.bits b) in
+    if s <> 0 then begin
+      let d = Char.code (Bytes.get dst.bits b) in
+      let fresh = s land lnot d in
+      if fresh <> 0 then begin
+        Bytes.set dst.bits b (Char.chr (d lor s));
+        let rec popcount n acc = if n = 0 then acc else popcount (n lsr 1) (acc + (n land 1)) in
+        dst.count <- dst.count + popcount fresh 0
+      end
+    end
+  done;
+  Hashtbl.iter (fun pair () -> Hashtbl.replace dst.achieved pair ()) src.achieved
+
 let record_site_pair t ~write_instr ~read_instr =
   Hashtbl.replace t.achieved (write_instr, read_instr) ()
 

@@ -17,6 +17,10 @@ let observe t instr =
 let count t = Hashtbl.length t.hits
 let covered t instr = Hashtbl.mem t.hits (Runtime.Instr.to_int instr)
 
+(* Union a worker-local delta into a shared map (campaign-boundary merge,
+   serialised by the fuzzer's hub). *)
+let merge_into ~src dst = Hashtbl.iter (fun id () -> Hashtbl.replace dst.hits id ()) src.hits
+
 let attach t env =
   Runtime.Env.add_listener env (function
     | Runtime.Env.Ev_branch { instr; _ } -> ignore (observe t instr)

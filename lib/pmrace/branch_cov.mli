@@ -9,4 +9,9 @@ val observe : t -> Runtime.Instr.t -> bool
 
 val count : t -> int
 val covered : t -> Runtime.Instr.t -> bool
+
+val merge_into : src:t -> t -> unit
+(** Union [src] (a worker's per-campaign delta) into a shared map.  Not
+    itself synchronised — callers serialise merges. *)
+
 val attach : t -> Runtime.Env.t -> unit

@@ -12,7 +12,16 @@
 
    Feedback is the sum of PM alias pair coverage and branch coverage.
    Every newly discovered unique inconsistency is validated post-failure
-   immediately, so the session report carries verdicts. *)
+   immediately, so the session report carries verdicts.
+
+   The worker pool (§5) is a set of OCaml 5 domains.  All shared state
+   lives in a {!Hub}; each worker owns everything else — its RNGs, its
+   corpus and generation counter, and its campaign scratch tables — so a
+   campaign executes without synchronisation and workers only meet at the
+   hub's two short critical sections (reserve and commit).  With
+   [workers = 1] the single worker follows exactly the sequential
+   fuzzer's code path and RNG streams, so seeded paper-profile sessions
+   stay bit-identical. *)
 
 module Rng = Sched.Rng
 
@@ -31,7 +40,7 @@ type config = {
   validate : bool;
   evict_prob : float;
   eadr : bool; (* fuzz on an eADR platform (§6.6) *)
-  workers : int; (* concurrent fuzzing workers sharing coverage (§5) *)
+  workers : int; (* worker domains sharing the hub (§5) *)
   initial_seeds : int;
   whitelist_extra : string list;
   static_prepass : bool;
@@ -60,11 +69,9 @@ let default_config =
     static_prepass = false;
   }
 
-(* Reproduction provenance for one campaign: the exact inputs that replay
-   it (the "corresponding program inputs" of the paper's bug reports). *)
-type provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+type provenance = Hub.provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
 
-type timeline_point = {
+type timeline_point = Hub.timeline_point = {
   tp_campaign : int;
   tp_time : float; (* seconds since session start *)
   tp_alias_bits : int;
@@ -86,38 +93,32 @@ type session = {
   static : Analysis.Analyzer.result option; (* the pre-pass, when enabled *)
 }
 
-(* A fuzzing worker: its own generator state and corpus; everything else
-   (coverage, report, priority queue, checkpoint) is shared, as the worker
-   processes of §5 share the coverage bitmap and seed pool. *)
-type worker = { w_rng : Rng.t; mutable w_corpus : Seed.t list; mutable w_generation : int }
-
-type state = {
+(* A fuzzing worker: one domain's private half of the state split.  Two
+   RNG streams — [sched_rng] draws campaign scheduler seeds (worker 0
+   continues the sequential fuzzer's session stream) and [gen_rng] drives
+   seed generation/mutation — plus the corpus and the campaign scratch
+   tables.  Nothing here is ever touched by another domain. *)
+type worker = {
+  widx : int;
   cfg : config;
   target : Target.t;
-  rng : Rng.t;
-  alias : Alias_cov.t;
-  branch : Branch_cov.t;
-  queue : Shared_queue.t;
-  report : Report.t;
-  whitelist : Whitelist.t;
-  snapshot : Pmem.Pool.snapshot option;
+  hub : Hub.t;
+  sched_rng : Rng.t;
+  gen_rng : Rng.t;
+  mutable corpus : Seed.t list;
+  mutable generation : int;
   skip_store : (int * int, int) Hashtbl.t; (* (seed id, addr) -> skip *)
-  explored : (int, int) Hashtbl.t;
-  static : Analysis.Alias_pairs.t option; (* possible pairs from the pre-pass *)
-  seed_sites : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* seed id -> sites touched *)
-  (* shared across workers, like the shared bitmap of §5 *)
-  provenance : (int, provenance) Hashtbl.t;
   (* per-address exploration state: number of attempts, negative once the
-     sync point actually triggered.  Global across seeds so successive
-     generations progress down the priority queue; cleared when
-     exhausted. *)
-  mutable campaigns : int;
-  mutable timeline : timeline_point list;
-  started : float;
+     sync point actually triggered.  Spans this worker's seed generations
+     so successive generations progress down the priority queue; cleared
+     when exhausted. *)
+  explored : (int, int) Hashtbl.t;
+  seed_sites : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* seed id -> sites touched *)
+  snapshot : Pmem.Pool.snapshot option; (* shared, read-only after creation *)
+  whitelist : Whitelist.t; (* shared, read-only during fuzzing *)
+  static_on : bool;
   log : string -> unit;
 }
-
-let now () = Unix.gettimeofday ()
 
 let hang_info (result : Campaign.result) =
   match result.outcome.hung with
@@ -131,8 +132,6 @@ let hang_info (result : Campaign.result) =
       | Some (_, _, Runtime.Mem.Stuck site) -> Printf.sprintf "stuck:%s" site
       | Some _ | None -> "hang")
 
-(* Run one campaign and fold its results into the session state.  Returns
-   (coverage-improved, result). *)
 let policy_label = function
   | Campaign.Pmrace { entry; _ } ->
       Printf.sprintf "PM-aware sync point @ addr %d" entry.Shared_queue.addr
@@ -142,156 +141,119 @@ let policy_label = function
 
 (* Record which instruction sites a seed's executions touch, for scoring
    against the pre-pass's uncovered possible pairs. *)
-let seed_site_listener st seed env =
-  match st.static with
-  | None -> ()
-  | Some _ ->
-      let sites =
-        match Hashtbl.find_opt st.seed_sites (Seed.id seed) with
-        | Some s -> s
-        | None ->
-            let s = Hashtbl.create 32 in
-            Hashtbl.add st.seed_sites (Seed.id seed) s;
-            s
-      in
-      Runtime.Env.add_listener env (function
-        | Runtime.Env.Ev_load { instr; _ }
-        | Runtime.Env.Ev_store { instr; _ }
-        | Runtime.Env.Ev_movnt { instr; _ } ->
-            Hashtbl.replace sites (Runtime.Instr.to_int instr) ()
-        | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ())
+let seed_site_listener w seed env =
+  if w.static_on then begin
+    let sites =
+      match Hashtbl.find_opt w.seed_sites (Seed.id seed) with
+      | Some s -> s
+      | None ->
+          let s = Hashtbl.create 32 in
+          Hashtbl.add w.seed_sites (Seed.id seed) s;
+          s
+    in
+    Runtime.Env.add_listener env (function
+      | Runtime.Env.Ev_load { instr; _ }
+      | Runtime.Env.Ev_store { instr; _ }
+      | Runtime.Env.Ev_movnt { instr; _ } ->
+          Hashtbl.replace sites (Runtime.Instr.to_int instr) ()
+      | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ())
+  end
 
-(* Re-score a seed after a campaign: its priority is the number of
-   statically-possible, still-uncovered alias pairs whose write and read
-   sites the seed has both reached.  Seeds that keep touching covered
-   ground decay to priority 0 and lose their parent preference. *)
-let rescore_seed st seed =
-  match st.static with
-  | None -> ()
-  | Some pairs ->
-      List.iter
-        (fun (w, r) ->
-          Analysis.Alias_pairs.mark_achieved pairs ~write:(Runtime.Instr.of_int w)
-            ~read:(Runtime.Instr.of_int r))
-        (Alias_cov.site_pairs st.alias);
-      let sites =
-        Option.value ~default:(Hashtbl.create 1) (Hashtbl.find_opt st.seed_sites (Seed.id seed))
-      in
-      let score =
-        List.fold_left
-          (fun n (p : Analysis.Alias_pairs.pair) ->
-            if
-              Hashtbl.mem sites (Runtime.Instr.to_int p.Analysis.Alias_pairs.pw)
-              && Hashtbl.mem sites (Runtime.Instr.to_int p.Analysis.Alias_pairs.pr)
-            then n + 1
-            else n)
-          0
-          (Analysis.Alias_pairs.uncovered pairs)
-      in
-      Seed.set_priority seed score
+let rescore_seed w seed =
+  if w.static_on then
+    let sites =
+      Option.value ~default:(Hashtbl.create 1) (Hashtbl.find_opt w.seed_sites (Seed.id seed))
+    in
+    Hub.rescore_seed w.hub ~sites seed
 
-let do_campaign st seed policy =
-  let before = Alias_cov.count st.alias + Branch_cov.count st.branch in
-  let inter_before = Report.inconsistency_count st.report Runtime.Candidates.Inter in
-  let sched_seed = Rng.int st.rng 1_000_000_000 in
-  Hashtbl.replace st.provenance st.campaigns
-    { p_seed = seed; p_sched_seed = sched_seed; p_policy = policy_label policy };
-  let input =
-    Campaign.input ~sched_seed ~policy ?snapshot:st.snapshot ~step_budget:st.cfg.step_budget
-      ~capture_images:true ~evict_prob:st.cfg.evict_prob ~eadr:st.cfg.eadr st.target seed
-  in
-  let listeners =
-    [
-      Alias_cov.attach st.alias;
-      Branch_cov.attach st.branch;
-      Shared_queue.attach st.queue;
-      seed_site_listener st seed;
-    ]
-  in
-  let result = Campaign.run ~listeners input in
-  let new_findings, new_sync =
-    Report.absorb st.report result.env ~hung:result.hung ~hang_info:(hang_info result)
-  in
-  if st.cfg.validate then begin
-    List.iter
-      (fun (f : Report.finding) ->
-        f.verdict <- Some (Post_failure.validate_inconsistency st.target st.whitelist f.inc))
-      new_findings;
-    List.iter
-      (fun (f : Report.sync_finding) ->
-        f.sync_verdict <- Some (Post_failure.validate_sync st.target f.ev))
-      new_sync
-  end;
-  st.campaigns <- st.campaigns + 1;
-  rescore_seed st seed;
-  let inter_now = Report.inconsistency_count st.report Runtime.Candidates.Inter in
-  st.timeline <-
-    {
-      tp_campaign = st.campaigns;
-      tp_time = now () -. st.started;
-      tp_alias_bits = Alias_cov.count st.alias;
-      tp_branch_bits = Branch_cov.count st.branch;
-      tp_inter_unique = inter_now;
-      tp_new_inter = inter_now > inter_before;
-    }
-    :: st.timeline;
-  let after = Alias_cov.count st.alias + Branch_cov.count st.branch in
-  (after > before, result)
+(* Run one campaign: reserve a budget slot, execute against a private
+   delta (lock-free), commit at the boundary, then validate any new
+   findings outside the hub lock.  Returns [None] when the shared budget
+   ran out before this campaign could start. *)
+let do_campaign w seed policy =
+  let sched_seed = Rng.int w.sched_rng 1_000_000_000 in
+  match
+    Hub.reserve w.hub { p_seed = seed; p_sched_seed = sched_seed; p_policy = policy_label policy }
+  with
+  | None -> None
+  | Some campaign ->
+      let input =
+        Campaign.input ~sched_seed ~policy ?snapshot:w.snapshot ~step_budget:w.cfg.step_budget
+          ~capture_images:true ~evict_prob:w.cfg.evict_prob ~eadr:w.cfg.eadr w.target seed
+      in
+      let delta = Hub.fresh_delta () in
+      let listeners = Hub.delta_listeners delta @ [ seed_site_listener w seed ] in
+      let result = Campaign.run ~listeners input in
+      let c =
+        Hub.commit w.hub ~campaign ~delta result.env ~hung:result.hung
+          ~hang_info:(hang_info result)
+      in
+      if w.cfg.validate then begin
+        List.iter
+          (fun (f : Report.finding) ->
+            f.verdict <- Some (Post_failure.validate_inconsistency w.target w.whitelist f.inc))
+          c.c_new_findings;
+        List.iter
+          (fun (f : Report.sync_finding) ->
+            f.sync_verdict <- Some (Post_failure.validate_sync w.target f.ev))
+          c.c_new_sync
+      end;
+      rescore_seed w seed;
+      Some (c.c_improved, result)
 
-let budget_left st = st.campaigns < st.cfg.max_campaigns
+let budget_left w = Hub.budget_left w.hub
 
 (* The PM-aware schedule: recon run, then interleaving tier over queue
    entries, with the execution tier inside. *)
-let fuzz_seed_pmrace st seed =
-  if budget_left st then begin
+let fuzz_seed_pmrace w seed =
+  if budget_left w then begin
     (* Recon execution: gathers shared accesses for the priority queue. *)
-    let improved, _ = do_campaign st seed Campaign.Random_sched in
-    ignore improved;
-    if st.cfg.interleaving_tier then begin
+    ignore (do_campaign w seed Campaign.Random_sched);
+    if w.cfg.interleaving_tier then begin
       let exhausted addr =
-        match Hashtbl.find_opt st.explored addr with
+        match Hashtbl.find_opt w.explored addr with
         | Some n -> n < 0 || n >= 3 (* triggered, or tried repeatedly without success *)
         | None -> false
       in
       let unexplored () =
-        Shared_queue.entries st.queue
+        Hub.queue_entries w.hub
         |> List.filter (fun (e : Shared_queue.entry) -> not (exhausted e.addr))
       in
       let entries =
         match unexplored () with
         | [] ->
             (* Every shared address has been tried: start a fresh sweep. *)
-            Hashtbl.reset st.explored;
+            Hashtbl.reset w.explored;
             unexplored ()
         | es -> es
       in
       let rec explore entries tried =
         match entries with
         | [] -> ()
-        | _ when (not (budget_left st)) || tried >= st.cfg.max_interleavings_per_seed -> ()
+        | _ when (not (budget_left w)) || tried >= w.cfg.max_interleavings_per_seed -> ()
         | entry :: rest ->
             let attempts =
-              max 0 (Option.value ~default:0 (Hashtbl.find_opt st.explored entry.Shared_queue.addr))
+              max 0 (Option.value ~default:0 (Hashtbl.find_opt w.explored entry.Shared_queue.addr))
             in
-            Hashtbl.replace st.explored entry.Shared_queue.addr (attempts + 1);
+            Hashtbl.replace w.explored entry.Shared_queue.addr (attempts + 1);
             let rec exec_tier n stale =
-              if n < st.cfg.execs_per_interleaving && budget_left st && stale < 2 then begin
+              if n < w.cfg.execs_per_interleaving && budget_left w && stale < 2 then begin
                 let skip =
                   Option.value ~default:0
-                    (Hashtbl.find_opt st.skip_store (Seed.id seed, entry.Shared_queue.addr))
+                    (Hashtbl.find_opt w.skip_store (Seed.id seed, entry.Shared_queue.addr))
                 in
-                let improved, result =
-                  do_campaign st seed (Campaign.Pmrace { entry; skip })
-                in
-                (match result.sync with
-                | Some sync ->
-                    Hashtbl.replace st.skip_store
-                      (Seed.id seed, entry.Shared_queue.addr)
-                      (Sync_policy.next_skip sync ~previous:skip);
-                    if Sync_policy.triggered sync then
-                      Hashtbl.replace st.explored entry.Shared_queue.addr (-1)
-                | None -> ());
-                exec_tier (n + 1) (if improved then 0 else stale + 1)
+                match do_campaign w seed (Campaign.Pmrace { entry; skip }) with
+                | None -> ()
+                | Some (improved, result) ->
+                    (match result.sync with
+                    | Some sync ->
+                        Hashtbl.replace w.skip_store
+                          (Seed.id seed, entry.Shared_queue.addr)
+                          (Sync_policy.next_skip sync ~previous:skip);
+                        if Sync_policy.triggered sync then
+                          Hashtbl.replace w.explored entry.Shared_queue.addr (-1)
+                    | None -> ());
+                    exec_tier (n + 1) (if improved then 0 else stale + 1)
               end
             in
             exec_tier 0 0;
@@ -302,29 +264,30 @@ let fuzz_seed_pmrace st seed =
     else begin
       (* w/o IE: only the execution tier — repeated random-schedule runs. *)
       let rec exec_tier n stale =
-        if n < st.cfg.execs_per_interleaving * st.cfg.max_interleavings_per_seed
-           && budget_left st && stale < 4
+        if n < w.cfg.execs_per_interleaving * w.cfg.max_interleavings_per_seed
+           && budget_left w && stale < 4
         then begin
-          let improved, _ = do_campaign st seed Campaign.Random_sched in
-          exec_tier (n + 1) (if improved then 0 else stale + 1)
+          match do_campaign w seed Campaign.Random_sched with
+          | None -> ()
+          | Some (improved, _) -> exec_tier (n + 1) (if improved then 0 else stale + 1)
         end
       in
       exec_tier 0 0
     end
   end
 
-let next_seed st (w : worker) =
-  if (not st.cfg.seed_tier) || w.w_corpus = [] then
-    match w.w_corpus with
+let next_seed w =
+  if (not w.cfg.seed_tier) || w.corpus = [] then
+    match w.corpus with
     | s :: _ -> s
     | [] ->
-        let s = Seed.gen w.w_rng st.target.Target.profile in
-        w.w_corpus <- [ s ];
+        let s = Seed.gen w.gen_rng w.target.Target.profile in
+        w.corpus <- [ s ];
         s
-  else if w.w_generation > 0 && w.w_generation mod 5 = 4 then begin
+  else if w.generation > 0 && w.generation mod 5 = 4 then begin
     (* The populate fallback: a load phase with many inserts. *)
-    let s = Mutator.populate w.w_rng st.target.Target.profile ~factor:3 in
-    w.w_corpus <- s :: w.w_corpus;
+    let s = Mutator.populate w.gen_rng w.target.Target.profile ~factor:3 in
+    w.corpus <- s :: w.corpus;
     s
   end
   else begin
@@ -333,112 +296,114 @@ let next_seed st (w : worker) =
        priority wins, random among ties); otherwise uniform. *)
     let parent =
       let best =
-        match st.static with
-        | None -> []
-        | Some _ ->
-            let top =
-              List.fold_left (fun m s -> max m (Seed.priority s)) 0 w.w_corpus
-            in
-            if top = 0 then [] else List.filter (fun s -> Seed.priority s = top) w.w_corpus
+        if not w.static_on then []
+        else begin
+          let top = List.fold_left (fun m s -> max m (Seed.priority s)) 0 w.corpus in
+          if top = 0 then [] else List.filter (fun s -> Seed.priority s = top) w.corpus
+        end
       in
-      match best with [] -> Rng.pick w.w_rng w.w_corpus | cs -> Rng.pick w.w_rng cs
+      match best with [] -> Rng.pick w.gen_rng w.corpus | cs -> Rng.pick w.gen_rng cs
     in
-    let _, child = Mutator.evolve w.w_rng st.target.Target.profile ~corpus:w.w_corpus parent in
-    w.w_corpus <- child :: w.w_corpus;
+    let _, child = Mutator.evolve w.gen_rng w.target.Target.profile ~corpus:w.corpus parent in
+    w.corpus <- child :: w.corpus;
     child
   end
 
+(* One worker's whole session: keep claiming seeds and fuzzing them until
+   the shared budget drains.  This is the body of each spawned domain. *)
+let worker_loop w =
+  let pick_seed () = if w.generation = 0 then List.hd w.corpus else next_seed w in
+  match w.cfg.mode with
+  | Mode_pmrace ->
+      while budget_left w do
+        let seed = pick_seed () in
+        w.log
+          (Printf.sprintf "campaign %d/%d: worker %d seed #%d (gen %d)" (Hub.completed w.hub)
+             w.cfg.max_campaigns w.widx (Seed.id seed) w.generation);
+        fuzz_seed_pmrace w seed;
+        w.generation <- w.generation + 1
+      done
+  | Mode_delay | Mode_random ->
+      while budget_left w do
+        let seed = pick_seed () in
+        let policy =
+          match w.cfg.mode with
+          | Mode_delay -> Campaign.Delay { prob = 0.08; max_delay = 25 }
+          | Mode_random | Mode_pmrace -> Campaign.Random_sched
+        in
+        let rec exec n stale =
+          if n < w.cfg.execs_per_interleaving * w.cfg.max_interleavings_per_seed
+             && budget_left w && stale < 6
+          then begin
+            match do_campaign w seed policy with
+            | None -> ()
+            | Some (improved, _) -> exec (n + 1) (if improved then 0 else stale + 1)
+          end
+        in
+        exec 0 0;
+        w.generation <- w.generation + 1
+      done
+
 let run ?(log = fun _ -> ()) target cfg =
-  let rng = Rng.create cfg.master_seed in
   let snapshot = if cfg.use_checkpoint then Some (Campaign.prepare_snapshot target) else None in
   (* Static pre-pass (the LLVM-pass analogue): bound the alias-pair
      coverage map and collect the lint findings before fuzzing starts.
      Pre-pass executions do not count against the campaign budget. *)
   let prepass = if cfg.static_prepass then Some (Analyze.prepass target) else None in
-  let st =
-    {
-      cfg;
-      target;
-      rng;
-      alias = Alias_cov.create ();
-      branch = Branch_cov.create ();
-      queue = Shared_queue.create ();
-      report = Report.create ();
-      whitelist = Whitelist.create (target.Target.whitelist_sites @ cfg.whitelist_extra);
-      snapshot;
-      skip_store = Hashtbl.create 32;
-      explored = Hashtbl.create 32;
-      static = Option.map (fun (r : Analysis.Analyzer.result) -> r.r_pairs) prepass;
-      seed_sites = Hashtbl.create 32;
-      provenance = Hashtbl.create 64;
-      campaigns = 0;
-      timeline = [];
-      started = now ();
-      log;
-    }
-  in
+  let static = Option.map (fun (r : Analysis.Analyzer.result) -> r.r_pairs) prepass in
+  let hub = Hub.create ?static ~max_campaigns:cfg.max_campaigns () in
+  let whitelist = Whitelist.create (target.Target.whitelist_sites @ cfg.whitelist_extra) in
   (match prepass with
   | Some r ->
-      Alias_cov.set_possible st.alias (Analysis.Alias_pairs.possible_count r.r_pairs);
-      Report.set_lint st.report r.r_findings;
+      Alias_cov.set_possible (Hub.alias hub) (Analysis.Alias_pairs.possible_count r.r_pairs);
+      Report.set_lint (Hub.report hub) r.r_findings;
       log
         (Printf.sprintf "static pre-pass: %d possible alias pairs, %d lint findings"
            (Analysis.Alias_pairs.possible_count r.r_pairs)
            (List.length r.r_findings))
   | None -> ());
-  (* Worker pool (§5): the main process dispatches seeds to workers that
-     share coverage, the priority queue and the report; each has its own
-     generator state and corpus, so their campaigns do not contend. *)
-  let workers =
-    Array.init (max 1 cfg.workers) (fun i ->
-        let w_rng = Rng.create (cfg.master_seed + (1_000_003 * i)) in
-        {
-          w_rng;
-          w_corpus =
-            (* One populate (load-phase) seed plus random operation seeds:
-               the load phase triggers resize/migration paths from the
-               start. *)
-            Mutator.populate w_rng target.Target.profile ~factor:3
-            :: List.init cfg.initial_seeds (fun _ -> Seed.gen w_rng target.Target.profile);
-          w_generation = 0;
-        })
+  (* Worker pool (§5): N domains share the hub's coverage, priority queue
+     and report; each owns its RNG streams, corpus, and scratch tables, so
+     campaigns do not contend.  Worker 0's streams are exactly the
+     sequential fuzzer's, which keeps [workers = 1] sessions
+     bit-identical to it. *)
+  let log =
+    let lk = Mutex.create () in
+    fun m ->
+      Mutex.lock lk;
+      Fun.protect ~finally:(fun () -> Mutex.unlock lk) (fun () -> log m)
   in
-  let pick_seed w = if w.w_generation = 0 then List.hd w.w_corpus else next_seed st w in
-  (match cfg.mode with
-  | Mode_pmrace ->
-      let wi = ref 0 in
-      while budget_left st do
-        let w = workers.(!wi mod Array.length workers) in
-        incr wi;
-        let seed = pick_seed w in
-        st.log
-          (Printf.sprintf "campaign %d/%d: worker %d seed #%d (gen %d)" st.campaigns
-             cfg.max_campaigns (!wi mod Array.length workers) (Seed.id seed) w.w_generation);
-        fuzz_seed_pmrace st seed;
-        w.w_generation <- w.w_generation + 1
-      done
-  | Mode_delay | Mode_random ->
-      let wi = ref 0 in
-      while budget_left st do
-        let w = workers.(!wi mod Array.length workers) in
-        incr wi;
-        let seed = pick_seed w in
-        let policy =
-          match cfg.mode with
-          | Mode_delay -> Campaign.Delay { prob = 0.08; max_delay = 25 }
-          | Mode_random | Mode_pmrace -> Campaign.Random_sched
-        in
-        let rec exec n stale =
-          if n < cfg.execs_per_interleaving * cfg.max_interleavings_per_seed
-             && budget_left st && stale < 6
-          then begin
-            let improved, _ = do_campaign st seed policy in
-            exec (n + 1) (if improved then 0 else stale + 1)
-          end
-        in
-        exec 0 0;
-        w.w_generation <- w.w_generation + 1
-      done);
+  let mk_worker widx =
+    let gen_rng = Rng.create (cfg.master_seed + (1_000_003 * widx)) in
+    {
+      widx;
+      cfg;
+      target;
+      hub;
+      sched_rng = Rng.create (cfg.master_seed + (500_000_003 * widx));
+      gen_rng;
+      corpus =
+        (* One populate (load-phase) seed plus random operation seeds: the
+           load phase triggers resize/migration paths from the start. *)
+        Mutator.populate gen_rng target.Target.profile ~factor:3
+        :: List.init cfg.initial_seeds (fun _ -> Seed.gen gen_rng target.Target.profile);
+      generation = 0;
+      skip_store = Hashtbl.create 32;
+      explored = Hashtbl.create 32;
+      seed_sites = Hashtbl.create 32;
+      snapshot;
+      whitelist;
+      static_on = static <> None;
+      log;
+    }
+  in
+  let nworkers = max 1 cfg.workers in
+  let workers = Array.init nworkers mk_worker in
+  if nworkers = 1 then worker_loop workers.(0)
+  else
+    (* Domain-per-worker (§5): truly parallel campaigns on OCaml 5. *)
+    Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers
+    |> Array.iter Domain.join;
   (* Annotation count comes from the target's layout annotations. *)
   let annotations =
     let env = Runtime.Env.create ~capture_images:false ~pool_words:target.Target.pool_words () in
@@ -446,15 +411,15 @@ let run ?(log = fun _ -> ()) target cfg =
     Runtime.Checkers.annotation_count env.Runtime.Env.checkers
   in
   {
-    report = st.report;
-    alias = st.alias;
-    branch = st.branch;
-    timeline = List.rev st.timeline;
-    campaigns_run = st.campaigns;
-    wall_time = now () -. st.started;
+    report = Hub.report hub;
+    alias = Hub.alias hub;
+    branch = Hub.branch hub;
+    timeline = Hub.timeline hub;
+    campaigns_run = Hub.completed hub;
+    wall_time = Hub.elapsed hub;
     annotations;
-    whitelist = st.whitelist;
-    provenance = st.provenance;
+    whitelist;
+    provenance = Hub.provenance hub;
     static = prepass;
   }
 

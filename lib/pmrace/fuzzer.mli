@@ -1,7 +1,17 @@
 (** The PM-aware coverage-guided fuzzing loop (§4.2.3), with its three
     exploration tiers (execution / interleaving / seed), the Delay-Inj and
     random-scheduler baselines, immediate post-failure validation of new
-    findings, and a timeline for the Figure 8/9 series. *)
+    findings, and a timeline for the Figure 8/9 series.
+
+    The §5 worker pool runs [config.workers] OCaml 5 domains sharing a
+    {!Hub} (coverage, priority queue, report, budget); each worker owns
+    its RNG streams, corpus and campaign scratch, so campaigns execute
+    lock-free and workers only synchronise at campaign boundaries.
+    [workers = 1] runs the identical sequential code path and RNG
+    streams, so seeded paper-profile sessions are bit-for-bit
+    reproducible; parallel sessions are deterministic as a {e set} of
+    unique bugs (the report deduplicates by bug identity, independent of
+    merge order). *)
 
 type mode =
   | Mode_pmrace  (** sync-point scheduling over the shared-access queue *)
@@ -21,7 +31,8 @@ type config = {
   validate : bool;
   evict_prob : float;
   eadr : bool;  (** fuzz on an eADR platform (§6.6): caches are persistent *)
-  workers : int;  (** concurrent fuzzing workers sharing coverage (§5) *)
+  workers : int;  (** worker domains sharing the hub (§5); each runs on its
+                      own OCaml 5 domain *)
   initial_seeds : int;
   whitelist_extra : string list;
   static_prepass : bool;
@@ -34,10 +45,10 @@ type config = {
 
 val default_config : config
 
-type provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+type provenance = Hub.provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
 (** The exact inputs that replay one campaign. *)
 
-type timeline_point = {
+type timeline_point = Hub.timeline_point = {
   tp_campaign : int;
   tp_time : float;
   tp_alias_bits : int;

@@ -1,0 +1,175 @@
+(* The shared side of the §5 worker pool, behind a domain-safe facade.
+
+   PMRace runs 13 worker processes that share a coverage bitmap and a seed
+   pool; our workers are OCaml 5 domains that share this hub.  The hub owns
+   every piece of cross-worker state — alias/branch coverage, the
+   shared-access priority queue, the report (with its candidate tables),
+   reproduction provenance, the coverage timeline, and the campaign budget
+   — and serialises all access with one mutex.
+
+   The locking protocol keeps the fuzzing hot path lock-free: a worker
+   never touches hub state while a campaign executes.  Instead it
+
+   - [reserve]s a campaign slot (one short critical section),
+   - runs the campaign against a private [delta] (fresh per-campaign
+     coverage/queue structures, no locks),
+   - [commit]s the delta at the campaign boundary (the second critical
+     section: merge coverage, absorb findings, extend the timeline).
+
+   Because every merge is a set-union/counter-add and the report
+   deduplicates by bug identity, the final hub state for a given set of
+   campaigns is independent of commit order — parallel sessions are
+   deterministic as a set of unique bugs, and a single worker reproduces
+   the sequential fuzzer bit for bit. *)
+
+type provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+
+type timeline_point = {
+  tp_campaign : int;
+  tp_time : float; (* seconds since session start *)
+  tp_alias_bits : int;
+  tp_branch_bits : int;
+  tp_inter_unique : int;
+  tp_new_inter : bool;
+}
+
+(* A worker's private per-campaign accumulator.  Campaign listeners write
+   here without synchronisation; [commit] folds it into the shared state. *)
+type delta = { d_alias : Alias_cov.t; d_branch : Branch_cov.t; d_queue : Shared_queue.t }
+
+type t = {
+  lock : Mutex.t;
+  max_campaigns : int;
+  alias : Alias_cov.t;
+  branch : Branch_cov.t;
+  queue : Shared_queue.t;
+  report : Report.t;
+  static : Analysis.Alias_pairs.t option;
+  provenance : (int, provenance) Hashtbl.t; (* campaign index -> inputs *)
+  mutable reserved : int; (* campaign slots handed out *)
+  mutable completed : int; (* campaigns committed *)
+  mutable timeline : timeline_point list; (* commit order, newest first *)
+  started : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?static ~max_campaigns () =
+  {
+    lock = Mutex.create ();
+    max_campaigns;
+    alias = Alias_cov.create ();
+    branch = Branch_cov.create ();
+    queue = Shared_queue.create ();
+    report = Report.create ();
+    static;
+    provenance = Hashtbl.create 64;
+    reserved = 0;
+    completed = 0;
+    timeline = [];
+    started = now ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Advisory, lock-free check workers use in loop conditions; [reserve] is
+   the authoritative check-and-claim. *)
+let budget_left t = t.reserved < t.max_campaigns
+
+let reserve t prov =
+  with_lock t (fun () ->
+      if t.reserved >= t.max_campaigns then None
+      else begin
+        let campaign = t.reserved in
+        t.reserved <- t.reserved + 1;
+        Hashtbl.replace t.provenance campaign prov;
+        Some campaign
+      end)
+
+let fresh_delta () =
+  { d_alias = Alias_cov.create (); d_branch = Branch_cov.create (); d_queue = Shared_queue.create () }
+
+let delta_listeners d =
+  [ Alias_cov.attach d.d_alias; Branch_cov.attach d.d_branch; Shared_queue.attach d.d_queue ]
+
+type commit_result = {
+  c_improved : bool; (* the merge contributed new coverage bits *)
+  c_new_findings : Report.finding list;
+  c_new_sync : Report.sync_finding list;
+}
+
+let commit t ~campaign ~delta (env : Runtime.Env.t) ~hung ~hang_info =
+  with_lock t (fun () ->
+      let before = Alias_cov.count t.alias + Branch_cov.count t.branch in
+      let inter_before = Report.inconsistency_count t.report Runtime.Candidates.Inter in
+      Alias_cov.merge_into ~src:delta.d_alias t.alias;
+      Branch_cov.merge_into ~src:delta.d_branch t.branch;
+      Shared_queue.merge_into ~src:delta.d_queue t.queue;
+      let c_new_findings, c_new_sync = Report.absorb ~campaign t.report env ~hung ~hang_info in
+      t.completed <- t.completed + 1;
+      let inter_now = Report.inconsistency_count t.report Runtime.Candidates.Inter in
+      t.timeline <-
+        {
+          tp_campaign = campaign + 1;
+          tp_time = now () -. t.started;
+          tp_alias_bits = Alias_cov.count t.alias;
+          tp_branch_bits = Branch_cov.count t.branch;
+          tp_inter_unique = inter_now;
+          tp_new_inter = inter_now > inter_before;
+        }
+        :: t.timeline;
+      let after = Alias_cov.count t.alias + Branch_cov.count t.branch in
+      { c_improved = after > before; c_new_findings; c_new_sync })
+
+let queue_entries t = with_lock t (fun () -> Shared_queue.entries t.queue)
+
+(* Re-score a seed against the static pre-pass: first refresh the
+   achieved-pair marks from shared alias coverage, then count the
+   still-uncovered statically-possible pairs whose write and read sites
+   the seed has reached ([sites] is the owning worker's private map of
+   sites this seed touched). *)
+let rescore_seed t ~sites seed =
+  match t.static with
+  | None -> ()
+  | Some pairs ->
+      with_lock t (fun () ->
+          List.iter
+            (fun (w, r) ->
+              Analysis.Alias_pairs.mark_achieved pairs ~write:(Runtime.Instr.of_int w)
+                ~read:(Runtime.Instr.of_int r))
+            (Alias_cov.site_pairs t.alias);
+          let score =
+            List.fold_left
+              (fun n (p : Analysis.Alias_pairs.pair) ->
+                if
+                  Hashtbl.mem sites (Runtime.Instr.to_int p.Analysis.Alias_pairs.pw)
+                  && Hashtbl.mem sites (Runtime.Instr.to_int p.Analysis.Alias_pairs.pr)
+                then n + 1
+                else n)
+              0
+              (Analysis.Alias_pairs.uncovered pairs)
+          in
+          Seed.set_priority seed score)
+
+let inter_unique t =
+  with_lock t (fun () -> Report.inconsistency_count t.report Runtime.Candidates.Inter)
+
+let completed t = t.completed
+let elapsed t = now () -. t.started
+let static t = t.static
+
+(* Accessors for session assembly and pre-spawn setup.  Unsynchronised:
+   only use while no worker domain is live (before spawning or after
+   joining). *)
+let alias t = t.alias
+let branch t = t.branch
+let report t = t.report
+let provenance t = t.provenance
+
+let timeline t =
+  (* Commit order is chronological for a single worker; under parallelism
+     ties in commit order are broken by campaign index so the series is
+     reproducible. *)
+  List.sort (fun a b -> compare a.tp_campaign b.tp_campaign) (List.rev t.timeline)

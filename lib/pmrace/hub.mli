@@ -1,0 +1,99 @@
+(** The shared side of the §5 worker pool, behind a domain-safe facade.
+
+    Fuzzing workers run on OCaml 5 domains and share this hub the way
+    PMRace's 13 worker processes share a coverage bitmap: all cross-worker
+    state — alias/branch coverage, the shared-access priority queue, the
+    report and its candidate tables, provenance, the timeline, and the
+    campaign budget — lives here, serialised by one mutex.
+
+    The protocol keeps campaign execution lock-free: workers {!reserve} a
+    budget slot, run the campaign against a private {!delta}, and
+    {!commit} the delta at the campaign boundary.  Merges are set unions
+    and counter additions and the report deduplicates by bug identity, so
+    the resulting unique-bug set is independent of commit interleaving,
+    and one worker reproduces the sequential fuzzer bit for bit. *)
+
+type provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+(** The exact inputs that replay one campaign. *)
+
+type timeline_point = {
+  tp_campaign : int;
+  tp_time : float;  (** seconds since session start *)
+  tp_alias_bits : int;
+  tp_branch_bits : int;
+  tp_inter_unique : int;
+  tp_new_inter : bool;
+}
+
+type delta
+(** A worker's private per-campaign coverage/queue accumulator; campaign
+    listeners write to it without synchronisation. *)
+
+type t
+
+val create : ?static:Analysis.Alias_pairs.t -> max_campaigns:int -> unit -> t
+
+val budget_left : t -> bool
+(** Advisory lock-free check for worker loop conditions; {!reserve} is the
+    authoritative check-and-claim, so the budget is never overshot. *)
+
+val reserve : t -> provenance -> int option
+(** Claim the next campaign slot and record its provenance; [None] when
+    the budget is exhausted (the worker should wind down). *)
+
+val fresh_delta : unit -> delta
+
+val delta_listeners : delta -> (Runtime.Env.t -> unit) list
+(** Campaign listeners feeding the delta's private coverage structures. *)
+
+type commit_result = {
+  c_improved : bool;  (** the merge contributed new coverage bits *)
+  c_new_findings : Report.finding list;
+  c_new_sync : Report.sync_finding list;
+}
+
+val commit :
+  t ->
+  campaign:int ->
+  delta:delta ->
+  Runtime.Env.t ->
+  hung:bool ->
+  hang_info:string ->
+  commit_result
+(** The campaign-boundary merge: fold the delta into shared coverage,
+    absorb the campaign's checker results into the report, extend the
+    timeline.  One critical section; the returned new findings are then
+    validated by the caller outside the lock. *)
+
+val queue_entries : t -> Shared_queue.entry list
+(** Snapshot of the shared-access priority queue (locked). *)
+
+val rescore_seed : t -> sites:(int, unit) Hashtbl.t -> Seed.t -> unit
+(** Static-pre-pass seed re-scoring (no-op without a pre-pass): refresh
+    achieved alias-pair marks from shared coverage and set the seed's
+    priority to the number of uncovered possible pairs it touches.
+    [sites] is the owning worker's private touched-site map. *)
+
+val inter_unique : t -> int
+(** Current unique inter-thread inconsistency count (locked). *)
+
+val completed : t -> int
+(** Campaigns committed so far. *)
+
+val elapsed : t -> float
+val static : t -> Analysis.Alias_pairs.t option
+
+(** {2 Single-domain accessors}
+
+    Unsynchronised views for pre-spawn setup (installing the static
+    denominator and lint findings) and post-join session assembly.  Only
+    use while no worker domain is live. *)
+
+val alias : t -> Alias_cov.t
+val branch : t -> Branch_cov.t
+val report : t -> Report.t
+val provenance : t -> (int, provenance) Hashtbl.t
+
+val timeline : t -> timeline_point list
+(** The coverage timeline ordered by campaign index (chronological for a
+    sequential session). *)

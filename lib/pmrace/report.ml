@@ -55,9 +55,13 @@ let inc_key (i : Checkers.inconsistency) =
   }
 
 (* Fold one campaign's checker results in; returns the newly discovered
-   unique inconsistencies and sync events (candidates for validation). *)
-let absorb t (env : Runtime.Env.t) ~hung ~hang_info =
-  let campaign = t.campaigns in
+   unique inconsistencies and sync events (candidates for validation).
+   [campaign] is the caller's campaign index (the §5 worker pool reserves
+   indices up front, so absorb order need not match index order); it
+   defaults to the count of campaigns absorbed so far, which is the same
+   thing for a sequential session. *)
+let absorb ?campaign t (env : Runtime.Env.t) ~hung ~hang_info =
+  let campaign = Option.value ~default:t.campaigns campaign in
   t.campaigns <- t.campaigns + 1;
   let ck = env.Runtime.Env.checkers in
   List.iter

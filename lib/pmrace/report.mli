@@ -22,10 +22,20 @@ type t
 val create : unit -> t
 
 val absorb :
-  t -> Runtime.Env.t -> hung:bool -> hang_info:string -> finding list * sync_finding list
+  ?campaign:int ->
+  t ->
+  Runtime.Env.t ->
+  hung:bool ->
+  hang_info:string ->
+  finding list * sync_finding list
 (** Fold one campaign's checker results in; returns the {e newly}
     discovered unique inconsistencies and sync events, which the fuzzer
-    then validates. *)
+    then validates.  [campaign] stamps first sightings (defaults to the
+    number of campaigns absorbed so far); discovery is deduplicated by
+    bug identity — candidate pairs by (write, read, kind), findings by
+    (write, read, effect, kind), sync findings by (variable, value) — so
+    the resulting {e set} of unique findings is independent of the order
+    in which concurrent workers' campaigns are absorbed. *)
 
 val campaigns : t -> int
 

@@ -118,11 +118,12 @@ let gen_op rng profile ~near =
   | KFlushAll -> Flush_all
   | KStats -> Stats
 
-let seed_counter = ref 0
+(* Seed ids key per-worker scratch tables (skip stores, touched-site maps)
+   and appear in reproduction provenance, so they must stay unique when
+   several worker domains generate seeds concurrently (§5). *)
+let seed_counter = Atomic.make 0
 
-let make threads =
-  incr seed_counter;
-  { sid = !seed_counter; threads; priority = 0 }
+let make threads = { sid = 1 + Atomic.fetch_and_add seed_counter 1; threads; priority = 0 }
 
 let gen rng profile =
   let near = ref None in

@@ -58,6 +58,22 @@ let observe_store t ~addr ~instr ~tid =
   r.store_tids <- Tset.add tid r.store_tids;
   r.hits <- r.hits + 1
 
+(* Fold a worker-local per-campaign delta in: union the instruction and
+   thread sets, sum the hit counts.  All queue updates are set-unions and
+   counter additions, so merging per-campaign deltas yields exactly the
+   state direct accumulation would (the [workers = 1] bit-identity
+   guarantee rests on this). *)
+let merge_into ~src dst =
+  Hashtbl.iter
+    (fun addr (s : record) ->
+      let d = record_of dst addr in
+      d.load_instrs <- Iset.union d.load_instrs s.load_instrs;
+      d.store_instrs <- Iset.union d.store_instrs s.store_instrs;
+      d.load_tids <- Tset.union d.load_tids s.load_tids;
+      d.store_tids <- Tset.union d.store_tids s.store_tids;
+      d.hits <- d.hits + s.hits)
+    src.tbl
+
 let attach t env =
   Runtime.Env.add_listener env (function
     | Runtime.Env.Ev_load { instr; tid; addr; _ } -> observe_load t ~addr ~instr ~tid

@@ -22,6 +22,11 @@ val observe_store : t -> addr:int -> instr:Instr.t -> tid:int -> unit
 val attach : t -> Runtime.Env.t -> unit
 (** Subscribe to an execution's access events. *)
 
+val merge_into : src:t -> t -> unit
+(** Fold [src] (a worker's per-campaign delta) into a shared queue: union
+    the per-address instruction/thread sets and sum hit counts.  Not
+    itself synchronised — callers serialise merges. *)
+
 val entries : t -> entry list
 (** Shared-data entries, most frequently accessed first. *)
 

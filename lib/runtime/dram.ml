@@ -12,15 +12,18 @@ type 'a key = { uid : int; name : string; inject : 'a -> exn; project : exn -> '
 
 type t = { mutable bindings : (int * exn) list }
 
-let key_counter = ref 0
+(* Key identities are allocated from an atomic counter: workload modules
+   create keys at load time, but the fuzzer's workers (§5) also create
+   them lazily from several domains, and a plain shared [ref] would hand
+   out duplicate uids under that race. *)
+let key_counter = Atomic.make 0
 
 let key (type a) ~name () =
   let module M = struct
     exception E of a
   end in
-  incr key_counter;
   {
-    uid = !key_counter;
+    uid = 1 + Atomic.fetch_and_add key_counter 1;
     name;
     inject = (fun x -> M.E x);
     project = (function M.E x -> Some x | _ -> None);

@@ -4,32 +4,51 @@
    integer id.  Our workloads are written directly against the hook API, so
    each call site registers itself here once, under a stable name.  Sites
    are named after the paper's [file:line] locations (Table 2) where the
-   corresponding code exists in the original systems. *)
+   corresponding code exists in the original systems.
+
+   The registry is process-global and sites register lazily from workload
+   code, so with the fuzzer's workers running on separate domains (§5)
+   registration can race.  All registry state is guarded by one mutex:
+   registration is rare (each site pays the lock once, lookups after the
+   first hit come from the memoised id at the call site), so the lock is
+   not on the fuzzing hot path. *)
 
 type t = int
 
+let lock = Mutex.create ()
 let names : (string, int) Hashtbl.t = Hashtbl.create 256
 let rev : (int, string) Hashtbl.t = Hashtbl.create 256
 let counter = ref 0
 
-let site name =
-  match Hashtbl.find_opt names name with
-  | Some id -> id
-  | None ->
-      let id = !counter in
-      incr counter;
-      Hashtbl.add names name id;
-      Hashtbl.add rev id name;
-      id
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let name id = match Hashtbl.find_opt rev id with Some n -> n | None -> Printf.sprintf "<instr#%d>" id
-let count () = !counter
+let site name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt names name with
+      | Some id -> id
+      | None ->
+          let id = !counter in
+          incr counter;
+          Hashtbl.add names name id;
+          Hashtbl.add rev id name;
+          id)
+
+let name id =
+  with_lock (fun () ->
+      match Hashtbl.find_opt rev id with
+      | Some n -> n
+      | None -> Printf.sprintf "<instr#%d>" id)
+
+let count () = with_lock (fun () -> !counter)
 let compare = Int.compare
 let equal = Int.equal
 let to_int id = id
 
 let of_int id =
-  if id < 0 || id >= !counter then invalid_arg (Printf.sprintf "Instr.of_int: unknown id %d" id);
+  let n = count () in
+  if id < 0 || id >= n then invalid_arg (Printf.sprintf "Instr.of_int: unknown id %d" id);
   id
 
 let pp ppf id = Fmt.string ppf (name id)

@@ -19,6 +19,7 @@ let () =
       ("proto", Test_proto.suite);
       ("campaign+validation", Test_campaign.suite);
       ("fuzzer", Test_fuzzer.suite);
+      ("parallel", Test_parallel.suite);
       ("workloads", Test_workloads.suite);
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);
