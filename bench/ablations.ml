@@ -24,13 +24,8 @@ let eadr ppf =
       List.iter
         (fun eadr ->
           let cfg =
-            {
-              Fuzzer.default_config with
-              max_campaigns = 200;
-              master_seed = 5;
-              eadr;
-              use_checkpoint = target.expensive_init;
-            }
+            Fuzzer.Config.make ~max_campaigns:200 ~master_seed:5 ~eadr
+              ~use_checkpoint:target.expensive_init ()
           in
           let s = Fuzzer.run target cfg in
           let _, _, sbugs, _ = Report.sync_verdict_summary s.report in
@@ -97,9 +92,7 @@ let workers ppf =
   let target = Workloads.Pclht.target in
   List.iter
     (fun w ->
-      let cfg =
-        { Fuzzer.default_config with max_campaigns = 300; master_seed = 5; workers = w }
-      in
+      let cfg = Fuzzer.Config.make ~max_campaigns:300 ~master_seed:5 ~workers:w () in
       let s = Fuzzer.run target cfg in
       let found =
         List.length (List.filter snd (Fuzzer.found_known_bugs s target))
@@ -129,17 +122,12 @@ let workers_scaling ppf =
   let budget = 300 in
   let measure w =
     let cfg =
-      {
-        Fuzzer.default_config with
-        max_campaigns = budget;
-        master_seed = 5;
-        workers = w;
-        use_checkpoint = target.expensive_init;
-      }
+      Fuzzer.Config.make ~max_campaigns:budget ~master_seed:5 ~workers:w
+        ~use_checkpoint:target.expensive_init ()
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     let s = Fuzzer.run target cfg in
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = Obs.Clock.elapsed t0 in
     (s.campaigns_run, wall, float_of_int s.campaigns_run /. Float.max 1e-9 wall)
   in
   let results = List.map (fun w -> (w, measure w)) [ 1; 2; 4 ] in
@@ -151,16 +139,28 @@ let workers_scaling ppf =
   hr ppf;
   Format.fprintf ppf "(%d hardware cores available to this run)@."
     (Domain.recommended_domain_count ());
+  let json =
+    Obs.Json.Obj
+      [
+        ("target", Obs.Json.String target.name);
+        ("budget", Obs.Json.Int budget);
+        ("cores", Obs.Json.Int (Domain.recommended_domain_count ()));
+        ( "runs",
+          Obs.Json.List
+            (List.map
+               (fun (w, (campaigns, wall, eps)) ->
+                 Obs.Json.Obj
+                   [
+                     ("workers", Obs.Json.Int w);
+                     ("campaigns", Obs.Json.Int campaigns);
+                     ("wall_s", Obs.Json.Float wall);
+                     ("execs_per_sec", Obs.Json.Float eps);
+                   ])
+               results) );
+      ]
+  in
   let oc = open_out "BENCH_workers.json" in
-  Printf.fprintf oc "{\n  \"target\": %S,\n  \"budget\": %d,\n  \"cores\": %d,\n  \"runs\": [\n%s\n  ]\n}\n"
-    target.name budget
-    (Domain.recommended_domain_count ())
-    (String.concat ",\n"
-       (List.map
-          (fun (w, (campaigns, wall, eps)) ->
-            Printf.sprintf
-              "    { \"workers\": %d, \"campaigns\": %d, \"wall_s\": %.3f, \"execs_per_sec\": %.1f }"
-              w campaigns wall eps)
-          results));
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
   close_out oc;
   Format.fprintf ppf "(wrote BENCH_workers.json)@."

@@ -8,7 +8,11 @@ let hr ppf = Format.fprintf ppf "%s@." (String.make 72 '-')
 (* Figure 8: the time to identify PM Inter-thread Inconsistencies —
    PMRace's PM-aware scheduling vs random delay injection.  Each printed
    point is an execution in which at least one new unique inter-thread
-   inconsistency was detected, with its wall-clock offset. *)
+   inconsistency was detected, with its wall-clock offset.
+
+   The series is read from the session's JSON artifact (the same encoding
+   [pmrace fuzz --json-out] writes and CI archives), demonstrating that
+   the artifact carries everything the figure needs. *)
 
 let fig8_targets = [ Workloads.Pclht.target; Workloads.Fastfair.target; Workloads.Memcached.target ]
 
@@ -21,9 +25,11 @@ let fig8 ppf =
       Format.fprintf ppf "%s@." target.name;
       List.iter
         (fun (label, mode) ->
-          let s = Sessions.run ~mode target in
+          let a = Sessions.artifact ~mode target in
           let hits =
-            List.filter (fun (p : Fuzzer.timeline_point) -> p.tp_new_inter) s.timeline
+            List.filter
+              (fun (p : Fuzzer.timeline_point) -> p.tp_new_inter)
+              a.Pmrace.Artifact.a_timeline
           in
           let first =
             match hits with
@@ -96,18 +102,12 @@ let fig9 ppf =
 
 let throughput (target : Pmrace.Target.t) ~use_checkpoint ~campaigns =
   let cfg =
-    {
-      Fuzzer.default_config with
-      max_campaigns = campaigns;
-      master_seed = 21;
-      use_checkpoint;
-      validate = false;
-      mode = Fuzzer.Mode_random;
-    }
+    Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:21 ~use_checkpoint ~validate:false
+      ~mode:Fuzzer.Mode_random ()
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let s = Fuzzer.run target cfg in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Float.max 1e-9 (Obs.Clock.elapsed t0) in
   float_of_int s.campaigns_run /. dt
 
 let fig10 ppf =

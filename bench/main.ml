@@ -42,7 +42,7 @@ let () =
   Format.fprintf ppf "(4 worker threads per campaign, deterministic scheduler; see EXPERIMENTS.md)@.";
   List.iter
     (fun (name, f) ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now () in
       f ppf;
-      Format.fprintf ppf "[%s took %.2fs]@." name (Unix.gettimeofday () -. t0))
+      Format.fprintf ppf "[%s took %.2fs]@." name (Obs.Clock.elapsed t0))
     to_run

@@ -2,6 +2,7 @@
 
      pmrace list                        show the available targets
      pmrace fuzz TARGET [options]       fuzz one target and print the report
+     pmrace replay TARGET --from S.json re-execute one recorded campaign
      pmrace analyze TARGET [options]    offline persistency analysis (no fuzzing)
      pmrace inspect TARGET              show a target's seeded ground truth
 
@@ -14,9 +15,15 @@ module Fuzzer = Pmrace.Fuzzer
 module Report = Pmrace.Report
 
 let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
+  (* wall_time is read from the monotonized clock (Obs.Clock), so the
+     execs/sec figure cannot go negative under wall-clock adjustments. *)
   Format.fprintf ppf "== %s: %d campaigns in %.2fs (%.0f execs/sec) ==@." target.name
     s.campaigns_run s.wall_time
     (float_of_int s.campaigns_run /. Float.max 1e-9 s.wall_time);
+  if Array.length s.worker_campaigns > 1 then
+    Format.fprintf ppf "campaigns per worker: %a@."
+      Fmt.(array ~sep:comma int)
+      s.worker_campaigns;
   Format.fprintf ppf "coverage: %d PM alias pairs (%a), %d branches@."
     (Pmrace.Alias_cov.count s.alias) Pmrace.Alias_cov.pp_site_coverage s.alias
     (Pmrace.Branch_cov.count s.branch);
@@ -54,7 +61,11 @@ let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
   List.iter
     (fun ((kb : Pmrace.Target.known_bug), found) ->
       Format.fprintf ppf "  [%s] %a@." (if found then "FOUND" else "MISS") Pmrace.Target.pp_known_bug kb)
-    (Fuzzer.found_known_bugs s target)
+    (Fuzzer.found_known_bugs s target);
+  if Obs.Metrics.enabled () then begin
+    Format.fprintf ppf "@.metrics:@.";
+    Obs.Metrics.pp ppf ()
+  end
 
 let target_conv =
   let parse name =
@@ -108,25 +119,52 @@ let fuzz_cmd =
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Print detailed bug reports with reproduction inputs.")
   in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:
+               "Write the session artifact (config, coverage, timeline, bug groups, per-campaign \
+                provenance, metrics) as versioned JSON. $(b,pmrace replay) consumes it.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Stream structured session events (campaign boundaries, new alias pairs, \
+                   candidates, verdicts) as JSON Lines.")
+  in
+  let no_metrics =
+    Arg.(value & flag
+         & info [ "no-metrics" ]
+             ~doc:"Disable metrics collection (the default hot-path cost is one atomic load).")
+  in
   let run target campaigns seed workers mode no_checkpoint no_validate no_ie no_se no_static
-      verbose report =
+      verbose report json_out trace_out no_metrics =
+    Obs.Metrics.set_enabled (not no_metrics);
+    Obs.Metrics.reset ();
     let cfg =
-      {
-        Fuzzer.default_config with
-        max_campaigns = campaigns;
-        master_seed = seed;
-        workers = max 1 workers;
-        mode;
-        use_checkpoint = (not no_checkpoint) && target.Pmrace.Target.expensive_init;
-        validate = not no_validate;
-        interleaving_tier = not no_ie;
-        seed_tier = not no_se;
-        static_prepass = not no_static;
-      }
+      Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:seed ~workers ~mode
+        ~use_checkpoint:((not no_checkpoint) && target.Pmrace.Target.expensive_init)
+        ~validate:(not no_validate) ~interleaving_tier:(not no_ie) ~seed_tier:(not no_se)
+        ~static_prepass:(not no_static) ()
     in
     let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
-    let s = Fuzzer.run ~log target cfg in
+    let obs, trace_oc =
+      match trace_out with
+      | None -> (None, None)
+      | Some path ->
+          let o = Obs.Events.create () in
+          let oc = open_out path in
+          Obs.Events.attach_jsonl o oc;
+          (Some o, Some oc)
+    in
+    let s = Fuzzer.run ~log ?obs target cfg in
+    Option.iter close_out trace_oc;
     print_session Format.std_formatter target s;
+    (match json_out with
+    | Some path ->
+        Pmrace.Artifact.write ~path (Pmrace.Artifact.of_session ~target ~cfg s);
+        Format.printf "@.session artifact written to %s@." path
+    | None -> ());
     if report then begin
       Format.printf "@.=== detailed bug reports ===@.";
       Pmrace.Bug_report.render_bugs Format.std_formatter s
@@ -136,7 +174,45 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Fuzz a PM system for concurrency bugs")
     Term.(
       const run $ target $ campaigns $ seed $ workers $ mode $ no_checkpoint $ no_validate $ no_ie
-      $ no_se $ no_static $ verbose $ report)
+      $ no_se $ no_static $ verbose $ report $ json_out $ trace_out $ no_metrics)
+
+let replay_cmd =
+  let target =
+    Arg.(required & pos 0 (some target_conv) None & info [] ~docv:"TARGET" ~doc:"Target to replay.")
+  in
+  let from =
+    Arg.(required & opt (some string) None
+         & info [ "from" ] ~docv:"SESSION.json"
+             ~doc:"Session artifact written by $(b,pmrace fuzz --json-out).")
+  in
+  let bug =
+    Arg.(value & opt int 0 & info [ "bug" ] ~doc:"Bug group index in the artifact (default 0).")
+  in
+  let run (target : Pmrace.Target.t) from bug =
+    match Pmrace.Artifact.read ~path:from with
+    | Error e ->
+        Format.eprintf "cannot read %s: %s@." from e;
+        exit 2
+    | Ok artifact -> (
+        match Pmrace.Replay.replay_bug ~target ~artifact ~bug with
+        | Error e ->
+            Format.eprintf "replay failed: %s@." e;
+            exit 2
+        | Ok o ->
+            Format.printf "replayed campaign %d for bug #%d (%s at %s)@." o.r_campaign bug
+              o.r_bug.Pmrace.Artifact.b_kind o.r_bug.Pmrace.Artifact.b_site;
+            List.iter
+              (fun g -> Format.printf "  %a@." Report.pp_bug_group g)
+              o.Pmrace.Replay.r_groups;
+            if o.Pmrace.Replay.r_reproduced then Format.printf "bug fingerprint REPRODUCED@."
+            else begin
+              Format.printf "bug fingerprint NOT reproduced@.";
+              exit 1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Re-execute one recorded campaign and check the bug reappears")
+    Term.(const run $ target $ from $ bug)
 
 let analyze_cmd =
   let target =
@@ -197,4 +273,7 @@ let inspect_cmd =
 
 let () =
   let doc = "PMRace: PM-aware coverage-guided fuzzing for persistent-memory concurrency bugs" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "pmrace" ~doc) [ fuzz_cmd; analyze_cmd; list_cmd; inspect_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pmrace" ~doc)
+          [ fuzz_cmd; replay_cmd; analyze_cmd; list_cmd; inspect_cmd ]))

@@ -12,15 +12,7 @@ module Fuzzer = Pmrace.Fuzzer
 module Report = Pmrace.Report
 
 let run ~eadr =
-  let cfg =
-    {
-      Fuzzer.default_config with
-      max_campaigns = 250;
-      master_seed = 5;
-      eadr;
-      use_checkpoint = true;
-    }
-  in
+  let cfg = Fuzzer.Config.make ~max_campaigns:250 ~master_seed:5 ~eadr ~use_checkpoint:true () in
   Fuzzer.run Workloads.Pclht.target cfg
 
 let describe label (s : Fuzzer.session) =

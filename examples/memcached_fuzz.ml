@@ -22,7 +22,7 @@ let () =
     (fun i op -> if i < 5 then Format.printf "  %S@." (Pmrace.Seed.render_op op))
     (Pmrace.Seed.all_ops seed);
 
-  let cfg = { Fuzzer.default_config with max_campaigns = 400; master_seed = 9 } in
+  let cfg = Fuzzer.Config.make ~max_campaigns:400 ~master_seed:9 () in
   let s = Fuzzer.run target cfg in
   Format.printf "@.%d campaigns in %.2fs@." s.campaigns_run s.wall_time;
 

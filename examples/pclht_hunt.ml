@@ -13,7 +13,7 @@ module Seed = Pmrace.Seed
 let () =
   let target = Workloads.Pclht.target in
   Format.printf "Fuzzing %s (%s)...@." target.name target.version;
-  let cfg = { Fuzzer.default_config with max_campaigns = 300; master_seed = 5 } in
+  let cfg = Fuzzer.Config.make ~max_campaigns:300 ~master_seed:5 () in
   let s = Fuzzer.run target cfg in
   Format.printf "%d campaigns in %.2fs@.@." s.campaigns_run s.wall_time;
   List.iter

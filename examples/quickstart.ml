@@ -14,7 +14,7 @@ module Report = Pmrace.Report
 let () =
   Format.printf "PMRace quickstart: fuzzing the Figure 1 example@.@.";
   let target = Workloads.Figure1.target in
-  let cfg = { Fuzzer.default_config with max_campaigns = 60; master_seed = 3 } in
+  let cfg = Fuzzer.Config.make ~max_campaigns:60 ~master_seed:3 () in
   let session = Fuzzer.run target cfg in
   Format.printf "%d campaigns in %.3fs; coverage: %d alias pairs, %d branches@.@."
     session.campaigns_run session.wall_time

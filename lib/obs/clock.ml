@@ -1,0 +1,16 @@
+(* Monotonized wall clock: gettimeofday guarded against going backwards.
+   The last reading is kept as float bits in an Atomic so concurrent
+   worker domains can stamp events without a lock. *)
+
+let last = Atomic.make (Int64.bits_of_float neg_infinity)
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let prev = Atomic.get last in
+  let pf = Int64.float_of_bits prev in
+  if t >= pf then
+    if Atomic.compare_and_set last prev (Int64.bits_of_float t) then t
+    else now () (* another domain advanced the clock; re-read *)
+  else pf (* wall clock stepped backwards: hold the line *)
+
+let elapsed t0 = Float.max 0. (now () -. t0)

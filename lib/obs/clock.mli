@@ -1,0 +1,14 @@
+(** A monotonic-ized wall clock.
+
+    OCaml's stdlib exposes no OS monotonic clock, so this module
+    monotonizes [Unix.gettimeofday]: readings never go backwards even if
+    the system clock is stepped (NTP adjustment, manual set).  All session
+    timing — execs/sec, timeline offsets, metric latencies — goes through
+    here so rate figures can never be negative or wildly inflated by a
+    clock step. *)
+
+val now : unit -> float
+(** Seconds; comparable only against other {!now} readings.  Domain-safe. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0], clamped to be non-negative. *)

@@ -1,0 +1,217 @@
+(* Global mutex-guarded registry of atomically-updated metrics.  The hot
+   path (incr/observe) takes no lock: one atomic load of [on], then
+   atomic read-modify-writes on the metric's own cells. *)
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+type counter = int Atomic.t
+
+(* Gauges and histogram sums are floats stored as int64 bits so they can
+   live in Atomics; sums are added with a CAS loop. *)
+type gauge = int64 Atomic.t
+
+type histogram = {
+  bounds : float array; (* strictly increasing upper bounds; +inf implicit *)
+  cells : int Atomic.t array; (* length = Array.length bounds + 1 *)
+  h_count : int Atomic.t;
+  h_sum : int64 Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let lock = Mutex.create ()
+let registry : (string * (string * string) list, metric) Hashtbl.t = Hashtbl.create 64
+
+let latency_buckets =
+  [| 0.001; 0.003; 0.01; 0.03; 0.1; 0.3; 1.0; 3.0; 10.0; 30.0 |]
+
+let canon_labels labels = List.sort compare labels
+
+let register name labels build describe =
+  let labels = canon_labels labels in
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      match Hashtbl.find_opt registry (name, labels) with
+      | Some m -> (
+          match describe m with
+          | Some v -> v
+          | None -> invalid_arg (Printf.sprintf "Obs.Metrics: %s already registered as another kind" name))
+      | None ->
+          let m, v = build () in
+          Hashtbl.add registry (name, labels) m;
+          v)
+
+let counter ?(labels = []) name =
+  register name labels
+    (fun () ->
+      let c = Atomic.make 0 in
+      (C c, c))
+    (function C c -> Some c | G _ | H _ -> None)
+
+let gauge ?(labels = []) name =
+  register name labels
+    (fun () ->
+      let g = Atomic.make (Int64.bits_of_float 0.) in
+      (G g, g))
+    (function G g -> Some g | C _ | H _ -> None)
+
+let histogram ?(labels = []) ?(buckets = latency_buckets) name =
+  register name labels
+    (fun () ->
+      let h =
+        {
+          bounds = Array.copy buckets;
+          cells = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make (Int64.bits_of_float 0.);
+        }
+      in
+      (H h, h))
+    (function H h -> Some h | C _ | G _ -> None)
+
+let incr ?(by = 1) c = if Atomic.get on then ignore (Atomic.fetch_and_add c by)
+let set g v = if Atomic.get on then Atomic.set g (Int64.bits_of_float v)
+
+let rec atomic_add_float cell v =
+  let prev = Atomic.get cell in
+  let next = Int64.bits_of_float (Int64.float_of_bits prev +. v) in
+  if not (Atomic.compare_and_set cell prev next) then atomic_add_float cell v
+
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if Atomic.get on then begin
+    ignore (Atomic.fetch_and_add h.cells.(bucket_index h.bounds v) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    atomic_add_float h.h_sum v
+  end
+
+let time h f =
+  if Atomic.get on then begin
+    let t0 = Clock.now () in
+    Fun.protect ~finally:(fun () -> observe h (Clock.elapsed t0)) f
+  end
+  else f ()
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : (float * int) list; count : int; sum : float }
+
+type reading = { r_name : string; r_labels : (string * string) list; r_value : value }
+
+let read_metric = function
+  | C c -> Counter (Atomic.get c)
+  | G g -> Gauge (Int64.float_of_bits (Atomic.get g))
+  | H h ->
+      let buckets =
+        List.init
+          (Array.length h.cells)
+          (fun i ->
+            let bound = if i < Array.length h.bounds then h.bounds.(i) else infinity in
+            (bound, Atomic.get h.cells.(i)))
+      in
+      Histogram
+        { buckets; count = Atomic.get h.h_count; sum = Int64.float_of_bits (Atomic.get h.h_sum) }
+
+let snapshot () =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      Hashtbl.fold
+        (fun (name, labels) m acc -> { r_name = name; r_labels = labels; r_value = read_metric m } :: acc)
+        registry [])
+  |> List.sort (fun a b -> compare (a.r_name, a.r_labels) (b.r_name, b.r_labels))
+
+let reset () =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> Atomic.set c 0
+          | G g -> Atomic.set g (Int64.bits_of_float 0.)
+          | H h ->
+              Array.iter (fun cell -> Atomic.set cell 0) h.cells;
+              Atomic.set h.h_count 0;
+              Atomic.set h.h_sum (Int64.bits_of_float 0.))
+        registry)
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun r ->
+         let labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) r.r_labels) in
+         let value =
+           match r.r_value with
+           | Counter n -> [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+           | Gauge v -> [ ("type", Json.String "gauge"); ("value", Json.Float v) ]
+           | Histogram { buckets; count; sum } ->
+               [
+                 ("type", Json.String "histogram");
+                 ("count", Json.Int count);
+                 ("sum", Json.Float sum);
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (le, n) ->
+                          Json.Obj
+                            [
+                              ("le", if Float.is_finite le then Json.Float le else Json.String "+inf");
+                              ("n", Json.Int n);
+                            ])
+                        buckets) );
+               ]
+         in
+         Json.Obj (("name", Json.String r.r_name) :: ("labels", labels) :: value))
+       (snapshot ()))
+
+(* Approximate quantile: the upper bound of the bucket where the
+   cumulative count crosses q * total. *)
+let quantile buckets count q =
+  let target = Float.of_int count *. q in
+  let rec go acc = function
+    | [] -> nan
+    | (le, n) :: rest ->
+        let acc = acc + n in
+        if Float.of_int acc >= target then le else go acc rest
+  in
+  go 0 buckets
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+      Format.fprintf ppf "{%s}"
+        (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+
+let pp ppf () =
+  List.iter
+    (fun r ->
+      match r.r_value with
+      | Counter n -> Format.fprintf ppf "  %s%a = %d@." r.r_name pp_labels r.r_labels n
+      | Gauge v -> Format.fprintf ppf "  %s%a = %g@." r.r_name pp_labels r.r_labels v
+      | Histogram { buckets; count; sum } ->
+          if count = 0 then
+            Format.fprintf ppf "  %s%a: no observations@." r.r_name pp_labels r.r_labels
+          else
+            let mean = sum /. Float.of_int count in
+            let p50 = quantile buckets count 0.5 and p95 = quantile buckets count 0.95 in
+            let pq ppf q =
+              if Float.is_finite q then Format.fprintf ppf "%g" q else Format.fprintf ppf "+inf"
+            in
+            Format.fprintf ppf "  %s%a: count=%d mean=%.4g p50<=%a p95<=%a@." r.r_name pp_labels
+              r.r_labels count mean pq p50 pq p95)
+    (snapshot ())

@@ -18,7 +18,11 @@ type config = {
 
 let default_config = { seeds = 6; scheds_per_seed = 2; master_seed = 7; step_budget = 60_000 }
 
+let m_executions = lazy (Obs.Metrics.counter "analyze_executions_total")
+let m_duration = lazy (Obs.Metrics.gauge "analyze_duration_seconds")
+
 let run ?(cfg = default_config) (target : Target.t) =
+  let t0 = Obs.Clock.now () in
   let rng = Rng.create cfg.master_seed in
   let az = Analysis.Analyzer.create () in
   let snapshot =
@@ -34,9 +38,11 @@ let run ?(cfg = default_config) (target : Target.t) =
           ~step_budget:cfg.step_budget ~capture_images:false target seed
       in
       ignore (Campaign.run ~listeners:[ Trace.attach trace ] input);
+      Obs.Metrics.incr (Lazy.force m_executions);
       Analysis.Analyzer.absorb_trace az trace
     done
   done;
+  Obs.Metrics.set (Lazy.force m_duration) (Obs.Clock.elapsed t0);
   Analysis.Analyzer.result az
 
 let prepass ?(seeds = 4) target =

@@ -1,0 +1,464 @@
+(* Versioned JSON session artifacts.
+
+   One artifact = one fuzzing session, complete enough to (a) replay any
+   campaign by index from its recorded provenance and (b) reproduce the
+   report's headline numbers (coverage, timeline, unique-bug groups)
+   without re-running anything.  The encoding is Obs.Json under a
+   schema/version header; decoding re-registers instruction site names so
+   policy specs round-trip into live campaign inputs. *)
+
+module J = Obs.Json
+module Instr = Runtime.Instr
+
+let schema = "pmrace-session"
+let version = 1
+
+type bug = {
+  b_kind : string;
+  b_site : string;
+  b_read_sites : string list;
+  b_members : int;
+  b_first_campaign : int option;
+}
+
+type prov_entry = {
+  pr_campaign : int;
+  pr_sched_seed : int;
+  pr_policy : string;
+  pr_seed : Seed.t;
+  pr_spec : Campaign.policy_spec;
+}
+
+type t = {
+  a_target : string;
+  a_config : Fuzzer.config;
+  a_campaigns : int;
+  a_wall_time : float;
+  a_annotations : int;
+  a_worker_campaigns : int list;
+  a_alias_bits : int;
+  a_branch_bits : int;
+  a_possible_pairs : int option;
+  a_site_pairs : (string * string) list;
+  a_timeline : Fuzzer.timeline_point list;
+  a_bugs : bug list;
+  a_hangs : (string * int) list;
+  a_provenance : prov_entry list;
+  a_metrics : J.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Decode helpers: exceptions internally, [result] at the API boundary. *)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let mem name j =
+  match J.member name j with Some v -> v | None -> fail "missing field %S" name
+
+let get conv what name j =
+  match conv (mem name j) with Some v -> v | None -> fail "field %S: expected %s" name what
+
+let get_int = get J.to_int "int"
+let get_str = get J.to_str "string"
+let get_bool = get J.to_bool "bool"
+let get_float = get J.to_float "float"
+let get_list = get J.to_list "list"
+let str j = match J.to_str j with Some s -> s | None -> fail "expected string"
+let int_of j = match J.to_int j with Some n -> n | None -> fail "expected int"
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let string_of_mode = function
+  | Fuzzer.Mode_pmrace -> "pmrace"
+  | Fuzzer.Mode_delay -> "delay"
+  | Fuzzer.Mode_random -> "random"
+
+let mode_of_string = function
+  | "pmrace" -> Fuzzer.Mode_pmrace
+  | "delay" -> Fuzzer.Mode_delay
+  | "random" -> Fuzzer.Mode_random
+  | s -> fail "unknown mode %S" s
+
+let config_to_json (c : Fuzzer.config) =
+  J.Obj
+    [
+      ("max_campaigns", J.Int c.max_campaigns);
+      ("execs_per_interleaving", J.Int c.execs_per_interleaving);
+      ("max_interleavings_per_seed", J.Int c.max_interleavings_per_seed);
+      ("master_seed", J.Int c.master_seed);
+      ("mode", J.String (string_of_mode c.mode));
+      ("interleaving_tier", J.Bool c.interleaving_tier);
+      ("seed_tier", J.Bool c.seed_tier);
+      ("use_checkpoint", J.Bool c.use_checkpoint);
+      ("step_budget", J.Int c.step_budget);
+      ("validate", J.Bool c.validate);
+      ("evict_prob", J.Float c.evict_prob);
+      ("eadr", J.Bool c.eadr);
+      ("workers", J.Int c.workers);
+      ("initial_seeds", J.Int c.initial_seeds);
+      ("whitelist_extra", J.List (List.map (fun s -> J.String s) c.whitelist_extra));
+      ("static_prepass", J.Bool c.static_prepass);
+    ]
+
+let config_of_json j =
+  Fuzzer.Config.make ~max_campaigns:(get_int "max_campaigns" j)
+    ~execs_per_interleaving:(get_int "execs_per_interleaving" j)
+    ~max_interleavings_per_seed:(get_int "max_interleavings_per_seed" j)
+    ~master_seed:(get_int "master_seed" j)
+    ~mode:(mode_of_string (get_str "mode" j))
+    ~interleaving_tier:(get_bool "interleaving_tier" j)
+    ~seed_tier:(get_bool "seed_tier" j)
+    ~use_checkpoint:(get_bool "use_checkpoint" j)
+    ~step_budget:(get_int "step_budget" j) ~validate:(get_bool "validate" j)
+    ~evict_prob:(get_float "evict_prob" j) ~eadr:(get_bool "eadr" j)
+    ~workers:(get_int "workers" j) ~initial_seeds:(get_int "initial_seeds" j)
+    ~whitelist_extra:(List.map str (get_list "whitelist_extra" j))
+    ~static_prepass:(get_bool "static_prepass" j) ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeds *)
+
+let op_to_json (op : Seed.op) =
+  let o name fields = J.Obj (("op", J.String name) :: fields) in
+  match op with
+  | Seed.Put { key; value } -> o "put" [ ("key", J.Int key); ("value", J.Int value) ]
+  | Seed.Get { key } -> o "get" [ ("key", J.Int key) ]
+  | Seed.Update { key; value } -> o "update" [ ("key", J.Int key); ("value", J.Int value) ]
+  | Seed.Delete { key } -> o "delete" [ ("key", J.Int key) ]
+  | Seed.Incr { key; delta } -> o "incr" [ ("key", J.Int key); ("delta", J.Int delta) ]
+  | Seed.Decr { key; delta } -> o "decr" [ ("key", J.Int key); ("delta", J.Int delta) ]
+  | Seed.Append { key; value } -> o "append" [ ("key", J.Int key); ("value", J.Int value) ]
+  | Seed.Prepend { key; value } -> o "prepend" [ ("key", J.Int key); ("value", J.Int value) ]
+  | Seed.Scan { key; count } -> o "scan" [ ("key", J.Int key); ("count", J.Int count) ]
+  | Seed.Cas { key; value; token } ->
+      o "cas" [ ("key", J.Int key); ("value", J.Int value); ("token", J.Int token) ]
+  | Seed.Touch { key; exptime } -> o "touch" [ ("key", J.Int key); ("exptime", J.Int exptime) ]
+  | Seed.Flush_all -> o "flush_all" []
+  | Seed.Stats -> o "stats" []
+
+let op_of_json j : Seed.op =
+  match get_str "op" j with
+  | "put" -> Seed.Put { key = get_int "key" j; value = get_int "value" j }
+  | "get" -> Seed.Get { key = get_int "key" j }
+  | "update" -> Seed.Update { key = get_int "key" j; value = get_int "value" j }
+  | "delete" -> Seed.Delete { key = get_int "key" j }
+  | "incr" -> Seed.Incr { key = get_int "key" j; delta = get_int "delta" j }
+  | "decr" -> Seed.Decr { key = get_int "key" j; delta = get_int "delta" j }
+  | "append" -> Seed.Append { key = get_int "key" j; value = get_int "value" j }
+  | "prepend" -> Seed.Prepend { key = get_int "key" j; value = get_int "value" j }
+  | "scan" -> Seed.Scan { key = get_int "key" j; count = get_int "count" j }
+  | "cas" -> Seed.Cas { key = get_int "key" j; value = get_int "value" j; token = get_int "token" j }
+  | "touch" -> Seed.Touch { key = get_int "key" j; exptime = get_int "exptime" j }
+  | "flush_all" -> Seed.Flush_all
+  | "stats" -> Seed.Stats
+  | s -> fail "unknown op %S" s
+
+let seed_to_json seed =
+  J.List
+    (Array.to_list
+       (Array.map (fun ops -> J.List (Array.to_list (Array.map op_to_json ops)))
+          (Seed.threads seed)))
+
+let seed_of_json j =
+  match J.to_list j with
+  | None -> fail "seed: expected list of threads"
+  | Some threads ->
+      Seed.make
+        (Array.of_list
+           (List.map
+              (fun tj ->
+                match J.to_list tj with
+                | None -> fail "seed thread: expected list of ops"
+                | Some ops -> Array.of_list (List.map op_of_json ops))
+              threads))
+
+(* ------------------------------------------------------------------ *)
+(* Policy specs *)
+
+let sites_to_json is = J.List (List.map (fun i -> J.String (Instr.name i)) is)
+
+let sites_of_json j =
+  match J.to_list j with
+  | Some sites -> List.map (fun s -> Instr.site (str s)) sites
+  | None -> fail "policy spec sites: expected list"
+
+let spec_to_json = function
+  | Campaign.Pmrace { entry; skip } ->
+      J.Obj
+        [
+          ("policy", J.String "pmrace");
+          ("addr", J.Int entry.Shared_queue.addr);
+          ("loads", sites_to_json entry.Shared_queue.loads);
+          ("stores", sites_to_json entry.Shared_queue.stores);
+          ("hits", J.Int entry.Shared_queue.hits);
+          ("skip", J.Int skip);
+        ]
+  | Campaign.Delay { prob; max_delay } ->
+      J.Obj
+        [ ("policy", J.String "delay"); ("prob", J.Float prob); ("max_delay", J.Int max_delay) ]
+  | Campaign.Random_sched -> J.Obj [ ("policy", J.String "random") ]
+  | Campaign.No_preempt -> J.Obj [ ("policy", J.String "none") ]
+
+let spec_of_json j =
+  match get_str "policy" j with
+  | "pmrace" ->
+      Campaign.Pmrace
+        {
+          entry =
+            {
+              Shared_queue.addr = get_int "addr" j;
+              loads = sites_of_json (mem "loads" j);
+              stores = sites_of_json (mem "stores" j);
+              hits = get_int "hits" j;
+            };
+          skip = get_int "skip" j;
+        }
+  | "delay" -> Campaign.Delay { prob = get_float "prob" j; max_delay = get_int "max_delay" j }
+  | "random" -> Campaign.Random_sched
+  | "none" -> Campaign.No_preempt
+  | s -> fail "unknown policy spec %S" s
+
+(* ------------------------------------------------------------------ *)
+(* Session -> artifact *)
+
+let min_opt = function [] -> None | x :: xs -> Some (List.fold_left min x xs)
+
+(* The campaign index of a bug group's earliest member finding, recovered
+   by matching the group identity (kind + write site / sync variable)
+   against the fine-grained findings. *)
+let first_campaign (s : Fuzzer.session) (g : Report.bug_group) =
+  match g.Report.bg_kind with
+  | `Sync ->
+      Report.sync_findings s.report
+      |> List.filter_map (fun (f : Report.sync_finding) ->
+             if String.equal f.ev.var.Runtime.Checkers.sv_name g.Report.bg_site then
+               Some f.sync_found_at
+             else None)
+      |> min_opt
+  | (`Inter | `Intra) as k ->
+      let kind =
+        match k with `Inter -> Runtime.Candidates.Inter | `Intra -> Runtime.Candidates.Intra
+      in
+      Report.findings s.report
+      |> List.filter_map (fun (f : Report.finding) ->
+             if
+               f.inc.source.Runtime.Candidates.kind = kind
+               && String.equal
+                    (Instr.name f.inc.source.Runtime.Candidates.write_instr)
+                    g.Report.bg_site
+             then Some f.found_at
+             else None)
+      |> min_opt
+
+let kind_string = function `Inter -> "inter" | `Intra -> "intra" | `Sync -> "sync"
+
+let of_session ~(target : Target.t) ~cfg (s : Fuzzer.session) =
+  let bugs =
+    List.map
+      (fun (g : Report.bug_group) ->
+        {
+          b_kind = kind_string g.bg_kind;
+          b_site = g.bg_site;
+          b_read_sites = g.bg_read_sites;
+          b_members = g.bg_members;
+          b_first_campaign = first_campaign s g;
+        })
+      (Report.bug_groups s.report)
+  in
+  let provenance =
+    Hashtbl.fold
+      (fun campaign (p : Fuzzer.provenance) acc ->
+        {
+          pr_campaign = campaign;
+          pr_sched_seed = p.p_sched_seed;
+          pr_policy = p.p_policy;
+          pr_seed = p.p_seed;
+          pr_spec = p.p_spec;
+        }
+        :: acc)
+      s.provenance []
+    |> List.sort (fun a b -> compare a.pr_campaign b.pr_campaign)
+  in
+  {
+    a_target = target.Target.name;
+    a_config = cfg;
+    a_campaigns = s.campaigns_run;
+    a_wall_time = s.wall_time;
+    a_annotations = s.annotations;
+    a_worker_campaigns = Array.to_list s.worker_campaigns;
+    a_alias_bits = Alias_cov.count s.alias;
+    a_branch_bits = Branch_cov.count s.branch;
+    a_possible_pairs = Alias_cov.possible s.alias;
+    a_site_pairs =
+      List.map
+        (fun (w, r) -> (Instr.name (Instr.of_int w), Instr.name (Instr.of_int r)))
+        (Alias_cov.site_pairs s.alias);
+    a_timeline = s.timeline;
+    a_bugs = bugs;
+    a_hangs = Report.hangs s.report;
+    a_provenance = provenance;
+    a_metrics = (if Obs.Metrics.enabled () then Obs.Metrics.to_json () else J.Null);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON encode / decode *)
+
+let to_json (a : t) =
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("version", J.Int version);
+      ("target", J.String a.a_target);
+      ("config", config_to_json a.a_config);
+      ("campaigns", J.Int a.a_campaigns);
+      ("wall_time", J.Float a.a_wall_time);
+      ("annotations", J.Int a.a_annotations);
+      ("worker_campaigns", J.List (List.map (fun n -> J.Int n) a.a_worker_campaigns));
+      ( "coverage",
+        J.Obj
+          [
+            ("alias_bits", J.Int a.a_alias_bits);
+            ("branch_bits", J.Int a.a_branch_bits);
+            ( "possible_pairs",
+              match a.a_possible_pairs with Some n -> J.Int n | None -> J.Null );
+            ( "site_pairs",
+              J.List
+                (List.map
+                   (fun (w, r) -> J.Obj [ ("write", J.String w); ("read", J.String r) ])
+                   a.a_site_pairs) );
+          ] );
+      ( "timeline",
+        J.List
+          (List.map
+             (fun (tp : Fuzzer.timeline_point) ->
+               J.Obj
+                 [
+                   ("campaign", J.Int tp.tp_campaign);
+                   ("time", J.Float tp.tp_time);
+                   ("alias_bits", J.Int tp.tp_alias_bits);
+                   ("branch_bits", J.Int tp.tp_branch_bits);
+                   ("inter_unique", J.Int tp.tp_inter_unique);
+                   ("new_inter", J.Bool tp.tp_new_inter);
+                 ])
+             a.a_timeline) );
+      ( "bugs",
+        J.List
+          (List.map
+             (fun b ->
+               J.Obj
+                 [
+                   ("kind", J.String b.b_kind);
+                   ("site", J.String b.b_site);
+                   ("read_sites", J.List (List.map (fun s -> J.String s) b.b_read_sites));
+                   ("members", J.Int b.b_members);
+                   ( "first_campaign",
+                     match b.b_first_campaign with Some n -> J.Int n | None -> J.Null );
+                 ])
+             a.a_bugs) );
+      ( "hangs",
+        J.List
+          (List.map
+             (fun (info, n) -> J.Obj [ ("info", J.String info); ("count", J.Int n) ])
+             a.a_hangs) );
+      ( "provenance",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("campaign", J.Int p.pr_campaign);
+                   ("sched_seed", J.Int p.pr_sched_seed);
+                   ("policy", J.String p.pr_policy);
+                   ("seed", seed_to_json p.pr_seed);
+                   ("spec", spec_to_json p.pr_spec);
+                 ])
+             a.a_provenance) );
+      ("metrics", a.a_metrics);
+    ]
+
+let of_json j =
+  try
+    let s = get_str "schema" j in
+    if not (String.equal s schema) then fail "unknown schema %S (expected %S)" s schema;
+    let v = get_int "version" j in
+    if v > version then fail "artifact version %d is newer than this reader (%d)" v version;
+    let coverage = mem "coverage" j in
+    Ok
+      {
+        a_target = get_str "target" j;
+        a_config = config_of_json (mem "config" j);
+        a_campaigns = get_int "campaigns" j;
+        a_wall_time = get_float "wall_time" j;
+        a_annotations = get_int "annotations" j;
+        a_worker_campaigns = List.map int_of (get_list "worker_campaigns" j);
+        a_alias_bits = get_int "alias_bits" coverage;
+        a_branch_bits = get_int "branch_bits" coverage;
+        a_possible_pairs = J.to_int (mem "possible_pairs" coverage);
+        a_site_pairs =
+          List.map
+            (fun p -> (get_str "write" p, get_str "read" p))
+            (get_list "site_pairs" coverage);
+        a_timeline =
+          List.map
+            (fun tp ->
+              {
+                Fuzzer.tp_campaign = get_int "campaign" tp;
+                tp_time = get_float "time" tp;
+                tp_alias_bits = get_int "alias_bits" tp;
+                tp_branch_bits = get_int "branch_bits" tp;
+                tp_inter_unique = get_int "inter_unique" tp;
+                tp_new_inter = get_bool "new_inter" tp;
+              })
+            (get_list "timeline" j);
+        a_bugs =
+          List.map
+            (fun b ->
+              {
+                b_kind = get_str "kind" b;
+                b_site = get_str "site" b;
+                b_read_sites = List.map str (get_list "read_sites" b);
+                b_members = get_int "members" b;
+                b_first_campaign = J.to_int (mem "first_campaign" b);
+              })
+            (get_list "bugs" j);
+        a_hangs =
+          List.map (fun h -> (get_str "info" h, get_int "count" h)) (get_list "hangs" j);
+        a_provenance =
+          List.map
+            (fun p ->
+              {
+                pr_campaign = get_int "campaign" p;
+                pr_sched_seed = get_int "sched_seed" p;
+                pr_policy = get_str "policy" p;
+                pr_seed = seed_of_json (mem "seed" p);
+                pr_spec = spec_of_json (mem "spec" p);
+              })
+            (get_list "provenance" j);
+        a_metrics = Option.value ~default:J.Null (J.member "metrics" j);
+      }
+  with Failure msg -> Error msg
+
+let write ~path a =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string (to_json a));
+      output_char oc '\n')
+
+let read ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> ( match J.of_string text with Ok j -> of_json j | Error e -> Error e)
+
+let find_provenance a campaign =
+  List.find_opt (fun p -> p.pr_campaign = campaign) a.a_provenance
+
+let bug_fingerprints a =
+  List.sort compare (List.map (fun b -> (b.b_kind, b.b_site)) a.a_bugs)

@@ -1,0 +1,71 @@
+(** Versioned JSON session artifacts ([pmrace fuzz --json-out FILE]).
+
+    An artifact is the durable record of one fuzzing session: the exact
+    configuration, the coverage outcome and timeline, the unique-bug
+    groups, every campaign's provenance (seed, scheduler seed, policy
+    spec), and the metrics snapshot.  [pmrace replay] and the benchmark
+    harness consume artifacts instead of re-deriving state from live
+    sessions.
+
+    The encoding is {!Obs.Json} (hand-rolled, no dependencies) under a
+    [schema]/[version] header.  Readers reject unknown schemas and newer
+    majors; adding fields is a compatible change and does not bump the
+    version. *)
+
+val schema : string
+(** ["pmrace-session"] *)
+
+val version : int
+
+type bug = {
+  b_kind : string;  (** "inter" | "intra" | "sync" *)
+  b_site : string;  (** write site, or sync variable name *)
+  b_read_sites : string list;
+  b_members : int;
+  b_first_campaign : int option;
+      (** campaign index of the group's earliest member finding *)
+}
+
+type prov_entry = {
+  pr_campaign : int;
+  pr_sched_seed : int;
+  pr_policy : string;  (** human-readable label *)
+  pr_seed : Seed.t;
+  pr_spec : Campaign.policy_spec;
+}
+
+type t = {
+  a_target : string;
+  a_config : Fuzzer.config;
+  a_campaigns : int;
+  a_wall_time : float;
+  a_annotations : int;
+  a_worker_campaigns : int list;
+  a_alias_bits : int;
+  a_branch_bits : int;
+  a_possible_pairs : int option;
+  a_site_pairs : (string * string) list;  (** (write site, read site), by name *)
+  a_timeline : Fuzzer.timeline_point list;
+  a_bugs : bug list;
+  a_hangs : (string * int) list;
+  a_provenance : prov_entry list;  (** sorted by campaign index *)
+  a_metrics : Obs.Json.t;  (** opaque {!Obs.Metrics.to_json} snapshot *)
+}
+
+val of_session : target:Target.t -> cfg:Fuzzer.config -> Fuzzer.session -> t
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Decoding re-registers instruction site names via {!Runtime.Instr.site},
+    so policy specs round-trip into live campaign inputs. *)
+
+val write : path:string -> t -> unit
+val read : path:string -> (t, string) result
+
+val find_provenance : t -> int -> prov_entry option
+(** Look up one campaign's provenance by campaign index. *)
+
+val bug_fingerprints : t -> (string * string) list
+(** The (kind, site) pairs of the unique-bug groups, sorted — the
+    session identity the golden round-trip test and [pmrace replay]
+    compare. *)

@@ -63,7 +63,10 @@ let setup_env (i : input) =
   i.target.annotate env;
   env
 
+let m_latency = lazy (Obs.Metrics.histogram "campaign_latency_seconds")
+
 let run ?(listeners = []) (i : input) =
+  Obs.Metrics.time (Lazy.force m_latency) @@ fun () ->
   let env = setup_env i in
   List.iter (fun attach -> attach env) listeners;
   let rng = Rng.create i.sched_seed in

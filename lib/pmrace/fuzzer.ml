@@ -69,7 +69,52 @@ let default_config =
     static_prepass = false;
   }
 
-type provenance = Hub.provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+(* The configuration front door: an optional-argument builder over
+   [default_config].  Callers name only what they change, so adding a
+   config field never breaks them again (the raw record construction in
+   pre-obs callers did, on every field addition). *)
+module Config = struct
+  type t = config
+
+  let default = default_config
+
+  let make ?(max_campaigns = default_config.max_campaigns)
+      ?(execs_per_interleaving = default_config.execs_per_interleaving)
+      ?(max_interleavings_per_seed = default_config.max_interleavings_per_seed)
+      ?(master_seed = default_config.master_seed) ?(mode = default_config.mode)
+      ?(interleaving_tier = default_config.interleaving_tier)
+      ?(seed_tier = default_config.seed_tier) ?(use_checkpoint = default_config.use_checkpoint)
+      ?(step_budget = default_config.step_budget) ?(validate = default_config.validate)
+      ?(evict_prob = default_config.evict_prob) ?(eadr = default_config.eadr)
+      ?(workers = default_config.workers) ?(initial_seeds = default_config.initial_seeds)
+      ?(whitelist_extra = default_config.whitelist_extra)
+      ?(static_prepass = default_config.static_prepass) () =
+    {
+      max_campaigns;
+      execs_per_interleaving;
+      max_interleavings_per_seed;
+      master_seed;
+      mode;
+      interleaving_tier;
+      seed_tier;
+      use_checkpoint;
+      step_budget;
+      validate;
+      evict_prob;
+      eadr;
+      workers = max 1 workers;
+      initial_seeds;
+      whitelist_extra;
+      static_prepass;
+    }
+end
+
+type provenance = Hub.provenance = {
+  p_seed : Seed.t;
+  p_sched_seed : int;
+  p_policy : string;
+  p_spec : Campaign.policy_spec;
+}
 
 type timeline_point = Hub.timeline_point = {
   tp_campaign : int;
@@ -91,6 +136,7 @@ type session = {
   whitelist : Whitelist.t;
   provenance : (int, provenance) Hashtbl.t; (* campaign index -> inputs *)
   static : Analysis.Analyzer.result option; (* the pre-pass, when enabled *)
+  worker_campaigns : int array; (* campaigns completed per worker (index = widx) *)
 }
 
 (* A fuzzing worker: one domain's private half of the state split.  Two
@@ -118,7 +164,20 @@ type worker = {
   whitelist : Whitelist.t; (* shared, read-only during fuzzing *)
   static_on : bool;
   log : string -> unit;
+  obs : Obs.Events.t option; (* structured event stream, when a sink listens *)
+  m_campaigns : Obs.Metrics.counter; (* labelled per worker *)
+  mutable my_campaigns : int; (* campaigns this worker completed *)
 }
+
+let emit w payload = match w.obs with Some o -> Obs.Events.emit o payload | None -> ()
+
+let verdict_label = function
+  | Post_failure.Validated_fp -> "validated-fp"
+  | Post_failure.Whitelisted_fp -> "whitelisted-fp"
+  | Post_failure.Bug { recovery_hang = true } -> "bug-recovery-hang"
+  | Post_failure.Bug { recovery_hang = false } -> "bug"
+
+let site_name id = Runtime.Instr.name (Runtime.Instr.of_int id)
 
 let hang_info (result : Campaign.result) =
   match result.outcome.hung with
@@ -173,10 +232,21 @@ let rescore_seed w seed =
 let do_campaign w seed policy =
   let sched_seed = Rng.int w.sched_rng 1_000_000_000 in
   match
-    Hub.reserve w.hub { p_seed = seed; p_sched_seed = sched_seed; p_policy = policy_label policy }
+    Hub.reserve w.hub
+      { p_seed = seed; p_sched_seed = sched_seed; p_policy = policy_label policy; p_spec = policy }
   with
   | None -> None
   | Some campaign ->
+      let t0 = if w.obs = None then 0. else Obs.Clock.now () in
+      emit w
+        (Obs.Events.Campaign_start
+           {
+             campaign;
+             worker = w.widx;
+             seed_id = Seed.id seed;
+             sched_seed;
+             policy = policy_label policy;
+           });
       let input =
         Campaign.input ~sched_seed ~policy ?snapshot:w.snapshot ~step_budget:w.cfg.step_budget
           ~capture_images:true ~evict_prob:w.cfg.evict_prob ~eadr:w.cfg.eadr w.target seed
@@ -188,17 +258,100 @@ let do_campaign w seed policy =
         Hub.commit w.hub ~campaign ~delta result.env ~hung:result.hung
           ~hang_info:(hang_info result)
       in
-      if w.cfg.validate then begin
+      if w.obs <> None then begin
+        emit w
+          (Obs.Events.Worker_merge
+             {
+               campaign;
+               worker = w.widx;
+               alias_bits = c.c_alias_bits;
+               branch_bits = c.c_branch_bits;
+             });
+        List.iter
+          (fun (wr, rd) ->
+            emit w
+              (Obs.Events.New_alias_pair
+                 { campaign; worker = w.widx; write_site = site_name wr; read_site = site_name rd }))
+          c.c_new_pairs;
         List.iter
           (fun (f : Report.finding) ->
-            f.verdict <- Some (Post_failure.validate_inconsistency w.target w.whitelist f.inc))
+            let kind =
+              match f.inc.source.Runtime.Candidates.kind with
+              | Runtime.Candidates.Inter -> "inter"
+              | Runtime.Candidates.Intra -> "intra"
+            in
+            emit w
+              (Obs.Events.Candidate_found
+                 {
+                   campaign;
+                   worker = w.widx;
+                   kind;
+                   write_site = Runtime.Instr.name f.inc.source.Runtime.Candidates.write_instr;
+                   read_site = Runtime.Instr.name f.inc.source.Runtime.Candidates.read_instr;
+                 }))
           c.c_new_findings;
         List.iter
           (fun (f : Report.sync_finding) ->
-            f.sync_verdict <- Some (Post_failure.validate_sync w.target f.ev))
+            emit w
+              (Obs.Events.Candidate_found
+                 {
+                   campaign;
+                   worker = w.widx;
+                   kind = "sync";
+                   write_site = f.ev.var.Runtime.Checkers.sv_name;
+                   read_site = "";
+                 }))
+          c.c_new_sync
+      end;
+      if w.cfg.validate then begin
+        List.iter
+          (fun (f : Report.finding) ->
+            let v = Post_failure.validate_inconsistency w.target w.whitelist f.inc in
+            f.verdict <- Some v;
+            if w.obs <> None then
+              let kind =
+                match f.inc.source.Runtime.Candidates.kind with
+                | Runtime.Candidates.Inter -> "inter"
+                | Runtime.Candidates.Intra -> "intra"
+              in
+              emit w
+                (Obs.Events.Validation_verdict
+                   {
+                     campaign;
+                     worker = w.widx;
+                     kind;
+                     site = Runtime.Instr.name f.inc.source.Runtime.Candidates.write_instr;
+                     verdict = verdict_label v;
+                   }))
+          c.c_new_findings;
+        List.iter
+          (fun (f : Report.sync_finding) ->
+            let v = Post_failure.validate_sync w.target f.ev in
+            f.sync_verdict <- Some v;
+            if w.obs <> None then
+              emit w
+                (Obs.Events.Validation_verdict
+                   {
+                     campaign;
+                     worker = w.widx;
+                     kind = "sync";
+                     site = f.ev.var.Runtime.Checkers.sv_name;
+                     verdict = verdict_label v;
+                   }))
           c.c_new_sync
       end;
       rescore_seed w seed;
+      w.my_campaigns <- w.my_campaigns + 1;
+      Obs.Metrics.incr w.m_campaigns;
+      emit w
+        (Obs.Events.Campaign_end
+           {
+             campaign;
+             worker = w.widx;
+             improved = c.c_improved;
+             hung = result.hung;
+             latency = (if w.obs = None then 0. else Obs.Clock.elapsed t0);
+           });
       Some (c.c_improved, result)
 
 let budget_left w = Hub.budget_left w.hub
@@ -344,7 +497,18 @@ let worker_loop w =
         w.generation <- w.generation + 1
       done
 
-let run ?(log = fun _ -> ()) target cfg =
+let run ?(log = fun _ -> ()) ?obs target cfg =
+  (match obs with
+  | Some o ->
+      Obs.Events.emit o
+        (Obs.Events.Session_start
+           {
+             target = target.Target.name;
+             workers = max 1 cfg.workers;
+             max_campaigns = cfg.max_campaigns;
+             master_seed = cfg.master_seed;
+           })
+  | None -> ());
   let snapshot = if cfg.use_checkpoint then Some (Campaign.prepare_snapshot target) else None in
   (* Static pre-pass (the LLVM-pass analogue): bound the alias-pair
      coverage map and collect the lint findings before fuzzing starts.
@@ -395,6 +559,10 @@ let run ?(log = fun _ -> ()) target cfg =
       whitelist;
       static_on = static <> None;
       log;
+      obs;
+      m_campaigns =
+        Obs.Metrics.counter ~labels:[ ("worker", string_of_int widx) ] "fuzz_campaigns_total";
+      my_campaigns = 0;
     }
   in
   let nworkers = max 1 cfg.workers in
@@ -410,18 +578,32 @@ let run ?(log = fun _ -> ()) target cfg =
     target.Target.annotate env;
     Runtime.Checkers.annotation_count env.Runtime.Env.checkers
   in
-  {
-    report = Hub.report hub;
-    alias = Hub.alias hub;
-    branch = Hub.branch hub;
-    timeline = Hub.timeline hub;
-    campaigns_run = Hub.completed hub;
-    wall_time = Hub.elapsed hub;
-    annotations;
-    whitelist;
-    provenance = Hub.provenance hub;
-    static = prepass;
-  }
+  let session =
+    {
+      report = Hub.report hub;
+      alias = Hub.alias hub;
+      branch = Hub.branch hub;
+      timeline = Hub.timeline hub;
+      campaigns_run = Hub.completed hub;
+      wall_time = Hub.elapsed hub;
+      annotations;
+      whitelist;
+      provenance = Hub.provenance hub;
+      static = prepass;
+      worker_campaigns = Array.map (fun w -> w.my_campaigns) workers;
+    }
+  in
+  (match obs with
+  | Some o ->
+      Obs.Events.emit o
+        (Obs.Events.Session_end
+           {
+             campaigns = session.campaigns_run;
+             wall = session.wall_time;
+             bugs = List.length (Report.bug_groups session.report);
+           })
+  | None -> ());
+  session
 
 (* Session-level matching of the target's seeded ground truth:
    - Inter/Intra/Sync bugs match a validated unique-bug group;

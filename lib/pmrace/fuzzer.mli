@@ -19,6 +19,9 @@ type mode =
   | Mode_random  (** plain random scheduling *)
 
 type config = {
+  (* Construct with {!Config.make}; the record stays public (and
+     pattern-matchable) for readers, but building it literally is
+     deprecated — every new field breaks such callers. *)
   max_campaigns : int;
   execs_per_interleaving : int;
   max_interleavings_per_seed : int;
@@ -45,7 +48,46 @@ type config = {
 
 val default_config : config
 
-type provenance = Hub.provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+(** The configuration front door.  [Config.make] is an optional-argument
+    builder over {!default_config}: callers name only the fields they
+    change, so adding a config field never breaks them.  Prefer it over
+    literal record construction everywhere. *)
+module Config : sig
+  type t = config
+
+  val default : t
+
+  val make :
+    ?max_campaigns:int ->
+    ?execs_per_interleaving:int ->
+    ?max_interleavings_per_seed:int ->
+    ?master_seed:int ->
+    ?mode:mode ->
+    ?interleaving_tier:bool ->
+    ?seed_tier:bool ->
+    ?use_checkpoint:bool ->
+    ?step_budget:int ->
+    ?validate:bool ->
+    ?evict_prob:float ->
+    ?eadr:bool ->
+    ?workers:int ->
+    ?initial_seeds:int ->
+    ?whitelist_extra:string list ->
+    ?static_prepass:bool ->
+    unit ->
+    t
+  (** Unspecified fields take their {!default} values; [workers] is
+      clamped to at least 1. *)
+end
+
+type provenance = Hub.provenance = {
+  p_seed : Seed.t;
+  p_sched_seed : int;
+  p_policy : string;  (** human-readable policy label for reports *)
+  p_spec : Campaign.policy_spec;
+      (** the policy itself, serialisable — [pmrace replay] rebuilds the
+          campaign input from it *)
+}
 (** The exact inputs that replay one campaign. *)
 
 type timeline_point = Hub.timeline_point = {
@@ -69,9 +111,15 @@ type session = {
   provenance : (int, provenance) Hashtbl.t;  (** campaign index -> inputs *)
   static : Analysis.Analyzer.result option;
       (** the static pre-pass result, when [static_prepass] was on *)
+  worker_campaigns : int array;
+      (** campaigns completed per worker (index = worker id) *)
 }
 
-val run : ?log:(string -> unit) -> Target.t -> config -> session
+val run : ?log:(string -> unit) -> ?obs:Obs.Events.t -> Target.t -> config -> session
+(** [obs] receives the structured event stream (session/campaign
+    boundaries, new alias pairs, candidates, verdicts).  Event emission
+    never draws from the fuzzer's RNG streams, so attaching a sink leaves
+    seeded sessions bit-identical. *)
 
 val found_known_bugs : session -> Target.t -> (Target.known_bug * bool) list
 (** Match the session's findings against the target's seeded ground truth:

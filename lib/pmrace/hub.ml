@@ -22,7 +22,12 @@
    deterministic as a set of unique bugs, and a single worker reproduces
    the sequential fuzzer bit for bit. *)
 
-type provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+type provenance = {
+  p_seed : Seed.t;
+  p_sched_seed : int;
+  p_policy : string; (* human-readable label for reports *)
+  p_spec : Campaign.policy_spec; (* the machine-replayable policy itself *)
+}
 
 type timeline_point = {
   tp_campaign : int;
@@ -52,7 +57,10 @@ type t = {
   started : float;
 }
 
-let now () = Unix.gettimeofday ()
+(* Monotonic: session wall time and the timeline feed rate figures
+   (execs/sec, Figure 8 time axes) that must never see the wall clock
+   step backwards. *)
+let now () = Obs.Clock.now ()
 
 let create ?static ~max_campaigns () =
   {
@@ -70,8 +78,22 @@ let create ?static ~max_campaigns () =
     started = now ();
   }
 
+(* Workers contend on this one mutex at campaign boundaries; the wait
+   histogram is the §5 scaling diagnostic (a growing p95 here means the
+   hub's critical sections are the bottleneck, not the campaigns). *)
+let m_lock_wait =
+  lazy
+    (Obs.Metrics.histogram
+       ~buckets:[| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 |]
+       "hub_lock_wait_seconds")
+
 let with_lock t f =
-  Mutex.lock t.lock;
+  if Obs.Metrics.enabled () then begin
+    let t0 = Obs.Clock.now () in
+    Mutex.lock t.lock;
+    Obs.Metrics.observe (Lazy.force m_lock_wait) (Obs.Clock.elapsed t0)
+  end
+  else Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* Advisory, lock-free check workers use in loop conditions; [reserve] is
@@ -98,11 +120,26 @@ type commit_result = {
   c_improved : bool; (* the merge contributed new coverage bits *)
   c_new_findings : Report.finding list;
   c_new_sync : Report.sync_finding list;
+  c_new_pairs : (int * int) list; (* newly achieved (write, read) site pairs *)
+  c_alias_bits : int; (* shared coverage after this merge *)
+  c_branch_bits : int;
 }
+
+(* Difference of two sorted site-pair lists: pairs in [after] missing
+   from [before].  Both come from [Alias_cov.site_pairs] (sorted). *)
+let rec pairs_diff before after =
+  match (before, after) with
+  | _, [] -> []
+  | [], rest -> rest
+  | b :: bs, a :: as_ ->
+      if a = b then pairs_diff bs as_
+      else if a < b then a :: pairs_diff before as_
+      else pairs_diff bs after
 
 let commit t ~campaign ~delta (env : Runtime.Env.t) ~hung ~hang_info =
   with_lock t (fun () ->
       let before = Alias_cov.count t.alias + Branch_cov.count t.branch in
+      let pairs_before = Alias_cov.site_pairs t.alias in
       let inter_before = Report.inconsistency_count t.report Runtime.Candidates.Inter in
       Alias_cov.merge_into ~src:delta.d_alias t.alias;
       Branch_cov.merge_into ~src:delta.d_branch t.branch;
@@ -110,18 +147,26 @@ let commit t ~campaign ~delta (env : Runtime.Env.t) ~hung ~hang_info =
       let c_new_findings, c_new_sync = Report.absorb ~campaign t.report env ~hung ~hang_info in
       t.completed <- t.completed + 1;
       let inter_now = Report.inconsistency_count t.report Runtime.Candidates.Inter in
+      let c_alias_bits = Alias_cov.count t.alias and c_branch_bits = Branch_cov.count t.branch in
       t.timeline <-
         {
           tp_campaign = campaign + 1;
           tp_time = now () -. t.started;
-          tp_alias_bits = Alias_cov.count t.alias;
-          tp_branch_bits = Branch_cov.count t.branch;
+          tp_alias_bits = c_alias_bits;
+          tp_branch_bits = c_branch_bits;
           tp_inter_unique = inter_now;
           tp_new_inter = inter_now > inter_before;
         }
         :: t.timeline;
-      let after = Alias_cov.count t.alias + Branch_cov.count t.branch in
-      { c_improved = after > before; c_new_findings; c_new_sync })
+      let after = c_alias_bits + c_branch_bits in
+      {
+        c_improved = after > before;
+        c_new_findings;
+        c_new_sync;
+        c_new_pairs = pairs_diff pairs_before (Alias_cov.site_pairs t.alias);
+        c_alias_bits;
+        c_branch_bits;
+      })
 
 let queue_entries t = with_lock t (fun () -> Shared_queue.entries t.queue)
 

@@ -13,7 +13,14 @@
     the resulting unique-bug set is independent of commit interleaving,
     and one worker reproduces the sequential fuzzer bit for bit. *)
 
-type provenance = { p_seed : Seed.t; p_sched_seed : int; p_policy : string }
+type provenance = {
+  p_seed : Seed.t;
+  p_sched_seed : int;
+  p_policy : string;  (** human-readable policy label for reports *)
+  p_spec : Campaign.policy_spec;
+      (** the policy itself, serialisable — [pmrace replay] rebuilds the
+          campaign input from it *)
+}
 (** The exact inputs that replay one campaign. *)
 
 type timeline_point = {
@@ -50,6 +57,12 @@ type commit_result = {
   c_improved : bool;  (** the merge contributed new coverage bits *)
   c_new_findings : Report.finding list;
   c_new_sync : Report.sync_finding list;
+  c_new_pairs : (int * int) list;
+      (** (write, read) site pairs first achieved by this merge, as raw
+          instruction ids — the fuzzer turns them into
+          [new_alias_pair] events *)
+  c_alias_bits : int;  (** shared coverage after this merge *)
+  c_branch_bits : int;
 }
 
 val commit :

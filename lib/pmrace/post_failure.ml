@@ -28,6 +28,9 @@ let pp_verdict ppf = function
   | Bug { recovery_hang = true } -> Fmt.string ppf "BUG (recovery hangs)"
   | Bug { recovery_hang = false } -> Fmt.string ppf "BUG"
 
+let m_validation = lazy (Obs.Metrics.histogram "validation_seconds")
+let m_validations = lazy (Obs.Metrics.counter "validations_total")
+
 (* Run the target's recovery on a crash image, recording every PM word the
    recovery code overwrites. *)
 let run_recovery (target : Target.t) image =
@@ -44,6 +47,8 @@ let run_recovery (target : Target.t) image =
   (env, written, !hang)
 
 let validate_inconsistency (target : Target.t) whitelist (inc : Checkers.inconsistency) =
+  Obs.Metrics.incr (Lazy.force m_validations);
+  Obs.Metrics.time (Lazy.force m_validation) @@ fun () ->
   if Whitelist.covers whitelist inc then Whitelisted_fp
   else
     match inc.image with
@@ -57,6 +62,8 @@ let validate_inconsistency (target : Target.t) whitelist (inc : Checkers.inconsi
         else Bug { recovery_hang = false }
 
 let validate_sync (target : Target.t) (ev : Checkers.sync_event) =
+  Obs.Metrics.incr (Lazy.force m_validations);
+  Obs.Metrics.time (Lazy.force m_validation) @@ fun () ->
   match ev.sy_image with
   | None -> Bug { recovery_hang = false }
   | Some image ->

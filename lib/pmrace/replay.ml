@@ -1,0 +1,77 @@
+(* Replay one recorded campaign and check the bug reappears.
+
+   The campaign is reconstructed exactly as the fuzzer ran it: same seed,
+   same scheduler seed, same policy spec (for a Pmrace policy this
+   includes the sync-point queue entry and skip count), same execution
+   parameters from the recorded config.  Determinism of the scheduler and
+   the policy RNG split makes the re-execution bit-identical, so the same
+   unique inconsistency is rediscovered and revalidated. *)
+
+type outcome = {
+  r_bug : Artifact.bug;
+  r_campaign : int;
+  r_reproduced : bool;
+  r_groups : Report.bug_group list;
+}
+
+let kind_string = function `Inter -> "inter" | `Intra -> "intra" | `Sync -> "sync"
+
+let hang_info (result : Campaign.result) =
+  match result.outcome.hung with
+  | (_, name) :: _ -> Printf.sprintf "hung:%s" name
+  | [] -> "replay-hang"
+
+let replay_bug ~(target : Target.t) ~(artifact : Artifact.t) ~bug =
+  if not (String.equal target.Target.name artifact.Artifact.a_target) then
+    Error
+      (Printf.sprintf "artifact was recorded for target %S, not %S" artifact.Artifact.a_target
+         target.Target.name)
+  else
+    match List.nth_opt artifact.a_bugs bug with
+    | None ->
+        Error (Printf.sprintf "no bug #%d (artifact has %d)" bug (List.length artifact.a_bugs))
+    | Some b -> (
+        match b.b_first_campaign with
+        | None -> Error (Printf.sprintf "bug #%d has no recorded first campaign" bug)
+        | Some campaign -> (
+            match Artifact.find_provenance artifact campaign with
+            | None -> Error (Printf.sprintf "no provenance for campaign %d" campaign)
+            | Some p ->
+                let cfg = artifact.a_config in
+                (* Mirror Fuzzer.run's snapshot decision exactly: the
+                   checkpointed pool is part of the recorded execution. *)
+                let snapshot =
+                  if cfg.use_checkpoint then Some (Campaign.prepare_snapshot target) else None
+                in
+                let input =
+                  Campaign.input ~sched_seed:p.pr_sched_seed ~policy:p.pr_spec ?snapshot
+                    ~step_budget:cfg.step_budget ~capture_images:true ~evict_prob:cfg.evict_prob
+                    ~eadr:cfg.eadr target p.pr_seed
+                in
+                let result = Campaign.run input in
+                let report = Report.create () in
+                let findings, sync_findings =
+                  Report.absorb ~campaign report result.env ~hung:result.hung
+                    ~hang_info:(hang_info result)
+                in
+                let whitelist =
+                  Whitelist.create (target.Target.whitelist_sites @ cfg.whitelist_extra)
+                in
+                List.iter
+                  (fun (f : Report.finding) ->
+                    f.verdict <- Some (Post_failure.validate_inconsistency target whitelist f.inc))
+                  findings;
+                List.iter
+                  (fun (f : Report.sync_finding) ->
+                    f.sync_verdict <- Some (Post_failure.validate_sync target f.ev))
+                  sync_findings;
+                let groups = Report.bug_groups report in
+                let reproduced =
+                  List.exists
+                    (fun (g : Report.bug_group) ->
+                      String.equal (kind_string g.bg_kind) b.b_kind
+                      && String.equal g.bg_site b.b_site)
+                    groups
+                in
+                Ok { r_bug = b; r_campaign = campaign; r_reproduced = reproduced; r_groups = groups }
+            ))

@@ -1,0 +1,19 @@
+(** Campaign replay from recorded provenance ([pmrace replay]).
+
+    An {!Artifact.t} records, for every campaign, the exact seed, the
+    scheduler seed, and the interleaving-policy spec.  Replay rebuilds
+    the campaign input from the artifact's config and the bug's first
+    sighting, re-executes that single campaign, validates its findings,
+    and checks that the same (kind, site) bug group reappears. *)
+
+type outcome = {
+  r_bug : Artifact.bug;  (** the artifact bug group being replayed *)
+  r_campaign : int;  (** campaign index that was re-executed *)
+  r_reproduced : bool;  (** the same (kind, site) group reappeared *)
+  r_groups : Report.bug_group list;  (** groups the replayed campaign produced *)
+}
+
+val replay_bug : target:Target.t -> artifact:Artifact.t -> bug:int -> (outcome, string) result
+(** Replay artifact bug group [bug] (an index into the artifact's [bugs]
+    list).  Errors when the target does not match the artifact, the index
+    is out of range, or the bug carries no replayable provenance. *)

@@ -76,6 +76,18 @@ let resume k = Effect.Deep.continue k ()
 let steps t = t.steps
 let fiber_count t = t.count
 
+(* Per-run step accounting, recorded once at the end of [run] (not per
+   step) so the scheduler loop itself stays metric-free. *)
+let m_steps_total = lazy (Obs.Metrics.counter "sched_steps_total")
+
+let m_steps_per_run =
+  lazy
+    (Obs.Metrics.histogram
+       ~buckets:[| 50.; 200.; 1_000.; 5_000.; 20_000.; 60_000.; 200_000. |]
+       "sched_steps_per_run")
+
+let m_hung_fibers = lazy (Obs.Metrics.counter "sched_hung_fibers_total")
+
 let run ?on_step t =
   if t.running then invalid_arg "Sched.run: already running";
   t.running <- true;
@@ -141,6 +153,11 @@ let run ?on_step t =
       ([], []) fibers
   in
   t.running <- false;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr ~by:t.steps (Lazy.force m_steps_total);
+    Obs.Metrics.observe (Lazy.force m_steps_per_run) (float_of_int t.steps);
+    Obs.Metrics.incr ~by:(List.length !hung) (Lazy.force m_hung_fibers)
+  end;
   {
     steps = t.steps;
     finished = List.rev finished;

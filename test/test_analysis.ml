@@ -196,7 +196,7 @@ let test_analyze_achieved_subset_all_targets () =
 
 let test_fuzzer_prepass_denominator () =
   let cfg =
-    { Pmrace.Fuzzer.default_config with max_campaigns = 10; master_seed = 3; static_prepass = true }
+    Pmrace.Fuzzer.Config.make ~max_campaigns:10 ~master_seed:3 ~static_prepass:true ()
   in
   let s = Pmrace.Fuzzer.run Workloads.Figure1.target cfg in
   (match Pmrace.Alias_cov.possible s.alias with
@@ -211,7 +211,7 @@ let test_fuzzer_prepass_denominator () =
 
 let test_fuzzer_prepass_off () =
   let cfg =
-    { Pmrace.Fuzzer.default_config with max_campaigns = 5; master_seed = 3; static_prepass = false }
+    Pmrace.Fuzzer.Config.make ~max_campaigns:5 ~master_seed:3 ~static_prepass:false ()
   in
   let s = Pmrace.Fuzzer.run Workloads.Figure1.target cfg in
   Alcotest.(check bool) "no denominator" true (Pmrace.Alias_cov.possible s.alias = None);
@@ -219,7 +219,7 @@ let test_fuzzer_prepass_off () =
 
 let test_seed_priority_scored () =
   let cfg =
-    { Pmrace.Fuzzer.default_config with max_campaigns = 30; master_seed = 3; static_prepass = true }
+    Pmrace.Fuzzer.Config.make ~max_campaigns:30 ~master_seed:3 ~static_prepass:true ()
   in
   let s = Pmrace.Fuzzer.run Workloads.Figure1.target cfg in
   ignore s;

@@ -41,7 +41,7 @@ let test_eadr_sync_events_still_fire () =
 let test_eadr_session_figure1 () =
   (* Under eADR, Figure 1's inter-thread bug vanishes and the lock bug
      remains — exactly §6.6's claim. *)
-  let cfg = { Fuzzer.default_config with max_campaigns = 40; master_seed = 3; eadr = true } in
+  let cfg = Fuzzer.Config.make ~max_campaigns:40 ~master_seed:3 ~eadr:true () in
   let s = Fuzzer.run Workloads.Figure1.target cfg in
   Alcotest.(check int) "no inter inconsistencies" 0
     (Report.inconsistency_count s.report Runtime.Candidates.Inter);
@@ -98,12 +98,12 @@ let test_unflushed_at_exit () =
 (* --- workers --------------------------------------------------------- *)
 
 let test_workers_share_budget () =
-  let cfg = { Fuzzer.default_config with max_campaigns = 30; master_seed = 3; workers = 4 } in
+  let cfg = Fuzzer.Config.make ~max_campaigns:30 ~master_seed:3 ~workers:4 () in
   let s = Fuzzer.run Workloads.Figure1.target cfg in
   Alcotest.(check int) "budget respected across workers" 30 s.campaigns_run
 
 let test_workers_find_bugs () =
-  let cfg = { Fuzzer.default_config with max_campaigns = 60; master_seed = 3; workers = 3 } in
+  let cfg = Fuzzer.Config.make ~max_campaigns:60 ~master_seed:3 ~workers:3 () in
   let s = Fuzzer.run Workloads.Figure1.target cfg in
   Alcotest.(check bool) "bugs found with a worker pool" true
     (List.for_all snd (Fuzzer.found_known_bugs s Workloads.Figure1.target))
@@ -111,7 +111,7 @@ let test_workers_find_bugs () =
 (* --- bug reports ------------------------------------------------------ *)
 
 let test_bug_report_renders () =
-  let cfg = { Fuzzer.default_config with max_campaigns = 40; master_seed = 3 } in
+  let cfg = Fuzzer.Config.make ~max_campaigns:40 ~master_seed:3 () in
   let s = Fuzzer.run Workloads.Figure1.target cfg in
   let buf = Buffer.create 256 in
   let ppf = Format.formatter_of_buffer buf in
@@ -129,7 +129,7 @@ let test_bug_report_renders () =
   Alcotest.(check bool) "numbered reports" true (has "--- report 1 ---")
 
 let test_provenance_recorded () =
-  let cfg = { Fuzzer.default_config with max_campaigns = 10; master_seed = 3 } in
+  let cfg = Fuzzer.Config.make ~max_campaigns:10 ~master_seed:3 () in
   let s = Fuzzer.run Workloads.Figure1.target cfg in
   Alcotest.(check int) "provenance per campaign" 10 (Hashtbl.length s.provenance)
 

@@ -4,7 +4,7 @@
 module Fuzzer = Pmrace.Fuzzer
 module Report = Pmrace.Report
 
-let cfg campaigns = { Fuzzer.default_config with max_campaigns = campaigns; master_seed = 3 }
+let cfg campaigns = Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:3 ()
 
 let test_finds_figure1_bugs () =
   let s = Fuzzer.run Workloads.Figure1.target (cfg 40) in

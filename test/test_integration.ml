@@ -8,12 +8,8 @@ module Candidates = Runtime.Candidates
 
 let session (target : Pmrace.Target.t) ~campaigns ~seed =
   Fuzzer.run target
-    {
-      Fuzzer.default_config with
-      max_campaigns = campaigns;
-      master_seed = seed;
-      use_checkpoint = target.expensive_init;
-    }
+    (Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:seed
+       ~use_checkpoint:target.expensive_init ())
 
 let check_bugs_found target session ids =
   let found = Fuzzer.found_known_bugs session target in

@@ -10,12 +10,8 @@ module Instr = Runtime.Instr
 
 let session target campaigns =
   Fuzzer.run target
-    {
-      Fuzzer.default_config with
-      max_campaigns = campaigns;
-      master_seed = 5;
-      use_checkpoint = target.Pmrace.Target.expensive_init;
-    }
+    (Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:5
+       ~use_checkpoint:target.Pmrace.Target.expensive_init ())
 
 let sessions =
   lazy

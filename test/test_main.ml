@@ -20,6 +20,7 @@ let () =
       ("campaign+validation", Test_campaign.suite);
       ("fuzzer", Test_fuzzer.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);

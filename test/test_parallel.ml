@@ -93,7 +93,7 @@ let test_dram_stores_independent () =
 let test_parallel_budget_exact () =
   let s =
     Fuzzer.run Workloads.Figure1.target
-      { Fuzzer.default_config with max_campaigns = 40; master_seed = 3; workers = 4 }
+      (Fuzzer.Config.make ~max_campaigns:40 ~master_seed:3 ~workers:4 ())
   in
   Alcotest.(check int) "campaigns exactly at budget" 40 s.campaigns_run;
   Alcotest.(check int) "one timeline point per campaign" 40 (List.length s.timeline);
@@ -122,6 +122,9 @@ let bug_ids (s : Fuzzer.session) =
   |> List.sort_uniq compare
 
 let session target budget seed workers =
+  (* Deliberately constructs the config as a record: the record stays a
+     public (if deprecated-for-construction) API, and the golden sessions
+     below prove a record-built config behaves exactly like Config.make. *)
   Fuzzer.run target
     {
       Fuzzer.default_config with
