@@ -164,3 +164,84 @@ let workers_scaling ppf =
   output_char oc '\n';
   close_out oc;
   Format.fprintf ppf "(wrote BENCH_workers.json)@."
+
+(* ------------------------------------------------------------------ *)
+(* Execution engine: legacy fresh-environment campaign setup (re-running
+   the target's initialisation every campaign) vs the persistent-mode
+   engine (one context per worker, O(touched) pool reset between
+   campaigns).  Same seeds, same scheduler streams — only the setup path
+   differs, so the delta is pure per-campaign setup cost.  Also records
+   BENCH_engine.json for CI tracking. *)
+
+let engine ppf =
+  Format.fprintf ppf
+    "@.Execution engine: legacy fresh-env vs persistent-mode campaign contexts.@.";
+  hr ppf;
+  Format.fprintf ppf "%-15s %10s %14s %14s %10s %10s@." "target" "campaigns" "legacy (ex/s)"
+    "engine (ex/s)" "speedup" "touched";
+  hr ppf;
+  let module Campaign = Pmrace.Campaign in
+  let module Engine = Pmrace.Engine in
+  let module Seed = Pmrace.Seed in
+  let bench (target : Pmrace.Target.t) campaigns =
+    let inputs =
+      let rng = Sched.Rng.create 42 in
+      List.init campaigns (fun _ ->
+          let seed = Seed.gen rng target.profile in
+          let sched_seed = Sched.Rng.int rng 1_000_000_000 in
+          Campaign.input ~sched_seed ~policy:Campaign.Random_sched target seed)
+    in
+    let time f =
+      let t0 = Obs.Clock.now () in
+      List.iter f inputs;
+      Obs.Clock.elapsed t0
+    in
+    (* Legacy: a fresh environment and a full target initialisation per
+       campaign — what every campaign paid before in-memory checkpoints. *)
+    let legacy_wall = time (fun i -> ignore (Campaign.run i)) in
+    (* Engine: one persistent context, reset between campaigns. *)
+    let eng = Engine.create ~use_checkpoint:true target in
+    let engine_wall = time (fun i -> ignore (Campaign.run ~engine:eng i)) in
+    let eps wall = float_of_int campaigns /. Float.max 1e-9 wall in
+    (eps legacy_wall, eps engine_wall, Engine.last_reset_touched eng)
+  in
+  let rows =
+    List.map
+      (fun ((target : Pmrace.Target.t), campaigns) ->
+        let legacy, engined, touched = bench target campaigns in
+        Format.fprintf ppf "%-15s %10d %14.1f %14.1f %9.2fx %10d%s@." target.name campaigns
+          legacy engined (engined /. legacy) touched
+          (if target.expensive_init then "" else "  (cheap init)");
+        (target, campaigns, legacy, engined, touched))
+      [ (Workloads.Figure1.target, 120); (Workloads.Memcached.target, 60);
+        (Workloads.Pclht.target, 60) ]
+  in
+  hr ppf;
+  Format.fprintf ppf
+    "(speedup = pure setup-path delta; expect >=2x only where initialisation dominates)@.";
+  let json =
+    Obs.Json.Obj
+      [
+        ( "runs",
+          Obs.Json.List
+            (List.map
+               (fun ((target : Pmrace.Target.t), campaigns, legacy, engined, touched) ->
+                 Obs.Json.Obj
+                   [
+                     ("target", Obs.Json.String target.name);
+                     ("expensive_init", Obs.Json.Bool target.expensive_init);
+                     ("campaigns", Obs.Json.Int campaigns);
+                     ("legacy_execs_per_sec", Obs.Json.Float legacy);
+                     ("engine_execs_per_sec", Obs.Json.Float engined);
+                     ("speedup", Obs.Json.Float (engined /. legacy));
+                     ("last_reset_touched_words", Obs.Json.Int touched);
+                     ("pool_words", Obs.Json.Int target.pool_words);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "(wrote BENCH_engine.json)@."

@@ -123,4 +123,8 @@ let fig10 ppf =
       Format.fprintf ppf "%-15s %14.0f %14.0f %9.2fx%s@." target.name no_cp cp (cp /. no_cp)
         (if target.expensive_init then "" else "  (libpmem mapping: no benefit expected)"))
     Workloads.Registry.all;
-  hr ppf
+  hr ppf;
+  Format.fprintf ppf
+    "(CP rows run on the persistent-mode engine: one context per worker,@.";
+  Format.fprintf ppf
+    " O(touched)-word pool resets between campaigns — see the `engine' bench section)@."

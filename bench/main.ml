@@ -19,6 +19,7 @@ let sections : (string * (Format.formatter -> unit)) list =
     ("checkers", Ablations.checkers);
     ("workers", Ablations.workers);
     ("workers-scaling", Ablations.workers_scaling);
+    ("engine", Ablations.engine);
     ("micro", Micro.run);
   ]
 

@@ -94,6 +94,19 @@ let t_fig10_restore =
   Test.make ~name:"fig10/checkpoint-restore"
     (Staged.stage (fun () -> Pmem.Pool.restore env.pool (Lazy.force pclht_snapshot)))
 
+(* The engine's O(touched) reset: rewind a snapshotted pool after a small
+   campaign-sized dirtying — compare against the O(pool) restore above. *)
+let t_fig10_engine_reset =
+  let env = Runtime.Env.create ~pool_words:Workloads.Pclht.target.pool_words () in
+  let snap = Lazy.force pclht_snapshot in
+  Pmem.Pool.restore env.pool snap;
+  Test.make ~name:"fig10/engine-reset(o-touched)"
+    (Staged.stage (fun () ->
+         for w = 0 to 15 do
+           Pmem.Pool.store env.pool ~tid:0 ~instr:0 w 1L
+         done;
+         Pmem.Pool.reset_to_snapshot env.pool snap))
+
 let tests =
   [
     t_table2;
@@ -105,6 +118,7 @@ let tests =
     t_fig9;
     t_fig10_init;
     t_fig10_restore;
+    t_fig10_engine_reset;
   ]
 
 let run ppf =

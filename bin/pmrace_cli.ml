@@ -63,6 +63,30 @@ let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
       Format.fprintf ppf "  [%s] %a@." (if found then "FOUND" else "MISS") Pmrace.Target.pp_known_bug kb)
     (Fuzzer.found_known_bugs s target);
   if Obs.Metrics.enabled () then begin
+    (* Split the headline execs/sec into setup-bound vs run-bound time
+       using the campaign phase histograms, so the execution engine's
+       reset win (Figure 10) is visible in every session footer. *)
+    let hist_sum name =
+      List.fold_left
+        (fun acc (r : Obs.Metrics.reading) ->
+          match r.r_value with
+          | Obs.Metrics.Histogram { sum; _ } when String.equal r.r_name name -> acc +. sum
+          | _ -> acc)
+        0. (Obs.Metrics.snapshot ())
+    in
+    let setup = hist_sum "campaign_setup_seconds"
+    and run = hist_sum "campaign_run_seconds"
+    and merge = hist_sum "hub_merge_seconds" in
+    if setup +. run > 0. then begin
+      let pct x = 100. *. x /. Float.max 1e-9 s.wall_time in
+      Format.fprintf ppf
+        "@.campaign phases: setup %.3fs (%.1f%%), run %.3fs (%.1f%%), hub merge %.3fs (%.1f%%)@."
+        setup (pct setup) run (pct run) merge (pct merge);
+      Format.fprintf ppf
+        "execs/sec: %.0f setup-bound ceiling, %.0f run-bound (excluding setup)@."
+        (float_of_int s.campaigns_run /. Float.max 1e-9 setup)
+        (float_of_int s.campaigns_run /. Float.max 1e-9 (s.wall_time -. setup))
+    end;
     Format.fprintf ppf "@.metrics:@.";
     Obs.Metrics.pp ppf ()
   end

@@ -12,7 +12,15 @@
    them clean for checking purposes.  SFENCE writes pending words back to
    the durable image.  Non-temporal stores are immediately clean but still
    only durable after the next fence.  A crash discards the volatile image
-   and all pending-but-unfenced write-backs. *)
+   and all pending-but-unfenced write-backs.
+
+   Representation (the persistent-mode execution engine, Figure 10): the
+   per-word dirty/writer/pending metadata is *epoch-stamped* — an entry is
+   only valid when [meta_epoch.(w) = epoch], so invalidating all metadata
+   is a single epoch bump instead of four whole-pool array fills.  Every
+   image mutation also records its word (once per epoch) in a touched-word
+   journal, so [reset_to_snapshot] undoes exactly the words a campaign
+   wrote: reset cost is O(touched), not O(pool). *)
 
 type writer = { tid : int; instr : int; seq : int }
 
@@ -21,10 +29,18 @@ type t = {
   eadr : bool; (* extended ADR: the cache hierarchy is in the persistent domain *)
   volatile : int64 array;
   durable : int64 array;
-  dirty_tid : int array; (* -1 when the word is clean *)
+  dirty_tid : int array; (* valid (and -1 = clean) only when meta_epoch matches *)
   dirty_instr : int array;
   dirty_seq : int array;
-  pending : bool array; (* written back at the next SFENCE *)
+  pending : bool array; (* written back at the next SFENCE; epoch-guarded *)
+  meta_epoch : int array; (* dirty_*/pending entries are valid iff = epoch *)
+  mutable epoch : int;
+  (* Touched-word journal: words whose volatile or durable image changed
+     since the epoch began, each recorded once (journal_epoch dedupes). *)
+  mutable journal : int array;
+  mutable journal_len : int;
+  journal_epoch : int array;
+  mutable baseline : int; (* snapshot id the journal diverges from; 0 = none *)
   mutable seq : int;
   mutable n_loads : int;
   mutable n_stores : int;
@@ -35,7 +51,24 @@ type t = {
 }
 
 type image = int64 array
-type snapshot = { s_volatile : int64 array; s_durable : int64 array }
+
+type snapshot = {
+  s_id : int; (* identity: which pool baseline this snapshot can O(touched)-reset *)
+  s_volatile : int64 array;
+  s_durable : int64 array;
+  s_seq : int;
+  s_loads : int;
+  s_stores : int;
+  s_movnts : int;
+  s_flushes : int;
+  s_fences : int;
+  s_evictions : int;
+}
+
+(* Snapshot identities are global and atomic: snapshots are shared
+   read-only across the §5 worker domains, each of which stamps its own
+   pool's baseline with the id. *)
+let snapshot_ids = Atomic.make 0
 
 let create ?(eadr = false) ~words () =
   if words <= 0 || words mod Cacheline.words_per_line <> 0 then
@@ -49,6 +82,12 @@ let create ?(eadr = false) ~words () =
     dirty_instr = Array.make words (-1);
     dirty_seq = Array.make words (-1);
     pending = Array.make words false;
+    meta_epoch = Array.make words 0;
+    epoch = 1;
+    journal = Array.make 256 0;
+    journal_len = 0;
+    journal_epoch = Array.make words 0;
+    baseline = 0;
     seq = 0;
     n_loads = 0;
     n_stores = 0;
@@ -64,6 +103,38 @@ let check t w =
   if w < 0 || w >= t.words then
     invalid_arg (Printf.sprintf "Pool: word offset %d out of bounds [0,%d)" w t.words)
 
+(* Record an image mutation in the touched-word journal, once per epoch. *)
+let journal_touch t w =
+  if t.journal_epoch.(w) <> t.epoch then begin
+    t.journal_epoch.(w) <- t.epoch;
+    if t.journal_len = Array.length t.journal then begin
+      let bigger = Array.make (2 * t.journal_len) 0 in
+      Array.blit t.journal 0 bigger 0 t.journal_len;
+      t.journal <- bigger
+    end;
+    t.journal.(t.journal_len) <- w;
+    t.journal_len <- t.journal_len + 1
+  end
+
+let touched_words t = t.journal_len
+
+(* Start a new epoch: all per-word metadata becomes invalid (clean, not
+   pending) and the journal empties — O(1) instead of O(pool). *)
+let new_epoch t =
+  t.epoch <- t.epoch + 1;
+  t.journal_len <- 0
+
+(* Validate a word's metadata entry for the current epoch, initialising it
+   to the clean state when the stamp is stale. *)
+let refresh_meta t w =
+  if t.meta_epoch.(w) <> t.epoch then begin
+    t.meta_epoch.(w) <- t.epoch;
+    t.dirty_tid.(w) <- -1;
+    t.dirty_instr.(w) <- -1;
+    t.dirty_seq.(w) <- -1;
+    t.pending.(w) <- false
+  end
+
 let load t w =
   check t w;
   t.n_loads <- t.n_loads + 1;
@@ -77,16 +148,16 @@ let peek t w =
    ids can legitimately be negative (init/recovery contexts). *)
 let dirty_writer t w =
   check t w;
-  if t.dirty_seq.(w) < 0 then None
+  if t.meta_epoch.(w) <> t.epoch || t.dirty_seq.(w) < 0 then None
   else Some { tid = t.dirty_tid.(w); instr = t.dirty_instr.(w); seq = t.dirty_seq.(w) }
 
 let is_dirty t w =
   check t w;
-  t.dirty_seq.(w) >= 0
+  t.meta_epoch.(w) = t.epoch && t.dirty_seq.(w) >= 0
 
 let is_pending t w =
   check t w;
-  t.pending.(w)
+  t.meta_epoch.(w) = t.epoch && t.pending.(w)
 
 let is_durably_equal t w =
   check t w;
@@ -103,15 +174,15 @@ let store t ~tid ~instr w v =
   check t w;
   t.n_stores <- t.n_stores + 1;
   t.seq <- t.seq + 1;
+  journal_touch t w;
   t.volatile.(w) <- v;
-  if t.eadr then begin
+  if t.eadr then
     (* eADR (§6.6): caches are battery-backed, so every store is durable at
-       once and never PM_DIRTY — the visibility/persistency gap is gone. *)
-    t.durable.(w) <- v;
-    clean_word t w;
-    t.pending.(w) <- false
-  end
+       once and never PM_DIRTY — the visibility/persistency gap is gone.
+       No metadata entry is ever valid on an eADR pool. *)
+    t.durable.(w) <- v
   else begin
+    refresh_meta t w;
     t.dirty_tid.(w) <- tid;
     t.dirty_instr.(w) <- instr;
     t.dirty_seq.(w) <- t.seq;
@@ -124,23 +195,22 @@ let movnt t ~tid:_ ~instr:_ w v =
   check t w;
   t.n_movnts <- t.n_movnts + 1;
   t.seq <- t.seq + 1;
+  journal_touch t w;
   t.volatile.(w) <- v;
-  t.dirty_tid.(w) <- -1;
-  t.dirty_seq.(w) <- -1;
-  if t.eadr then begin
-    t.durable.(w) <- v;
-    t.pending.(w) <- false
-  end
-  else
+  if t.eadr then t.durable.(w) <- v
+  else begin
     (* Non-temporal stores bypass the cache: the word is never PM_DIRTY for
        checking purposes, but durability still requires the next SFENCE. *)
+    refresh_meta t w;
+    clean_word t w;
     t.pending.(w) <- true
+  end
 
 let clwb t w =
   check t w;
   t.n_flushes <- t.n_flushes + 1;
   let flush_one w =
-    if t.dirty_seq.(w) >= 0 then begin
+    if is_dirty t w then begin
       clean_word t w;
       t.pending.(w) <- true
     end
@@ -151,8 +221,9 @@ let sfence t =
   t.n_fences <- t.n_fences + 1;
   let persisted = ref [] in
   for w = t.words - 1 downto 0 do
-    if t.pending.(w) then begin
+    if t.meta_epoch.(w) = t.epoch && t.pending.(w) then begin
       t.pending.(w) <- false;
+      journal_touch t w;
       t.durable.(w) <- t.volatile.(w);
       persisted := w :: !persisted
     end
@@ -165,8 +236,9 @@ let evict_line t line =
     invalid_arg "Pool.evict_line: line out of bounds";
   let evicted = ref [] in
   let evict_one w =
-    if t.dirty_seq.(w) >= 0 then begin
+    if is_dirty t w then begin
       clean_word t w;
+      journal_touch t w;
       t.durable.(w) <- t.volatile.(w);
       t.n_evictions <- t.n_evictions + 1;
       evicted := w :: !evicted
@@ -178,20 +250,20 @@ let evict_line t line =
 let dirty_words t =
   let acc = ref [] in
   for w = t.words - 1 downto 0 do
-    if t.dirty_seq.(w) >= 0 then acc := w :: !acc
+    if is_dirty t w then acc := w :: !acc
   done;
   !acc
 
 let pending_words t =
   let acc = ref [] in
   for w = t.words - 1 downto 0 do
-    if t.pending.(w) then acc := w :: !acc
+    if is_pending t w then acc := w :: !acc
   done;
   !acc
 
 let quiesce t =
   for w = 0 to t.words - 1 do
-    if t.dirty_seq.(w) >= 0 then begin
+    if is_dirty t w then begin
       clean_word t w;
       t.pending.(w) <- true
     end
@@ -208,21 +280,66 @@ let of_image (img : image) =
   Array.blit img 0 t.durable 0 (Array.length img);
   t
 
+(* Both restore paths return the pool to the exact observable state the
+   snapshot captured; they differ only in cost.  [finish_reset] installs
+   the non-image half of that state: metadata all-clean (fresh epoch),
+   and the sequence number and access counters as of snapshot time. *)
+let finish_reset t s =
+  new_epoch t;
+  t.baseline <- s.s_id;
+  t.seq <- s.s_seq;
+  t.n_loads <- s.s_loads;
+  t.n_stores <- s.s_stores;
+  t.n_movnts <- s.s_movnts;
+  t.n_flushes <- s.s_flushes;
+  t.n_fences <- s.s_fences;
+  t.n_evictions <- s.s_evictions
+
 let snapshot t =
   (* Snapshots are only meaningful for quiesced pools (no dirty or pending
      words), which is how in-memory checkpoints are used: after pool
-     initialisation completes. *)
-  { s_volatile = Array.copy t.volatile; s_durable = Array.copy t.durable }
+     initialisation completes.  Any dirty/pending word was image-mutated
+     this epoch, so scanning the journal suffices to enforce this. *)
+  for i = 0 to t.journal_len - 1 do
+    let w = t.journal.(i) in
+    if is_dirty t w || is_pending t w then
+      invalid_arg "Pool.snapshot: pool not quiesced (dirty or pending words)"
+  done;
+  let s =
+    {
+      s_id = 1 + Atomic.fetch_and_add snapshot_ids 1;
+      s_volatile = Array.copy t.volatile;
+      s_durable = Array.copy t.durable;
+      s_seq = t.seq;
+      s_loads = t.n_loads;
+      s_stores = t.n_stores;
+      s_movnts = t.n_movnts;
+      s_flushes = t.n_flushes;
+      s_fences = t.n_fences;
+      s_evictions = t.n_evictions;
+    }
+  in
+  (* The pool now *is* the snapshot: make it the O(touched)-reset baseline. *)
+  finish_reset t s;
+  s
 
 let restore t s =
   if Array.length s.s_volatile <> t.words then
     invalid_arg "Pool.restore: snapshot size mismatch";
   Array.blit s.s_volatile 0 t.volatile 0 t.words;
   Array.blit s.s_durable 0 t.durable 0 t.words;
-  Array.fill t.dirty_tid 0 t.words (-1);
-  Array.fill t.dirty_instr 0 t.words (-1);
-  Array.fill t.dirty_seq 0 t.words (-1);
-  Array.fill t.pending 0 t.words false
+  finish_reset t s
+
+let reset_to_snapshot t s =
+  if t.baseline <> s.s_id then
+    invalid_arg
+      "Pool.reset_to_snapshot: snapshot is not this pool's baseline (use restore first)";
+  for i = 0 to t.journal_len - 1 do
+    let w = t.journal.(i) in
+    t.volatile.(w) <- s.s_volatile.(w);
+    t.durable.(w) <- s.s_durable.(w)
+  done;
+  finish_reset t s
 
 type stats = {
   loads : int;

@@ -19,8 +19,13 @@ type image
 (** A crash image: the durable contents at some instant. *)
 
 type snapshot
-(** An in-memory checkpoint of a quiesced pool (volatile + durable images);
-    used to skip expensive pool re-initialisation between fuzz campaigns. *)
+(** An in-memory checkpoint of a quiesced pool: the volatile and durable
+    images plus the word-sequence number and access counters at capture
+    time.  Used to skip expensive pool re-initialisation between fuzz
+    campaigns (the paper's Figure 10).  Snapshots are immutable and safe to
+    share read-only across worker domains; each carries a globally unique
+    identity so a pool can tell which snapshot is its O(touched)-reset
+    baseline (see {!reset_to_snapshot}). *)
 
 val create : ?eadr:bool -> words:int -> unit -> t
 (** [create ~words ()] allocates a zeroed pool.  [words] must be a positive
@@ -88,7 +93,41 @@ val of_image : image -> t
     clean), as after a restart. *)
 
 val snapshot : t -> snapshot
+(** Capture an in-memory checkpoint.  Semantics (pinned; the audit of the
+    restore round-trip relies on these):
+
+    - The pool must be {e quiesced}: no dirty and no pending words.  A
+      checkpoint of in-flight cache state would be meaningless to restore
+      (the write-back queue is not part of the checkpoint), so this raises
+      [Invalid_argument] instead of silently dropping state.  Call
+      {!quiesce} first.
+    - The snapshot records both images {e and} the word-sequence number and
+      access counters, so a later restore resets them too — statistics and
+      writer sequence numbers never leak from one campaign into the next.
+    - Capturing also makes this snapshot the pool's current baseline and
+      starts a fresh touched-word journal (see {!reset_to_snapshot}). *)
+
 val restore : t -> snapshot -> unit
+(** Return the pool to exactly the observable state captured by the
+    snapshot: both images, all-clean metadata, sequence number, and access
+    counters.  O(pool) — blits whole images — but works for any snapshot of
+    the right size, regardless of provenance; it (re)establishes the
+    snapshot as the pool's baseline so subsequent {!reset_to_snapshot}
+    calls are valid.
+    @raise Invalid_argument on size mismatch. *)
+
+val reset_to_snapshot : t -> snapshot -> unit
+(** Like {!restore}, but O(touched): undoes only the words recorded in the
+    touched-word journal since the baseline was last established.  Only
+    valid when [s] is the pool's current baseline — i.e. the pool's state
+    is [s] plus the journaled mutations — which holds after [snapshot t],
+    [restore t s], or a previous [reset_to_snapshot t s].
+    @raise Invalid_argument when [s] is not the current baseline. *)
+
+val touched_words : t -> int
+(** Number of distinct words whose images were mutated since the baseline
+    was last established (the length of the touched-word journal).  This is
+    exactly the work {!reset_to_snapshot} will do. *)
 
 type stats = {
   loads : int;

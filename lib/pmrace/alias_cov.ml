@@ -101,31 +101,52 @@ let pp_site_coverage ppf t =
   | Some p -> Fmt.pf ppf "%d/%d site pairs" (Hashtbl.length t.achieved) p
   | None -> Fmt.pf ppf "%d site pairs (no static denominator)" (Hashtbl.length t.achieved)
 
-(* Attach a listener to an execution environment: it tracks the previous
-   accessor of every PM address and feeds alias pairs into the bitmap.
-   The last *writer* of each address is tracked separately so that
-   cross-thread dirty reads also register as achieved site pairs against
-   the static denominator. *)
-let attach t env =
-  let last : (int, access) Hashtbl.t = Hashtbl.create 256 in
-  let last_writer : (int, access) Hashtbl.t = Hashtbl.create 256 in
+(* Per-execution scratch: the previous accessor of every PM address, plus
+   the last *writer* tracked separately so that cross-thread dirty reads
+   also register as achieved site pairs against the static denominator.
+   The persistent-mode engine keeps one tracker per worker and resets it
+   between campaigns instead of allocating fresh closures. *)
+type tracker = {
+  last : (int, access) Hashtbl.t;
+  last_writer : (int, access) Hashtbl.t;
+}
+
+let tracker () = { last = Hashtbl.create 256; last_writer = Hashtbl.create 256 }
+
+let reset_tracker tr =
+  Hashtbl.reset tr.last;
+  Hashtbl.reset tr.last_writer
+
+let handler t tr ev =
   let on_access addr cur =
-    (match Hashtbl.find_opt last addr with
+    (match Hashtbl.find_opt tr.last addr with
     | Some prev -> ignore (observe t ~prev ~cur)
     | None -> ());
-    Hashtbl.replace last addr cur
+    Hashtbl.replace tr.last addr cur
   in
-  Runtime.Env.add_listener env (function
-    | Runtime.Env.Ev_load { instr; tid; addr; dirty } ->
-        let cur = { a_instr = Runtime.Instr.to_int instr; a_dirty = dirty; a_tid = tid } in
-        (if dirty then
-           match Hashtbl.find_opt last_writer addr with
-           | Some w when w.a_tid <> tid ->
-               record_site_pair t ~write_instr:w.a_instr ~read_instr:cur.a_instr
-           | Some _ | None -> ());
-        on_access addr cur
-    | Runtime.Env.Ev_store { instr; tid; addr } | Runtime.Env.Ev_movnt { instr; tid; addr } ->
-        let cur = { a_instr = Runtime.Instr.to_int instr; a_dirty = true; a_tid = tid } in
-        Hashtbl.replace last_writer addr cur;
-        on_access addr cur
-    | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ())
+  match ev with
+  | Runtime.Env.Ev_load { instr; tid; addr; dirty } ->
+      let cur = { a_instr = Runtime.Instr.to_int instr; a_dirty = dirty; a_tid = tid } in
+      (if dirty then
+         match Hashtbl.find_opt tr.last_writer addr with
+         | Some w when w.a_tid <> tid ->
+             record_site_pair t ~write_instr:w.a_instr ~read_instr:cur.a_instr
+         | Some _ | None -> ());
+      on_access addr cur
+  | Runtime.Env.Ev_store { instr; tid; addr } | Runtime.Env.Ev_movnt { instr; tid; addr } ->
+      let cur = { a_instr = Runtime.Instr.to_int instr; a_dirty = true; a_tid = tid } in
+      Hashtbl.replace tr.last_writer addr cur;
+      on_access addr cur
+  | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ()
+
+(* Empty the map itself (bitmap, count, achieved pairs) so a worker-local
+   delta can be reused across campaigns. *)
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.count <- 0;
+  Hashtbl.reset t.achieved;
+  t.possible <- None
+
+let attach t env =
+  let tr = tracker () in
+  Runtime.Env.add_listener env (handler t tr)

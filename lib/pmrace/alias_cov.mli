@@ -45,5 +45,22 @@ val pp_site_coverage : Format.formatter -> t -> unit
 (** "achieved/possible site pairs", or just the achieved count when no
     static pre-pass ran. *)
 
+type tracker
+(** Per-execution scratch (previous accessor and last writer per address).
+    The persistent-mode engine keeps one per worker and resets it between
+    campaigns instead of allocating fresh closures. *)
+
+val tracker : unit -> tracker
+val reset_tracker : tracker -> unit
+
+val handler : t -> tracker -> Runtime.Env.event -> unit
+(** The event handler behind {!attach}, exposed so workers can install it
+    in a pre-bound listener array. *)
+
+val clear : t -> unit
+(** Empty the map (bitmap, count, achieved pairs, denominator) so a
+    worker-local delta can be reused across campaigns. *)
+
 val attach : t -> Runtime.Env.t -> unit
-(** Subscribe to an execution's access events and feed the bitmap. *)
+(** Subscribe to an execution's access events and feed the bitmap
+    (transient listener with a fresh {!tracker}). *)

@@ -25,19 +25,21 @@ let run ?(cfg = default_config) (target : Target.t) =
   let t0 = Obs.Clock.now () in
   let rng = Rng.create cfg.master_seed in
   let az = Analysis.Analyzer.create () in
-  let snapshot =
-    if target.Target.expensive_init then Some (Campaign.prepare_snapshot target) else None
-  in
+  (* One engine for all seed executions: expensive-init targets get the
+     persistent context (checkpoint + O(touched) resets), others the
+     legacy fresh construction.  The trace is a transient listener, so
+     each checkout starts with it detached. *)
+  let engine = Engine.create ~capture_images:false target in
   for _ = 1 to cfg.seeds do
     let seed = Seed.gen rng target.Target.profile in
     for _ = 1 to cfg.scheds_per_seed do
       let sched_seed = Rng.int rng 1_000_000_000 in
       let trace = Trace.create () in
       let input =
-        Campaign.input ~sched_seed ~policy:Campaign.Random_sched ?snapshot
-          ~step_budget:cfg.step_budget ~capture_images:false target seed
+        Campaign.input ~sched_seed ~policy:Campaign.Random_sched ~step_budget:cfg.step_budget
+          target seed
       in
-      ignore (Campaign.run ~listeners:[ Trace.attach trace ] input);
+      ignore (Campaign.run ~engine ~listeners:[ Trace.attach trace ] input);
       Obs.Metrics.incr (Lazy.force m_executions);
       Analysis.Analyzer.absorb_trace az trace
     done

@@ -21,8 +21,12 @@ let covered t instr = Hashtbl.mem t.hits (Runtime.Instr.to_int instr)
    serialised by the fuzzer's hub). *)
 let merge_into ~src dst = Hashtbl.iter (fun id () -> Hashtbl.replace dst.hits id ()) src.hits
 
-let attach t env =
-  Runtime.Env.add_listener env (function
-    | Runtime.Env.Ev_branch { instr; _ } -> ignore (observe t instr)
-    | Runtime.Env.Ev_load _ | Runtime.Env.Ev_store _ | Runtime.Env.Ev_movnt _
-    | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ -> ())
+let handler t = function
+  | Runtime.Env.Ev_branch { instr; _ } -> ignore (observe t instr)
+  | Runtime.Env.Ev_load _ | Runtime.Env.Ev_store _ | Runtime.Env.Ev_movnt _
+  | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ -> ()
+
+(* Empty the map so a worker-local delta can be reused across campaigns. *)
+let clear t = Hashtbl.reset t.hits
+
+let attach t env = Runtime.Env.add_listener env (handler t)

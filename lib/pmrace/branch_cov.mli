@@ -14,4 +14,10 @@ val merge_into : src:t -> t -> unit
 (** Union [src] (a worker's per-campaign delta) into a shared map.  Not
     itself synchronised — callers serialise merges. *)
 
+val handler : t -> Runtime.Env.event -> unit
+(** The event handler behind {!attach}, for pre-bound listener arrays. *)
+
+val clear : t -> unit
+(** Empty the map so a worker-local delta can be reused across campaigns. *)
+
 val attach : t -> Runtime.Env.t -> unit

@@ -41,11 +41,7 @@ type result = {
 }
 
 (* Initialise a pool once and capture the checkpoint the fast path reuses. *)
-let prepare_snapshot (target : Target.t) =
-  let env = Env.create ~capture_images:false ~pool_words:target.pool_words () in
-  target.init env;
-  Pmem.Pool.quiesce env.pool;
-  Pmem.Pool.snapshot env.pool
+let prepare_snapshot = Engine.prepare_snapshot
 
 let setup_env (i : input) =
   let env =
@@ -65,10 +61,20 @@ let setup_env (i : input) =
 
 let m_latency = lazy (Obs.Metrics.histogram "campaign_latency_seconds")
 
-let run ?(listeners = []) (i : input) =
+(* Phase split of the latency above: setup (environment construction or
+   engine reset) vs the fuzzed execution itself.  The CLI footer derives
+   setup-bound vs run-bound execs/sec from these sums. *)
+let m_setup = lazy (Obs.Metrics.histogram "campaign_setup_seconds")
+let m_run = lazy (Obs.Metrics.histogram "campaign_run_seconds")
+
+let run ?engine ?(listeners = []) (i : input) =
   Obs.Metrics.time (Lazy.force m_latency) @@ fun () ->
-  let env = setup_env i in
+  let env =
+    Obs.Metrics.time (Lazy.force m_setup) @@ fun () ->
+    match engine with Some e -> Engine.checkout e | None -> setup_env i
+  in
   List.iter (fun attach -> attach env) listeners;
+  Obs.Metrics.time (Lazy.force m_run) @@ fun () ->
   let rng = Rng.create i.sched_seed in
   let policy_rng = Rng.split rng in
   let sync, policy =

@@ -46,8 +46,13 @@ type result = {
 
 val prepare_snapshot : Target.t -> Pmem.Pool.snapshot
 (** Initialise a pool once and capture the in-memory checkpoint reused by
-    subsequent campaigns. *)
+    subsequent campaigns (alias of {!Engine.prepare_snapshot}). *)
 
-val run : ?listeners:(Env.t -> unit) list -> input -> result
+val run : ?engine:Engine.t -> ?listeners:(Env.t -> unit) list -> input -> result
 (** Execute the campaign.  [listeners] (e.g. {!Alias_cov.attach} partially
-    applied) are attached to the environment before the run. *)
+    applied) are attached to the environment before the run as transient
+    listeners.  With [engine], the environment comes from
+    {!Engine.checkout} and the engine's configuration governs — the
+    input's [snapshot], [capture_images], [evict_prob] and [eadr] fields
+    are ignored; without it, a fresh environment is constructed from the
+    input exactly as before. *)

@@ -1,0 +1,102 @@
+(* Persistent-mode execution engine (the throughput half of Figure 10).
+
+   One engine per worker domain owns a reusable execution context that is
+   *reset*, not recreated, between campaigns:
+
+   - the pool is rewound with [Pmem.Pool.reset_to_snapshot] — O(touched
+     words), driven by the pool's journal, instead of the O(pool) image
+     blits of [Pool.restore] (let alone re-running the target's
+     initialisation);
+   - the environment is rewound with [Runtime.Env.reset] — fresh checkers,
+     cleared DRAM/taint, reseeded eviction RNG — while the pre-bound
+     listener array installed once at engine creation survives;
+   - the target re-annotates, exactly as it would a fresh environment.
+
+   Targets with [expensive_init = false] (e.g. the libpmem-style mappings
+   where checkpoints bring nothing, per Figure 10) instead get the legacy
+   fresh-environment construction behind the same [checkout] API.
+
+   Determinism: a checkout is observationally identical to the legacy
+   per-campaign environment setup — same images, same fresh checkers, same
+   eviction-RNG stream, same annotation pass — so seeded sessions are
+   bit-identical whichever mode runs them. *)
+
+module Env = Runtime.Env
+
+type mode = Persistent of { snapshot : Pmem.Pool.snapshot; env : Env.t } | Fresh
+
+type t = {
+  target : Target.t;
+  capture_images : bool;
+  evict_prob : float;
+  eadr : bool;
+  mode : mode;
+  bound : (Env.event -> unit) array;
+  mutable checkouts : int;
+  mutable last_reset_touched : int;
+}
+
+(* Initialise a pool once and capture the checkpoint the fast path reuses. *)
+let prepare_snapshot (target : Target.t) =
+  let env = Env.create ~capture_images:false ~pool_words:target.pool_words () in
+  target.init env;
+  Pmem.Pool.quiesce env.pool;
+  Pmem.Pool.snapshot env.pool
+
+(* How many words each persistent-mode reset had to undo — the direct
+   measure of the O(touched) claim (compare with the pool size). *)
+let m_reset_touched =
+  lazy
+    (Obs.Metrics.histogram
+       ~buckets:[| 8.; 32.; 128.; 512.; 2048.; 8192.; 32768. |]
+       "engine_reset_touched_words")
+
+let create ?(capture_images = true) ?(evict_prob = 0.) ?(eadr = false) ?(bound = [||]) ?snapshot
+    ?use_checkpoint (target : Target.t) =
+  let use_checkpoint = Option.value ~default:target.Target.expensive_init use_checkpoint in
+  let mode =
+    if use_checkpoint then begin
+      let snapshot =
+        match snapshot with Some s -> s | None -> prepare_snapshot target
+      in
+      let env = Env.create ~capture_images ~evict_prob ~eadr ~pool_words:target.pool_words () in
+      (* O(pool) once per worker: establishes the snapshot as this pool's
+         baseline, so every subsequent checkout is O(touched). *)
+      Pmem.Pool.restore env.pool snapshot;
+      Env.install_bound env bound;
+      Persistent { snapshot; env }
+    end
+    else Fresh
+  in
+  { target; capture_images; evict_prob; eadr; mode; bound; checkouts = 0; last_reset_touched = 0 }
+
+let checkout t =
+  t.checkouts <- t.checkouts + 1;
+  match t.mode with
+  | Persistent { snapshot; env } ->
+      let touched = Pmem.Pool.touched_words env.pool in
+      t.last_reset_touched <- touched;
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.observe (Lazy.force m_reset_touched) (float_of_int touched);
+      Pmem.Pool.reset_to_snapshot env.pool snapshot;
+      Env.reset ~capture_images:t.capture_images env;
+      t.target.annotate env;
+      env
+  | Fresh ->
+      let env =
+        Env.create ~capture_images:t.capture_images ~evict_prob:t.evict_prob ~eadr:t.eadr
+          ~pool_words:t.target.pool_words ()
+      in
+      t.target.init env;
+      Pmem.Pool.quiesce env.pool;
+      Env.reset_checkers ~capture_images:t.capture_images env;
+      t.target.annotate env;
+      (* Installed only after initialisation: bound listeners must not see
+         init events, matching the legacy attach-after-setup order. *)
+      Env.install_bound env t.bound;
+      env
+
+let persistent t = match t.mode with Persistent _ -> true | Fresh -> false
+let snapshot t = match t.mode with Persistent p -> Some p.snapshot | Fresh -> None
+let checkouts t = t.checkouts
+let last_reset_touched t = t.last_reset_touched

@@ -1,0 +1,57 @@
+(** Persistent-mode execution engine (the throughput half of Figure 10).
+
+    One engine per worker domain owns a reusable execution context that is
+    {e reset}, not recreated, between campaigns: the pool rewinds via
+    {!Pmem.Pool.reset_to_snapshot} (O(touched words), driven by the pool's
+    touched-word journal), the environment via {!Runtime.Env.reset}, and
+    the target re-annotates.  Pre-bound listeners are installed once at
+    engine creation instead of being rebuilt per campaign.
+
+    Targets with [expensive_init = false] get the legacy fresh-environment
+    construction behind the same {!checkout} API, exactly as Figure 10
+    advises choosing per target.
+
+    A checkout is observationally identical to the legacy per-campaign
+    setup (same images, fresh checkers, same eviction-RNG stream, same
+    annotation pass), so seeded sessions stay bit-identical in either
+    mode. *)
+
+type t
+
+val prepare_snapshot : Target.t -> Pmem.Pool.snapshot
+(** Initialise a pool once and capture the in-memory checkpoint reused by
+    subsequent campaigns. *)
+
+val create :
+  ?capture_images:bool ->
+  ?evict_prob:float ->
+  ?eadr:bool ->
+  ?bound:(Runtime.Env.event -> unit) array ->
+  ?snapshot:Pmem.Pool.snapshot ->
+  ?use_checkpoint:bool ->
+  Target.t ->
+  t
+(** Build a worker's engine.  [use_checkpoint] defaults to the target's
+    [expensive_init]; when true the engine runs in persistent mode — the
+    context is created (and the snapshot captured, unless [snapshot] is
+    given, e.g. shared across workers) once, then reused.  [bound] is the
+    worker's permanent listener array: installed once per context, it
+    survives resets and never observes target-initialisation events. *)
+
+val checkout : t -> Runtime.Env.t
+(** An environment ready for one campaign: freshly initialised target
+    state, fresh checkers, annotations applied, bound listeners installed,
+    no transient listeners.  Persistent mode returns the engine's reused
+    context (reset in O(touched words)); fresh mode builds a new
+    environment.  The environment is only valid until the next
+    [checkout]. *)
+
+val persistent : t -> bool
+val snapshot : t -> Pmem.Pool.snapshot option
+val checkouts : t -> int
+(** Total checkouts served. *)
+
+val last_reset_touched : t -> int
+(** Words the most recent persistent-mode reset had to undo (0 for fresh
+    mode) — the observable behind the O(touched) acceptance test.  Also
+    recorded in the [engine_reset_touched_words] histogram. *)

@@ -160,7 +160,11 @@ type worker = {
      when exhausted. *)
   explored : (int, int) Hashtbl.t;
   seed_sites : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* seed id -> sites touched *)
-  snapshot : Pmem.Pool.snapshot option; (* shared, read-only after creation *)
+  engine : Engine.t; (* this worker's reusable execution context *)
+  delta : Hub.delta; (* reused across campaigns; reset at campaign start *)
+  (* Which per-seed site table the pre-bound seed-site handler writes to;
+     retargeted by [do_campaign] instead of attaching a fresh closure. *)
+  cur_sites : (int, unit) Hashtbl.t ref;
   whitelist : Whitelist.t; (* shared, read-only during fuzzing *)
   static_on : bool;
   log : string -> unit;
@@ -198,25 +202,15 @@ let policy_label = function
   | Campaign.Random_sched -> "random scheduling"
   | Campaign.No_preempt -> "no preemption"
 
-(* Record which instruction sites a seed's executions touch, for scoring
-   against the pre-pass's uncovered possible pairs. *)
-let seed_site_listener w seed env =
-  if w.static_on then begin
-    let sites =
-      match Hashtbl.find_opt w.seed_sites (Seed.id seed) with
-      | Some s -> s
-      | None ->
-          let s = Hashtbl.create 32 in
-          Hashtbl.add w.seed_sites (Seed.id seed) s;
-          s
-    in
-    Runtime.Env.add_listener env (function
-      | Runtime.Env.Ev_load { instr; _ }
-      | Runtime.Env.Ev_store { instr; _ }
-      | Runtime.Env.Ev_movnt { instr; _ } ->
-          Hashtbl.replace sites (Runtime.Instr.to_int instr) ()
-      | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ())
-  end
+(* The per-seed touched-site table (for scoring against the pre-pass's
+   uncovered possible pairs), created on first use. *)
+let sites_of w seed =
+  match Hashtbl.find_opt w.seed_sites (Seed.id seed) with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 32 in
+      Hashtbl.add w.seed_sites (Seed.id seed) s;
+      s
 
 let rescore_seed w seed =
   if w.static_on then
@@ -248,14 +242,16 @@ let do_campaign w seed policy =
              policy = policy_label policy;
            });
       let input =
-        Campaign.input ~sched_seed ~policy ?snapshot:w.snapshot ~step_budget:w.cfg.step_budget
-          ~capture_images:true ~evict_prob:w.cfg.evict_prob ~eadr:w.cfg.eadr w.target seed
+        Campaign.input ~sched_seed ~policy ~step_budget:w.cfg.step_budget w.target seed
       in
-      let delta = Hub.fresh_delta () in
-      let listeners = Hub.delta_listeners delta @ [ seed_site_listener w seed ] in
-      let result = Campaign.run ~listeners input in
+      (* The delta and the seed-site handler are pre-bound in the engine's
+         context; per campaign we only empty the delta and retarget the
+         handler at this seed's table. *)
+      Hub.reset_delta w.delta;
+      if w.static_on then w.cur_sites := sites_of w seed;
+      let result = Campaign.run ~engine:w.engine input in
       let c =
-        Hub.commit w.hub ~campaign ~delta result.env ~hung:result.hung
+        Hub.commit w.hub ~campaign ~delta:w.delta result.env ~hung:result.hung
           ~hang_info:(hang_info result)
       in
       if w.obs <> None then begin
@@ -539,6 +535,23 @@ let run ?(log = fun _ -> ()) ?obs target cfg =
   in
   let mk_worker widx =
     let gen_rng = Rng.create (cfg.master_seed + (1_000_003 * widx)) in
+    let delta = Hub.fresh_delta () in
+    let cur_sites = ref (Hashtbl.create 1) in
+    let static_on = static <> None in
+    (* The worker's permanent listener array: the delta's coverage handlers
+       plus the seed-site recorder, bound once instead of rebuilt per
+       campaign.  Each handler writes only its own structure, so dispatch
+       order does not affect results. *)
+    let seed_site_handler =
+      if not static_on then fun _ -> ()
+      else function
+        | Runtime.Env.Ev_load { instr; _ }
+        | Runtime.Env.Ev_store { instr; _ }
+        | Runtime.Env.Ev_movnt { instr; _ } ->
+            Hashtbl.replace !cur_sites (Runtime.Instr.to_int instr) ()
+        | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ()
+    in
+    let bound = Array.of_list (Hub.delta_handlers delta @ [ seed_site_handler ]) in
     {
       widx;
       cfg;
@@ -555,9 +568,13 @@ let run ?(log = fun _ -> ()) ?obs target cfg =
       skip_store = Hashtbl.create 32;
       explored = Hashtbl.create 32;
       seed_sites = Hashtbl.create 32;
-      snapshot;
+      engine =
+        Engine.create ~evict_prob:cfg.evict_prob ~eadr:cfg.eadr ~bound ?snapshot
+          ~use_checkpoint:cfg.use_checkpoint target;
+      delta;
+      cur_sites;
       whitelist;
-      static_on = static <> None;
+      static_on;
       log;
       obs;
       m_campaigns =

@@ -39,8 +39,16 @@ type timeline_point = {
 }
 
 (* A worker's private per-campaign accumulator.  Campaign listeners write
-   here without synchronisation; [commit] folds it into the shared state. *)
-type delta = { d_alias : Alias_cov.t; d_branch : Branch_cov.t; d_queue : Shared_queue.t }
+   here without synchronisation; [commit] folds it into the shared state.
+   Persistent-mode workers keep one delta per worker (with its alias
+   tracker) and [reset_delta] it between campaigns instead of allocating
+   fresh structures. *)
+type delta = {
+  d_alias : Alias_cov.t;
+  d_branch : Branch_cov.t;
+  d_queue : Shared_queue.t;
+  d_tracker : Alias_cov.tracker;
+}
 
 type t = {
   lock : Mutex.t;
@@ -111,10 +119,33 @@ let reserve t prov =
       end)
 
 let fresh_delta () =
-  { d_alias = Alias_cov.create (); d_branch = Branch_cov.create (); d_queue = Shared_queue.create () }
+  {
+    d_alias = Alias_cov.create ();
+    d_branch = Branch_cov.create ();
+    d_queue = Shared_queue.create ();
+    d_tracker = Alias_cov.tracker ();
+  }
 
 let delta_listeners d =
   [ Alias_cov.attach d.d_alias; Branch_cov.attach d.d_branch; Shared_queue.attach d.d_queue ]
+
+(* The delta's event handlers, for a worker's pre-bound listener array.
+   The alias handler uses the delta's own tracker, so [reset_delta] must
+   run between campaigns. *)
+let delta_handlers d =
+  [
+    Alias_cov.handler d.d_alias d.d_tracker;
+    Branch_cov.handler d.d_branch;
+    Shared_queue.handler d.d_queue;
+  ]
+
+(* Empty a delta for reuse: equivalent to [fresh_delta] for every observable
+   purpose (all structures are emptied, including the alias tracker). *)
+let reset_delta d =
+  Alias_cov.clear d.d_alias;
+  Branch_cov.clear d.d_branch;
+  Shared_queue.clear d.d_queue;
+  Alias_cov.reset_tracker d.d_tracker
 
 type commit_result = {
   c_improved : bool; (* the merge contributed new coverage bits *)
@@ -136,8 +167,14 @@ let rec pairs_diff before after =
       else if a < b then a :: pairs_diff before as_
       else pairs_diff bs after
 
+(* Time actually spent merging inside the critical section (the lock-wait
+   histogram above measures contention; this measures the work).  Third
+   phase of the campaign timing split: setup / run / hub merge. *)
+let m_merge = lazy (Obs.Metrics.histogram "hub_merge_seconds")
+
 let commit t ~campaign ~delta (env : Runtime.Env.t) ~hung ~hang_info =
   with_lock t (fun () ->
+      Obs.Metrics.time (Lazy.force m_merge) @@ fun () ->
       let before = Alias_cov.count t.alias + Branch_cov.count t.branch in
       let pairs_before = Alias_cov.site_pairs t.alias in
       let inter_before = Report.inconsistency_count t.report Runtime.Candidates.Inter in

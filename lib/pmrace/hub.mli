@@ -51,7 +51,18 @@ val reserve : t -> provenance -> int option
 val fresh_delta : unit -> delta
 
 val delta_listeners : delta -> (Runtime.Env.t -> unit) list
-(** Campaign listeners feeding the delta's private coverage structures. *)
+(** Campaign listeners feeding the delta's private coverage structures
+    (transient-listener style, fresh alias tracker per attach). *)
+
+val delta_handlers : delta -> (Runtime.Env.event -> unit) list
+(** The delta's raw event handlers, for installation in a worker's
+    pre-bound listener array ({!Runtime.Env.install_bound}).  The alias
+    handler shares the delta's tracker, so call {!reset_delta} between
+    campaigns. *)
+
+val reset_delta : delta -> unit
+(** Empty a delta (coverage structures and alias tracker) for reuse —
+    observationally equivalent to a {!fresh_delta}. *)
 
 type commit_result = {
   c_improved : bool;  (** the merge contributed new coverage bits *)

@@ -38,17 +38,21 @@ let replay_bug ~(target : Target.t) ~(artifact : Artifact.t) ~bug =
             | None -> Error (Printf.sprintf "no provenance for campaign %d" campaign)
             | Some p ->
                 let cfg = artifact.a_config in
-                (* Mirror Fuzzer.run's snapshot decision exactly: the
-                   checkpointed pool is part of the recorded execution. *)
-                let snapshot =
-                  if cfg.use_checkpoint then Some (Campaign.prepare_snapshot target) else None
+                (* Mirror Fuzzer.run's execution setup exactly: contexts
+                   come from an engine configured like the recorded
+                   session's workers (checkpoint decision included) — a
+                   checkout is observationally identical to the fresh
+                   setup the fuzzer used to do, so replays stay
+                   bit-faithful. *)
+                let engine =
+                  Engine.create ~evict_prob:cfg.evict_prob ~eadr:cfg.eadr
+                    ~use_checkpoint:cfg.use_checkpoint target
                 in
                 let input =
-                  Campaign.input ~sched_seed:p.pr_sched_seed ~policy:p.pr_spec ?snapshot
-                    ~step_budget:cfg.step_budget ~capture_images:true ~evict_prob:cfg.evict_prob
-                    ~eadr:cfg.eadr target p.pr_seed
+                  Campaign.input ~sched_seed:p.pr_sched_seed ~policy:p.pr_spec
+                    ~step_budget:cfg.step_budget target p.pr_seed
                 in
-                let result = Campaign.run input in
+                let result = Campaign.run ~engine input in
                 let report = Report.create () in
                 let findings, sync_findings =
                   Report.absorb ~campaign report result.env ~hung:result.hung

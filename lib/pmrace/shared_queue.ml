@@ -74,12 +74,16 @@ let merge_into ~src dst =
       d.hits <- d.hits + s.hits)
     src.tbl
 
-let attach t env =
-  Runtime.Env.add_listener env (function
-    | Runtime.Env.Ev_load { instr; tid; addr; _ } -> observe_load t ~addr ~instr ~tid
-    | Runtime.Env.Ev_store { instr; tid; addr } | Runtime.Env.Ev_movnt { instr; tid; addr } ->
-        observe_store t ~addr ~instr ~tid
-    | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ())
+let handler t = function
+  | Runtime.Env.Ev_load { instr; tid; addr; _ } -> observe_load t ~addr ~instr ~tid
+  | Runtime.Env.Ev_store { instr; tid; addr } | Runtime.Env.Ev_movnt { instr; tid; addr } ->
+      observe_store t ~addr ~instr ~tid
+  | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ()
+
+(* Empty the queue so a worker-local delta can be reused across campaigns. *)
+let clear t = Hashtbl.reset t.tbl
+
+let attach t env = Runtime.Env.add_listener env (handler t)
 
 (* Shared data: loaded and stored, with more than one thread involved. *)
 let is_shared r =

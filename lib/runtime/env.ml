@@ -22,7 +22,12 @@ type t = {
   mem_taint : (int, Taint.t) Hashtbl.t;
   mutable policy : policy;
   mutable listeners : (event -> unit) list;
-  evict_rng : Sched.Rng.t;
+  (* Pre-bound listeners: installed once per worker (not rebuilt per
+     campaign) and dispatched before the transient [listeners].  They
+     survive [reset]. *)
+  mutable bound : (event -> unit) array;
+  evict_seed : int;
+  mutable evict_rng : Sched.Rng.t;
   mutable evict_prob : float;
 }
 
@@ -45,6 +50,8 @@ let create ?(capture_images = true) ?(evict_prob = 0.) ?(evict_seed = 7) ?(eadr 
     mem_taint = Hashtbl.create 256;
     policy = null_policy;
     listeners = [];
+    bound = [||];
+    evict_seed;
     evict_rng = Sched.Rng.create evict_seed;
     evict_prob;
   }
@@ -59,6 +66,8 @@ let of_image ?(capture_images = false) (image : Pmem.Pool.image) =
     mem_taint = Hashtbl.create 256;
     policy = null_policy;
     listeners = [];
+    bound = [||];
+    evict_seed = 7;
     evict_rng = Sched.Rng.create 7;
     evict_prob = 0.;
   }
@@ -66,7 +75,14 @@ let of_image ?(capture_images = false) (image : Pmem.Pool.image) =
 let ctx t ~tid = { env = t; tid }
 let set_policy t p = t.policy <- p
 let add_listener t f = t.listeners <- f :: t.listeners
-let emit t ev = List.iter (fun f -> f ev) t.listeners
+let install_bound t fs = t.bound <- fs
+
+let emit t ev =
+  let bound = t.bound in
+  for i = 0 to Array.length bound - 1 do
+    bound.(i) ev
+  done;
+  List.iter (fun f -> f ev) t.listeners
 
 let mem_taint t addr =
   match Hashtbl.find_opt t.mem_taint addr with Some taint -> taint | None -> Taint.empty
@@ -89,3 +105,17 @@ let reset_checkers ?(capture_images = true) t =
         ~len:v.Checkers.sv_len ~init:v.Checkers.sv_init)
     vars;
   Hashtbl.reset t.mem_taint
+
+(* Return a reused environment to its just-created state — everything a
+   fresh [create] would give, except the pool (reset separately via
+   [Pmem.Pool.reset_to_snapshot]) and the pre-bound listener array, which
+   is installed once per worker and deliberately survives.  Sync-variable
+   annotations do NOT survive: the caller re-annotates, exactly as it would
+   on a fresh environment. *)
+let reset ?(capture_images = true) t =
+  t.checkers <- Checkers.create ~capture_images ();
+  Dram.clear t.dram;
+  Hashtbl.reset t.mem_taint;
+  t.policy <- null_policy;
+  t.listeners <- [];
+  t.evict_rng <- Sched.Rng.create t.evict_seed

@@ -28,7 +28,11 @@ type t = {
   mem_taint : (int, Taint.t) Hashtbl.t;
   mutable policy : policy;
   mutable listeners : (event -> unit) list;
-  evict_rng : Sched.Rng.t;
+  mutable bound : (event -> unit) array;
+      (** pre-bound listeners: installed once per worker, dispatched before
+          the transient [listeners], survive {!reset} *)
+  evict_seed : int;
+  mutable evict_rng : Sched.Rng.t;
   mutable evict_prob : float;
 }
 
@@ -62,7 +66,17 @@ val of_image : ?capture_images:bool -> Pmem.Pool.image -> t
 
 val ctx : t -> tid:int -> ctx
 val set_policy : t -> policy -> unit
+
 val add_listener : t -> (event -> unit) -> unit
+(** Attach a transient listener (cleared by {!reset}); for per-campaign or
+    per-trace hooks. *)
+
+val install_bound : t -> (event -> unit) array -> unit
+(** Install the permanent listener array.  Bound listeners run on every
+    event, before the transient list, and survive {!reset} — workers
+    install their coverage-delta handlers once instead of rebuilding
+    closure lists per campaign. *)
+
 val emit : t -> event -> unit
 val mem_taint : t -> int -> Taint.t
 val set_mem_taint : t -> int -> Taint.t -> unit
@@ -71,3 +85,12 @@ val annotate_sync : t -> name:string -> addr:int -> len:int -> init:int64 -> uni
 val reset_checkers : ?capture_images:bool -> t -> unit
 (** Discard checker state accumulated so far (e.g. during pool
     initialisation) while keeping sync-variable annotations. *)
+
+val reset : ?capture_images:bool -> t -> unit
+(** Return a reused environment to its just-created state: fresh checkers
+    ({e without} sync annotations — re-annotate as for a fresh env),
+    cleared DRAM and taint shadow, null policy, no transient listeners, and
+    the eviction RNG reseeded from its original seed.  The pool and the
+    pre-bound listener array are untouched: reset the pool separately with
+    {!Pmem.Pool.reset_to_snapshot}.  This is the persistent-mode engine's
+    per-campaign reset path. *)

@@ -1,0 +1,215 @@
+(* The persistent-mode execution engine: O(touched) context reuse, the
+   fresh-mode legacy path behind the same API, and — the core invariant —
+   cross-campaign isolation: a reused context produces campaigns
+   bit-identical to fresh-environment runs, even after an adversarial
+   campaign dirtied every layer of state it can reach. *)
+
+module Engine = Pmrace.Engine
+module Campaign = Pmrace.Campaign
+module Seed = Pmrace.Seed
+module Pool = Pmem.Pool
+module Env = Runtime.Env
+module Checkers = Runtime.Checkers
+module Candidates = Runtime.Candidates
+module Dram = Runtime.Dram
+
+(* Everything observable about a campaign, for bit-identity comparison:
+   both pool images, candidates, inconsistencies, sync events, pending
+   side effects, pool statistics, and the scheduler outcome. *)
+type fingerprint = {
+  f_volatile : int64 array;
+  f_durable : int64 array;
+  f_cands : (int * Candidates.kind * int * int * int * int * int) list;
+  f_incs : (int * int * int * bool * bool * int list) list;
+  f_syncs : (string * int * int64) list;
+  f_pending : (int * int * int) list;
+  f_stats : Pool.stats;
+  f_steps : int;
+  f_finished : int list;
+  f_hung : bool;
+}
+
+let fingerprint (r : Campaign.result) =
+  let env = r.env in
+  let pool = env.Env.pool in
+  let ck = env.Env.checkers in
+  let cand (c : Candidates.cand) =
+    ( c.id,
+      c.kind,
+      c.addr,
+      Runtime.Instr.to_int c.read_instr,
+      c.read_tid,
+      Runtime.Instr.to_int c.write_instr,
+      c.write_tid )
+  in
+  {
+    f_volatile = Array.init (Pool.size pool) (Pool.peek pool);
+    f_durable = Array.init (Pool.size pool) (Pool.image_word (Pool.crash_image pool));
+    f_cands =
+      List.map cand
+        (Candidates.unique (Checkers.candidates ck) Candidates.Inter
+        @ Candidates.unique (Checkers.candidates ck) Candidates.Intra);
+    f_incs =
+      List.map
+        (fun (i : Checkers.inconsistency) ->
+          ( i.source.Candidates.id,
+            i.eff_addr,
+            i.eff_tid,
+            i.addr_flow,
+            i.external_effect,
+            i.eff_words ))
+        (Checkers.inconsistencies ck);
+    f_syncs =
+      List.map
+        (fun (s : Checkers.sync_event) -> (s.var.Checkers.sv_name, s.sy_addr, s.sy_value))
+        (Checkers.sync_events ck);
+    f_pending =
+      List.map
+        (fun (e : Checkers.side_effect) ->
+          (e.se_addr, Runtime.Instr.to_int e.se_instr, e.se_tid))
+        (Checkers.pending_effects ck);
+    f_stats = Pool.stats pool;
+    f_steps = r.outcome.steps;
+    f_finished = List.sort compare r.outcome.finished;
+    f_hung = r.hung;
+  }
+
+let check_fp msg a b =
+  Alcotest.(check bool) (msg ^ ": volatile image") true (a.f_volatile = b.f_volatile);
+  Alcotest.(check bool) (msg ^ ": durable image") true (a.f_durable = b.f_durable);
+  Alcotest.(check bool) (msg ^ ": candidates") true (a.f_cands = b.f_cands);
+  Alcotest.(check bool) (msg ^ ": inconsistencies") true (a.f_incs = b.f_incs);
+  Alcotest.(check bool) (msg ^ ": sync events") true (a.f_syncs = b.f_syncs);
+  Alcotest.(check bool) (msg ^ ": pending effects") true (a.f_pending = b.f_pending);
+  Alcotest.(check bool) (msg ^ ": pool stats") true (a.f_stats = b.f_stats);
+  Alcotest.(check int) (msg ^ ": scheduler steps") a.f_steps b.f_steps;
+  Alcotest.(check (list int)) (msg ^ ": finished tids") a.f_finished b.f_finished;
+  Alcotest.(check bool) (msg ^ ": hung") a.f_hung b.f_hung
+
+(* A deterministic batch of campaign inputs for one target. *)
+let inputs (target : Pmrace.Target.t) n =
+  let rng = Sched.Rng.create 99 in
+  List.init n (fun _ ->
+      let seed = Seed.gen rng target.Pmrace.Target.profile in
+      let sched_seed = Sched.Rng.int rng 1_000_000_000 in
+      Campaign.input ~sched_seed ~policy:Campaign.Random_sched target seed)
+
+(* Dirty every layer of reusable state the engine hands out: pool words
+   (left dirty AND pending), DRAM keys, taint labels, and checker state
+   (candidates, pending effects, sync annotations). *)
+let adversarial_key : int Dram.key = Dram.key ~name:"test-engine-adversary" ()
+
+let vandalise (env : Env.t) =
+  let pool = env.Env.pool in
+  for w = 0 to Pool.size pool - 1 do
+    Pool.store pool ~tid:9 ~instr:0 w 0xDEADBEEFL
+  done;
+  Pool.clwb pool 0 (* leave line 0 pending, the rest dirty *);
+  Dram.set env.Env.dram adversarial_key 12345;
+  Env.set_mem_taint env 7 (Runtime.Taint.singleton 41);
+  Env.annotate_sync env ~name:"bogus-var" ~addr:3 ~len:1 ~init:77L;
+  ignore
+    (Checkers.on_load env.Env.checkers pool ~tid:9 ~instr:(Runtime.Instr.of_int 0) ~addr:1)
+
+(* Campaign B on a reused engine context must be bit-identical to the same
+   campaign on a fresh environment — even when campaign A was followed by
+   direct vandalism of every mutable layer. *)
+let test_isolation (target : Pmrace.Target.t) () =
+  match inputs target 3 with
+  | [ a; b; c ] ->
+      let engine = Engine.create ~use_checkpoint:true target in
+      (* Reference: each campaign in its own legacy fresh environment,
+         restored from its own checkpoint like the legacy fuzzer did. *)
+      let snapshot = Engine.prepare_snapshot target in
+      let fresh i =
+        fingerprint (Campaign.run { i with Campaign.snapshot = Some snapshot })
+      in
+      let ref_a = fresh a and ref_b = fresh b and ref_c = fresh c in
+      let r_a = Campaign.run ~engine a in
+      check_fp "campaign A (engine vs fresh)" ref_a (fingerprint r_a);
+      vandalise r_a.Campaign.env;
+      let r_b = Campaign.run ~engine b in
+      check_fp "campaign B after vandalism" ref_b (fingerprint r_b);
+      vandalise r_b.Campaign.env;
+      let r_c = Campaign.run ~engine c in
+      check_fp "campaign C after vandalism" ref_c (fingerprint r_c);
+      Alcotest.(check int) "engine served all checkouts" 3 (Engine.checkouts engine)
+  | _ -> assert false
+
+(* Fresh mode (expensive_init = false targets): the engine's checkout is
+   the legacy construction, so results match legacy Campaign.run exactly. *)
+let test_fresh_mode_identical () =
+  let target = Workloads.Figure1.target in
+  let engine = Engine.create ~use_checkpoint:false target in
+  Alcotest.(check bool) "fresh mode" false (Engine.persistent engine);
+  List.iter
+    (fun i ->
+      let legacy = fingerprint (Campaign.run i) in
+      let engined = fingerprint (Campaign.run ~engine i) in
+      check_fp "fresh-mode checkout" legacy engined)
+    (inputs target 3)
+
+(* use_checkpoint defaults to the target's expensive_init. *)
+let test_mode_default () =
+  Alcotest.(check bool) "figure1 defaults to fresh" false
+    (Engine.persistent (Engine.create Workloads.Figure1.target));
+  Alcotest.(check bool) "p-clht defaults to persistent" true
+    (Engine.persistent (Engine.create Workloads.Pclht.target))
+
+(* The acceptance criterion: persistent-mode reset work is proportional to
+   the words the campaign touched, not the pool size. *)
+let test_reset_o_touched () =
+  let target = Workloads.Pclht.target in
+  let engine = Engine.create ~use_checkpoint:true target in
+  let i = List.hd (inputs target 1) in
+  ignore (Campaign.run ~engine i);
+  ignore (Campaign.run ~engine i);
+  let touched = Engine.last_reset_touched engine in
+  Alcotest.(check bool) "campaign touched something" true (touched > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "reset undid %d words, well under the %d-word pool" touched
+       target.Pmrace.Target.pool_words)
+    true
+    (touched < target.Pmrace.Target.pool_words / 2)
+
+(* Transient listeners attached for one campaign must be gone after the
+   next checkout. *)
+let test_transient_listeners_cleared () =
+  let target = Workloads.Pclht.target in
+  let engine = Engine.create ~use_checkpoint:true target in
+  let i = List.hd (inputs target 1) in
+  let hits = ref 0 in
+  let listener env = Env.add_listener env (fun _ -> incr hits) in
+  ignore (Campaign.run ~engine ~listeners:[ listener ] i);
+  let first = !hits in
+  Alcotest.(check bool) "listener observed campaign 1" true (first > 0);
+  ignore (Campaign.run ~engine i);
+  Alcotest.(check int) "listener detached by next checkout" first !hits
+
+(* With a deterministic init, checkpoint-on and checkpoint-off engines
+   yield bit-identical campaigns: restore semantics (images + seq + stats)
+   make the two pool setups indistinguishable. *)
+let test_checkpoint_on_off_identical () =
+  let target = Workloads.Figure1.target in
+  let on = Engine.create ~use_checkpoint:true target in
+  let off = Engine.create ~use_checkpoint:false target in
+  List.iter
+    (fun i ->
+      check_fp "checkpoint on ≡ off"
+        (fingerprint (Campaign.run ~engine:on i))
+        (fingerprint (Campaign.run ~engine:off i)))
+    (inputs target 2)
+
+let suite =
+  [
+    Alcotest.test_case "adversarial isolation (figure1)" `Quick
+      (test_isolation Workloads.Figure1.target);
+    Alcotest.test_case "adversarial isolation (p-clht)" `Slow
+      (test_isolation Workloads.Pclht.target);
+    Alcotest.test_case "fresh mode ≡ legacy" `Quick test_fresh_mode_identical;
+    Alcotest.test_case "mode defaults to expensive_init" `Quick test_mode_default;
+    Alcotest.test_case "reset is O(touched)" `Quick test_reset_o_touched;
+    Alcotest.test_case "transient listeners cleared" `Quick test_transient_listeners_cleared;
+    Alcotest.test_case "checkpoint on ≡ off (deterministic init)" `Quick
+      test_checkpoint_on_off_identical;
+  ]

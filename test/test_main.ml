@@ -18,6 +18,7 @@ let () =
       ("pmdk", Test_pmdk.suite);
       ("proto", Test_proto.suite);
       ("campaign+validation", Test_campaign.suite);
+      ("engine", Test_engine.suite);
       ("fuzzer", Test_fuzzer.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);

@@ -156,6 +156,197 @@ let test_stats () =
   Alcotest.(check int) "flushes" 1 s.Pool.flushes;
   Alcotest.(check int) "fences" 1 s.Pool.fences
 
+(* Restore round-trip audit: nothing campaign-local may leak across a
+   restore — not the access counters, not the store-sequence numbers that
+   feed [dirty_writer], not pending write-backs. *)
+let test_restore_resets_stats_and_seq () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 10 7L;
+  Pool.quiesce p;
+  let snap = Pool.snapshot p in
+  let base = Pool.stats p in
+  (* Campaign A: loads, stores, flushes, fences, plus a pending write-back
+     left in flight on purpose. *)
+  ignore (Pool.load p 10);
+  Pool.store p ~tid:2 ~instr:9 20 1L;
+  Pool.movnt p ~tid:2 ~instr:9 24 2L;
+  Pool.clwb p 20;
+  Pool.restore p snap;
+  Alcotest.(check bool) "stats restored to snapshot" true (Pool.stats p = base);
+  Alcotest.(check (list int)) "no pending write-backs survive" [] (Pool.pending_words p);
+  (* Campaign B's first store must see the same sequence number campaign A's
+     first store saw: writer identity is part of the checkers' input. *)
+  Pool.store p ~tid:0 ~instr:1 30 1L;
+  let seq_b =
+    match Pool.dirty_writer p 30 with Some w -> w.Pool.seq | None -> Alcotest.fail "dirty"
+  in
+  Pool.restore p snap;
+  Pool.store p ~tid:0 ~instr:1 40 1L;
+  let seq_b' =
+    match Pool.dirty_writer p 40 with Some w -> w.Pool.seq | None -> Alcotest.fail "dirty"
+  in
+  Alcotest.(check int) "writer seq identical across restores" seq_b seq_b'
+
+let test_snapshot_requires_quiesced () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 10 7L;
+  Alcotest.check_raises "dirty pool rejected"
+    (Invalid_argument "Pool.snapshot: pool not quiesced (dirty or pending words)") (fun () ->
+      ignore (Pool.snapshot p));
+  Pool.clwb p 10;
+  Alcotest.check_raises "pending pool rejected"
+    (Invalid_argument "Pool.snapshot: pool not quiesced (dirty or pending words)") (fun () ->
+      ignore (Pool.snapshot p));
+  ignore (Pool.sfence p);
+  ignore (Pool.snapshot p)
+
+let test_reset_to_snapshot_o_touched () =
+  let p = Pool.create ~words:4096 () in
+  Pool.store p ~tid:0 ~instr:1 100 7L;
+  Pool.quiesce p;
+  let snap = Pool.snapshot p in
+  Alcotest.(check int) "journal empty at baseline" 0 (Pool.touched_words p);
+  (* A campaign touching 3 words out of 4096. *)
+  Pool.store p ~tid:1 ~instr:2 100 1L;
+  Pool.store p ~tid:1 ~instr:2 200 2L;
+  Pool.movnt p ~tid:1 ~instr:2 300 3L;
+  Pool.store p ~tid:1 ~instr:2 100 4L (* re-touch: journaled once *);
+  ignore (Pool.sfence p);
+  Alcotest.(check int) "journal records touched words once" 3 (Pool.touched_words p);
+  Pool.reset_to_snapshot p snap;
+  Alcotest.(check int) "journal empty after reset" 0 (Pool.touched_words p);
+  Alcotest.(check int64) "touched word restored" 7L (Pool.load p 100);
+  Alcotest.(check int64) "movnt'd word restored" 0L (Pool.load p 300);
+  Alcotest.(check (list int)) "no dirty words" [] (Pool.dirty_words p);
+  Alcotest.(check (list int)) "no pending words" [] (Pool.pending_words p)
+
+let test_reset_to_snapshot_equals_restore () =
+  (* Same campaign replayed twice — once undone by O(pool) restore, once by
+     O(touched) reset — must leave bit-identical pools. *)
+  let campaign p =
+    Pool.store p ~tid:1 ~instr:2 8 1L;
+    Pool.store p ~tid:1 ~instr:3 9 2L;
+    Pool.clwb p 8;
+    Pool.movnt p ~tid:2 ~instr:4 64 3L;
+    ignore (Pool.sfence p);
+    ignore (Pool.evict_line p 2);
+    ignore (Pool.load p 9)
+  in
+  let p1 = mk () and p2 = mk () in
+  Pool.store p1 ~tid:0 ~instr:1 0 5L;
+  Pool.store p2 ~tid:0 ~instr:1 0 5L;
+  Pool.quiesce p1;
+  Pool.quiesce p2;
+  let s1 = Pool.snapshot p1 and s2 = Pool.snapshot p2 in
+  campaign p1;
+  campaign p2;
+  Pool.restore p1 s1;
+  Pool.reset_to_snapshot p2 s2;
+  for w = 0 to Pool.size p1 - 1 do
+    if not (Int64.equal (Pool.peek p1 w) (Pool.peek p2 w)) then
+      Alcotest.failf "volatile image differs at word %d" w;
+    if
+      not
+        (Int64.equal
+           (Pool.image_word (Pool.crash_image p1) w)
+           (Pool.image_word (Pool.crash_image p2) w))
+    then Alcotest.failf "durable image differs at word %d" w
+  done;
+  Alcotest.(check bool) "stats identical" true (Pool.stats p1 = Pool.stats p2)
+
+let test_reset_to_snapshot_wrong_baseline () =
+  let p = mk () and q = mk () in
+  Pool.quiesce p;
+  Pool.quiesce q;
+  let sp = Pool.snapshot p in
+  let sq = Pool.snapshot q in
+  Alcotest.check_raises "foreign snapshot rejected"
+    (Invalid_argument
+       "Pool.reset_to_snapshot: snapshot is not this pool's baseline (use restore first)")
+    (fun () -> Pool.reset_to_snapshot p sq);
+  (* restore re-establishes the baseline, after which reset works. *)
+  Pool.restore p sq;
+  Pool.store p ~tid:0 ~instr:1 10 1L;
+  Pool.reset_to_snapshot p sq;
+  Alcotest.(check int64) "reset after restore works" 0L (Pool.load p 10);
+  Alcotest.check_raises "old baseline now stale"
+    (Invalid_argument
+       "Pool.reset_to_snapshot: snapshot is not this pool's baseline (use restore first)")
+    (fun () -> Pool.reset_to_snapshot p sp)
+
+let test_eadr_snapshot_roundtrip () =
+  (* eADR pools have no writer metadata at all; the snapshot round-trip must
+     still reset images and counters. *)
+  let p = Pool.create ~eadr:true ~words:256 () in
+  Pool.store p ~tid:0 ~instr:1 10 7L;
+  Alcotest.(check bool) "eadr store never dirty" false (Pool.is_dirty p 10);
+  Pool.quiesce p;
+  let snap = Pool.snapshot p in
+  let base = Pool.stats p in
+  Pool.store p ~tid:1 ~instr:2 10 100L;
+  Pool.store p ~tid:1 ~instr:2 50 1L;
+  Alcotest.(check int) "eadr stores journaled" 2 (Pool.touched_words p);
+  Pool.reset_to_snapshot p snap;
+  Alcotest.(check int64) "volatile restored" 7L (Pool.load p 10);
+  ignore (Pool.load p 10) (* undo the load we just counted *);
+  Pool.restore p snap;
+  Alcotest.(check int64) "durable restored" 7L (Pool.image_word (Pool.crash_image p) 10);
+  Alcotest.(check int64) "other word durable-restored" 0L
+    (Pool.image_word (Pool.crash_image p) 50);
+  Alcotest.(check bool) "stats restored" true (Pool.stats p = base)
+
+(* Property: after an arbitrary op sequence from a snapshotted baseline,
+   reset_to_snapshot and restore agree bit-for-bit, and the journal never
+   under-counts (every differing word is journaled). *)
+let prop_reset_equals_restore =
+  let open QCheck in
+  let op =
+    Gen.(
+      oneof
+        [
+          map2 (fun w v -> `Store (w, v)) (int_bound 63) (int_range 1 1000);
+          map2 (fun w v -> `Movnt (w, v)) (int_bound 63) (int_range 1 1000);
+          map (fun w -> `Clwb w) (int_bound 63);
+          map (fun l -> `Evict l) (int_bound 7);
+          return `Fence;
+        ])
+  in
+  Test.make ~name:"pool: reset_to_snapshot ≡ restore" ~count:200
+    (make Gen.(list_size (int_range 1 60) op))
+    (fun ops ->
+      let run p =
+        List.iter
+          (fun op ->
+            match op with
+            | `Store (w, v) -> Pool.store p ~tid:0 ~instr:0 w (Int64.of_int v)
+            | `Movnt (w, v) -> Pool.movnt p ~tid:0 ~instr:0 w (Int64.of_int v)
+            | `Clwb w -> Pool.clwb p w
+            | `Evict l -> ignore (Pool.evict_line p l)
+            | `Fence -> ignore (Pool.sfence p))
+          ops
+      in
+      let p1 = Pool.create ~words:64 () and p2 = Pool.create ~words:64 () in
+      Pool.store p1 ~tid:0 ~instr:0 0 9L;
+      Pool.store p2 ~tid:0 ~instr:0 0 9L;
+      Pool.quiesce p1;
+      Pool.quiesce p2;
+      let s1 = Pool.snapshot p1 and s2 = Pool.snapshot p2 in
+      run p1;
+      run p2;
+      Pool.restore p1 s1;
+      Pool.reset_to_snapshot p2 s2;
+      let ok = ref (Pool.stats p1 = Pool.stats p2) in
+      for w = 0 to 63 do
+        if not (Int64.equal (Pool.peek p1 w) (Pool.peek p2 w)) then ok := false;
+        if
+          not
+            (Int64.equal
+               (Pool.image_word (Pool.crash_image p1) w)
+               (Pool.image_word (Pool.crash_image p2) w))
+        then ok := false
+      done;
+      !ok)
+
 (* Property: after arbitrary (store | movnt | clwb | fence) sequences,
    crash + reboot never exposes a value that was never stored, and every
    fence-persisted word reads back its last pre-fence value. *)
@@ -244,6 +435,14 @@ let suite =
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "durably-equal + pending" `Quick test_durably_equal_and_pending;
     Alcotest.test_case "image size" `Quick test_image_words;
+    Alcotest.test_case "restore resets stats + seq" `Quick test_restore_resets_stats_and_seq;
+    Alcotest.test_case "snapshot requires quiesced pool" `Quick test_snapshot_requires_quiesced;
+    Alcotest.test_case "reset_to_snapshot is O(touched)" `Quick test_reset_to_snapshot_o_touched;
+    Alcotest.test_case "reset_to_snapshot ≡ restore" `Quick test_reset_to_snapshot_equals_restore;
+    Alcotest.test_case "reset_to_snapshot baseline guard" `Quick
+      test_reset_to_snapshot_wrong_baseline;
+    Alcotest.test_case "eadr snapshot round-trip" `Quick test_eadr_snapshot_roundtrip;
+    QCheck_alcotest.to_alcotest prop_reset_equals_restore;
     QCheck_alcotest.to_alcotest prop_crash_soundness;
     QCheck_alcotest.to_alcotest prop_durable_is_prefix;
   ]
