@@ -1,0 +1,214 @@
+(* Hot-path microbenches (PR 5): before/after numbers for the three
+   accidentally-quadratic inner loops the simulation core used to run on
+   every instrumented operation —
+
+   - scheduler steps/sec: the maintained runnable-index loop
+     ([Scheduler.run]) against the legacy rebuild-and-filter loop kept as
+     [Scheduler.run_reference], at 2/8/32 fibers;
+   - sfence cost: the O(pending) indexed fence ([Pool.sfence]) against the
+     legacy O(pool) full scan kept as [Pool.sfence_scan], on 1k/8k/64k-word
+     pools with a sparse (16-word) pending set;
+   - line ops: the allocation-free [Cacheline.fold_line] walk against the
+     legacy [words_of_line_containing] list materialisation, plus the
+     absolute store×8+clwb+sfence pipeline throughput.
+
+   Both sides of each pair run the identical workload — the legacy
+   implementations are executable specifications living next to the
+   optimised code, not emulations — so the speedup column is pure hot-path
+   delta.  Writes BENCH_hotpath.json (gitignored; CI uploads it). *)
+
+module Pool = Pmem.Pool
+module Cacheline = Pmem.Cacheline
+module Rng = Sched.Rng
+module Scheduler = Sched.Scheduler
+
+let hr ppf = Format.fprintf ppf "%s@." (String.make 72 '-')
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: steps/sec on yield-spinning fibers that exhaust a fixed
+   budget, so both loops take exactly [budget] scheduling decisions. *)
+
+let sched_steps_per_sec ~fibers runner =
+  let budget = 60_000 in
+  let s = Scheduler.create ~step_budget:budget ~rng:(Rng.create 11) () in
+  for _ = 1 to fibers do
+    ignore
+      (Scheduler.spawn s ~name:"spin" (fun () ->
+           while true do
+             Scheduler.yield ()
+           done))
+  done;
+  let t0 = Obs.Clock.now () in
+  let o = runner s in
+  let wall = Obs.Clock.elapsed t0 in
+  float_of_int o.Scheduler.steps /. Float.max 1e-9 wall
+
+let sched_rows () =
+  List.map
+    (fun fibers ->
+      let legacy = sched_steps_per_sec ~fibers (fun s -> Scheduler.run_reference s) in
+      let fast = sched_steps_per_sec ~fibers (fun s -> Scheduler.run s) in
+      (fibers, legacy, fast))
+    [ 2; 8; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* SFENCE: [rounds] iterations of (dirty + flush a sparse word set; fence)
+   so every fence drains the same 16-word pending set — the legacy side
+   still scans the whole pool per fence. *)
+
+let sfence_fences_per_sec ~words fence =
+  let p = Pool.create ~words () in
+  let pending = 16 in
+  let rounds = 3_000 in
+  let stride = words / pending in
+  let t0 = Obs.Clock.now () in
+  for _ = 1 to rounds do
+    for k = 0 to pending - 1 do
+      let w = k * stride in
+      Pool.store p ~tid:0 ~instr:0 w 1L;
+      Pool.clwb p w
+    done;
+    ignore (fence p)
+  done;
+  let wall = Obs.Clock.elapsed t0 in
+  (pending, rounds, float_of_int rounds /. Float.max 1e-9 wall)
+
+let sfence_rows () =
+  List.map
+    (fun words ->
+      let _, _, legacy = sfence_fences_per_sec ~words Pool.sfence_scan in
+      let pending, rounds, fast = sfence_fences_per_sec ~words Pool.sfence in
+      (words, pending, rounds, legacy, fast))
+    [ 1_024; 8_192; 65_536 ]
+
+(* ------------------------------------------------------------------ *)
+(* Line ops: count the dirty words of a line (the per-CLWB bookkeeping of
+   Runtime.Mem.clwb) via the legacy list vs the allocation-free fold, then
+   the absolute flush pipeline throughput for context. *)
+
+let line_fold_ops_per_sec ~legacy =
+  let p = Pool.create ~words:65_536 () in
+  for w = 0 to 4_095 do
+    if w land 1 = 0 then Pool.store p ~tid:0 ~instr:0 w 1L
+  done;
+  let iters = 300_000 in
+  let acc = ref 0 in
+  let t0 = Obs.Clock.now () in
+  for i = 0 to iters - 1 do
+    let a = (i * 61) land 4_095 in
+    if legacy then
+      acc :=
+        !acc
+        + List.fold_left
+            (fun n w -> if Pool.is_dirty p w then n + 1 else n)
+            0
+            (Cacheline.words_of_line_containing a)
+    else acc := !acc + Cacheline.fold_line (fun n w -> if Pool.is_dirty p w then n + 1 else n) 0 a
+  done;
+  let wall = Obs.Clock.elapsed t0 in
+  ignore (Sys.opaque_identity !acc);
+  float_of_int iters /. Float.max 1e-9 wall
+
+let clwb_pipeline_ops_per_sec () =
+  let p = Pool.create ~words:65_536 () in
+  let iters = 50_000 in
+  let t0 = Obs.Clock.now () in
+  for i = 0 to iters - 1 do
+    let base = (i * Cacheline.words_per_line) land 65_535 in
+    for k = 0 to Cacheline.words_per_line - 1 do
+      Pool.store p ~tid:0 ~instr:0 (base + k) (Int64.of_int i)
+    done;
+    Pool.clwb p base;
+    ignore (Pool.sfence p)
+  done;
+  let wall = Obs.Clock.elapsed t0 in
+  float_of_int iters /. Float.max 1e-9 wall
+
+(* ------------------------------------------------------------------ *)
+
+let speedup fast legacy = fast /. Float.max 1e-9 legacy
+
+let run ppf =
+  Format.fprintf ppf
+    "@.Hot path: per-step / per-op cost of the simulation core, before vs after.@.";
+  hr ppf;
+  Format.fprintf ppf "%-34s %14s %14s %9s@." "microbench" "legacy (/s)" "new (/s)" "speedup";
+  hr ppf;
+  let sched = sched_rows () in
+  List.iter
+    (fun (fibers, legacy, fast) ->
+      Format.fprintf ppf "%-34s %14.0f %14.0f %8.2fx@."
+        (Printf.sprintf "sched steps (%d fibers)" fibers)
+        legacy fast (speedup fast legacy))
+    sched;
+  let sfence = sfence_rows () in
+  List.iter
+    (fun (words, pending, _, legacy, fast) ->
+      Format.fprintf ppf "%-34s %14.0f %14.0f %8.2fx@."
+        (Printf.sprintf "sfence (%dk words, %d pending)" (words / 1024) pending)
+        legacy fast (speedup fast legacy))
+    sfence;
+  let fold_legacy = line_fold_ops_per_sec ~legacy:true in
+  let fold_fast = line_fold_ops_per_sec ~legacy:false in
+  Format.fprintf ppf "%-34s %14.0f %14.0f %8.2fx@." "clwb line walk (dirty count)" fold_legacy
+    fold_fast (speedup fold_fast fold_legacy);
+  let pipeline = clwb_pipeline_ops_per_sec () in
+  Format.fprintf ppf "%-34s %14s %14.0f %9s@." "store*8+clwb+sfence pipeline" "-" pipeline "-";
+  hr ppf;
+  Format.fprintf ppf
+    "(legacy = run_reference / sfence_scan / words-of-line list: the quadratic@.";
+  Format.fprintf ppf
+    " loops kept as executable specifications; same workloads, same RNG streams.)@.";
+  let json =
+    Obs.Json.Obj
+      [
+        ( "sched",
+          Obs.Json.List
+            (List.map
+               (fun (fibers, legacy, fast) ->
+                 Obs.Json.Obj
+                   [
+                     ("fibers", Obs.Json.Int fibers);
+                     ("budget_steps", Obs.Json.Int 60_000);
+                     ("legacy_steps_per_sec", Obs.Json.Float legacy);
+                     ("steps_per_sec", Obs.Json.Float fast);
+                     ("speedup", Obs.Json.Float (speedup fast legacy));
+                   ])
+               sched) );
+        ( "sfence",
+          Obs.Json.List
+            (List.map
+               (fun (words, pending, rounds, legacy, fast) ->
+                 Obs.Json.Obj
+                   [
+                     ("pool_words", Obs.Json.Int words);
+                     ("pending_words", Obs.Json.Int pending);
+                     ("rounds", Obs.Json.Int rounds);
+                     ("legacy_fences_per_sec", Obs.Json.Float legacy);
+                     ("fences_per_sec", Obs.Json.Float fast);
+                     ("speedup", Obs.Json.Float (speedup fast legacy));
+                   ])
+               sfence) );
+        ( "clwb",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                [
+                  ("what", Obs.Json.String "line-walk dirty count (per-CLWB bookkeeping)");
+                  ("legacy_ops_per_sec", Obs.Json.Float fold_legacy);
+                  ("ops_per_sec", Obs.Json.Float fold_fast);
+                  ("speedup", Obs.Json.Float (speedup fold_fast fold_legacy));
+                ];
+              Obs.Json.Obj
+                [
+                  ("what", Obs.Json.String "store*8+clwb+sfence pipeline (absolute)");
+                  ("ops_per_sec", Obs.Json.Float pipeline);
+                ];
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_hotpath.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "(wrote BENCH_hotpath.json)@."

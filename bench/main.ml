@@ -20,6 +20,7 @@ let sections : (string * (Format.formatter -> unit)) list =
     ("workers", Ablations.workers);
     ("workers-scaling", Ablations.workers_scaling);
     ("engine", Ablations.engine);
+    ("hotpath", Hotpath.run);
     ("micro", Micro.run);
   ]
 

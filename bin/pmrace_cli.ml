@@ -74,6 +74,14 @@ let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
           | _ -> acc)
         0. (Obs.Metrics.snapshot ())
     in
+    let counter_sum name =
+      List.fold_left
+        (fun acc (r : Obs.Metrics.reading) ->
+          match r.r_value with
+          | Obs.Metrics.Counter n when String.equal r.r_name name -> acc + n
+          | _ -> acc)
+        0 (Obs.Metrics.snapshot ())
+    in
     let setup = hist_sum "campaign_setup_seconds"
     and run = hist_sum "campaign_run_seconds"
     and merge = hist_sum "hub_merge_seconds" in
@@ -87,6 +95,14 @@ let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
         (float_of_int s.campaigns_run /. Float.max 1e-9 setup)
         (float_of_int s.campaigns_run /. Float.max 1e-9 (s.wall_time -. setup))
     end;
+    (* Scheduler hot-path throughput: total scheduling decisions over the
+       in-campaign run time.  This is the number the PR-5 hot-path work
+       moves; BENCH_hotpath.json has the isolated microbench. *)
+    let sched_steps = counter_sum "sched_steps_total" in
+    if sched_steps > 0 && run > 0. then
+      Format.fprintf ppf "scheduler: %d steps, %.0f steps/sec of campaign run time@."
+        sched_steps
+        (float_of_int sched_steps /. run);
     Format.fprintf ppf "@.metrics:@.";
     Obs.Metrics.pp ppf ()
   end

@@ -12,9 +12,25 @@ let bytes_per_line = bytes_per_word * words_per_line
 let line_of_word w = w / words_per_line
 let first_word_of_line l = l * words_per_line
 
-(* All word offsets covered by the line containing [w]. *)
+(* All word offsets covered by the line containing [w].  Cold-path only:
+   materialises a fresh list per call — hot paths use [iter_line] /
+   [fold_line] below, which walk the line without allocating. *)
 let words_of_line_containing w =
   let base = first_word_of_line (line_of_word w) in
   List.init words_per_line (fun i -> base + i)
+
+let iter_line f w =
+  let base = first_word_of_line (line_of_word w) in
+  for x = base to base + words_per_line - 1 do
+    f x
+  done
+
+let fold_line f init w =
+  let base = first_word_of_line (line_of_word w) in
+  let acc = ref init in
+  for x = base to base + words_per_line - 1 do
+    acc := f !acc x
+  done;
+  !acc
 
 let same_line a b = line_of_word a = line_of_word b

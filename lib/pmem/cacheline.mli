@@ -15,7 +15,19 @@ val first_word_of_line : int -> int
 (** [first_word_of_line l] is the lowest word offset inside line [l]. *)
 
 val words_of_line_containing : int -> int list
-(** All word offsets sharing a cache line with the given word. *)
+(** All word offsets sharing a cache line with the given word.
+    @deprecated Allocates a fresh list per call; kept for cold-path
+    callers (the offline analyzer, tests).  Hot-path code — anything a
+    campaign executes per instrumented operation — must use {!iter_line}
+    or {!fold_line} instead. *)
+
+val iter_line : (int -> unit) -> int -> unit
+(** [iter_line f w] applies [f] to every word offset of the cache line
+    containing [w], in ascending order, without allocating. *)
+
+val fold_line : ('a -> int -> 'a) -> 'a -> int -> 'a
+(** [fold_line f init w] folds [f] over the word offsets of the cache line
+    containing [w], in ascending order, without allocating a list. *)
 
 val same_line : int -> int -> bool
 (** [same_line a b] holds when words [a] and [b] share a cache line. *)

@@ -20,7 +20,13 @@
    is a single epoch bump instead of four whole-pool array fills.  Every
    image mutation also records its word (once per epoch) in a touched-word
    journal, so [reset_to_snapshot] undoes exactly the words a campaign
-   wrote: reset cost is O(touched), not O(pool). *)
+   wrote: reset cost is O(touched), not O(pool).
+
+   The run-cost twin of that idea (the hot-path overhaul): a pending-word
+   index records each word whose pending flag is raised, so SFENCE drains
+   in O(pending) instead of scanning the pool, and the line ops walk
+   [base, base+words_per_line) in place instead of materialising word
+   lists. *)
 
 type writer = { tid : int; instr : int; seq : int }
 
@@ -40,6 +46,17 @@ type t = {
   mutable journal : int array;
   mutable journal_len : int;
   journal_epoch : int array;
+  (* Pending-word index: the set of words [sfence] must examine — every
+     word whose [pending] flag was raised since the last drain, recorded
+     once per generation ([pend_stamp] dedupes, like the journal).  Entries
+     can be stale (a later store cleared the flag), so the index is a
+     superset of the pending set; [sfence] filters, which makes a fence
+     O(pending index) instead of an O(pool) scan.  Draining (a fence or an
+     epoch change) bumps [pend_gen], so stale stamps never resurrect. *)
+  mutable pend_idx : int array;
+  mutable pend_len : int;
+  pend_stamp : int array;
+  mutable pend_gen : int;
   mutable baseline : int; (* snapshot id the journal diverges from; 0 = none *)
   mutable seq : int;
   mutable n_loads : int;
@@ -87,6 +104,10 @@ let create ?(eadr = false) ~words () =
     journal = Array.make 256 0;
     journal_len = 0;
     journal_epoch = Array.make words 0;
+    pend_idx = Array.make 64 0;
+    pend_len = 0;
+    pend_stamp = Array.make words 0;
+    pend_gen = 1;
     baseline = 0;
     seq = 0;
     n_loads = 0;
@@ -118,11 +139,37 @@ let journal_touch t w =
 
 let touched_words t = t.journal_len
 
+(* Record a word in the pending index, once per generation.  Callers raise
+   [t.pending.(w)] themselves; the index only guarantees [sfence] will
+   look at the word. *)
+let pend_add t w =
+  if t.pend_stamp.(w) <> t.pend_gen then begin
+    t.pend_stamp.(w) <- t.pend_gen;
+    if t.pend_len = Array.length t.pend_idx then begin
+      let bigger = Array.make (2 * t.pend_len) 0 in
+      Array.blit t.pend_idx 0 bigger 0 t.pend_len;
+      t.pend_idx <- bigger
+    end;
+    t.pend_idx.(t.pend_len) <- w;
+    t.pend_len <- t.pend_len + 1
+  end
+
+(* Empty the pending index.  Only valid when no word is pending any more
+   (after a fence drained the queue, or when an epoch change invalidated
+   all metadata); bumping the generation retires every stamp at once. *)
+let pend_drain t =
+  t.pend_gen <- t.pend_gen + 1;
+  t.pend_len <- 0
+
+let pending_index_size t = t.pend_len
+
 (* Start a new epoch: all per-word metadata becomes invalid (clean, not
-   pending) and the journal empties — O(1) instead of O(pool). *)
+   pending) and the journal and pending index empty — O(1) instead of
+   O(pool). *)
 let new_epoch t =
   t.epoch <- t.epoch + 1;
-  t.journal_len <- 0
+  t.journal_len <- 0;
+  pend_drain t
 
 (* Validate a word's metadata entry for the current epoch, initialising it
    to the clean state when the stamp is stale. *)
@@ -203,31 +250,74 @@ let movnt t ~tid:_ ~instr:_ w v =
        checking purposes, but durability still requires the next SFENCE. *)
     refresh_meta t w;
     clean_word t w;
-    t.pending.(w) <- true
+    t.pending.(w) <- true;
+    pend_add t w
   end
 
 let clwb t w =
   check t w;
   t.n_flushes <- t.n_flushes + 1;
-  let flush_one w =
-    if is_dirty t w then begin
-      clean_word t w;
-      t.pending.(w) <- true
-    end
-  in
-  List.iter flush_one (Cacheline.words_of_line_containing w)
+  (* Walk the line in place (Cacheline.iter_line geometry): the legacy
+     words-of-line list cost one allocation per flush on the hottest
+     instrumented operation. *)
+  Cacheline.iter_line
+    (fun x ->
+      if t.meta_epoch.(x) = t.epoch && t.dirty_seq.(x) >= 0 then begin
+        clean_word t x;
+        t.pending.(x) <- true;
+        pend_add t x
+      end)
+    w
+
+(* Persist one pending word: clear the flag, journal the durable-image
+   mutation, write back. *)
+let persist_word t w =
+  t.pending.(w) <- false;
+  journal_touch t w;
+  t.durable.(w) <- t.volatile.(w)
 
 let sfence t =
+  t.n_fences <- t.n_fences + 1;
+  (* Compact the index in place down to the words that are still pending
+     (stores since their CLWB may have cleared the flag) ... *)
+  let n = ref 0 in
+  for i = 0 to t.pend_len - 1 do
+    let w = t.pend_idx.(i) in
+    if t.meta_epoch.(w) = t.epoch && t.pending.(w) then begin
+      t.pend_idx.(!n) <- w;
+      incr n
+    end
+  done;
+  let n = !n in
+  (* ... then sort that prefix so the persisted list comes back in the
+     ascending order the legacy full scan produced: checkers and golden
+     fingerprints observe it.  O(pending log pending), independent of the
+     pool size. *)
+  let sorted = Array.sub t.pend_idx 0 n in
+  Array.sort Int.compare sorted;
+  let persisted = ref [] in
+  for i = n - 1 downto 0 do
+    let w = sorted.(i) in
+    persist_word t w;
+    persisted := w :: !persisted
+  done;
+  pend_drain t;
+  !persisted
+
+(* The legacy O(pool-size) fence: a full descending scan over every word.
+   Kept verbatim as the executable specification of [sfence] — the
+   equivalence property in test_pool runs both in lockstep — and as the
+   "before" side of the hotpath bench.  Do not optimise this. *)
+let sfence_scan t =
   t.n_fences <- t.n_fences + 1;
   let persisted = ref [] in
   for w = t.words - 1 downto 0 do
     if t.meta_epoch.(w) = t.epoch && t.pending.(w) then begin
-      t.pending.(w) <- false;
-      journal_touch t w;
-      t.durable.(w) <- t.volatile.(w);
+      persist_word t w;
       persisted := w :: !persisted
     end
   done;
+  pend_drain t;
   !persisted
 
 let evict_line t line =
@@ -235,37 +325,46 @@ let evict_line t line =
   if base < 0 || base >= t.words then
     invalid_arg "Pool.evict_line: line out of bounds";
   let evicted = ref [] in
-  let evict_one w =
-    if is_dirty t w then begin
-      clean_word t w;
-      journal_touch t w;
-      t.durable.(w) <- t.volatile.(w);
-      t.n_evictions <- t.n_evictions + 1;
-      evicted := w :: !evicted
-    end
-  in
-  List.iter evict_one (Cacheline.words_of_line_containing base);
+  Cacheline.iter_line
+    (fun w ->
+      if is_dirty t w then begin
+        clean_word t w;
+        journal_touch t w;
+        t.durable.(w) <- t.volatile.(w);
+        t.n_evictions <- t.n_evictions + 1;
+        evicted := w :: !evicted
+      end)
+    base;
   List.rev !evicted
 
+(* Within an epoch every dirty word was stored (journaled) and every
+   pending word was movnt'd (journaled) or was dirty when CLWB'd (ditto),
+   so the touched-word journal is a superset of dirty ∪ pending: walking
+   it — O(touched) — replaces the O(pool) scans below.  The journal is in
+   first-touch order, so sort to keep the historical ascending results. *)
 let dirty_words t =
   let acc = ref [] in
-  for w = t.words - 1 downto 0 do
+  for i = 0 to t.journal_len - 1 do
+    let w = t.journal.(i) in
     if is_dirty t w then acc := w :: !acc
   done;
-  !acc
+  List.sort Int.compare !acc
 
 let pending_words t =
   let acc = ref [] in
-  for w = t.words - 1 downto 0 do
+  for i = 0 to t.journal_len - 1 do
+    let w = t.journal.(i) in
     if is_pending t w then acc := w :: !acc
   done;
-  !acc
+  List.sort Int.compare !acc
 
 let quiesce t =
-  for w = 0 to t.words - 1 do
+  for i = 0 to t.journal_len - 1 do
+    let w = t.journal.(i) in
     if is_dirty t w then begin
       clean_word t w;
-      t.pending.(w) <- true
+      t.pending.(w) <- true;
+      pend_add t w
     end
   done;
   ignore (sfence t)

@@ -60,7 +60,23 @@ val clwb : t -> int -> unit
 
 val sfence : t -> int list
 (** Drain the write-back queue.  Returns the word offsets that just became
-    durable (in increasing order). *)
+    durable (in increasing order).  Cost is O(pending-index size) — the
+    words flushed or movnt'd since the last drain — not O(pool): the pool
+    maintains an explicit pending-word index (generation-stamped, deduped
+    once per generation like the touched-word journal) instead of scanning
+    every word.  Behaviourally identical to {!sfence_scan}. *)
+
+val sfence_scan : t -> int list
+(** The legacy O(pool-size) fence: a full scan over every word.  Kept as
+    the executable specification of {!sfence} for the equivalence property
+    test and the [hotpath] bench; not for production callers. *)
+
+val pending_index_size : t -> int
+(** Number of entries the next {!sfence} will examine: the words whose
+    pending flag was raised since the last drain (a superset of the
+    currently pending words — later stores may have cleared flags).  This
+    is exactly the fence's work, the O(pending) analogue of
+    {!touched_words}; it resets to 0 at every fence and epoch change. *)
 
 val evict_line : t -> int -> int list
 (** Silently write back a line, modelling arbitrary hardware cache eviction.
@@ -77,7 +93,13 @@ val is_durably_equal : t -> int -> bool
 (** Whether the visible and durable contents of a word agree. *)
 
 val dirty_words : t -> int list
+(** All dirty word offsets, ascending.  O(touched this epoch), not
+    O(pool): walks the touched-word journal, a superset of the dirty set
+    within an epoch. *)
+
 val pending_words : t -> int list
+(** All pending word offsets, ascending.  O(touched this epoch), like
+    {!dirty_words}. *)
 
 val quiesce : t -> unit
 (** Flush and fence everything, making the visible image durable. *)

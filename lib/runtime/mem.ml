@@ -69,10 +69,10 @@ let clwb ctx ~instr addr =
   let a = word_of addr in
   env.policy.before ctx { kind = P_clwb; instr; addr = a };
   let dirty_words =
-    List.fold_left
+    (* Allocation-free line walk: this runs on every instrumented CLWB. *)
+    Pmem.Cacheline.fold_line
       (fun n w -> if Pmem.Pool.is_dirty env.pool w then n + 1 else n)
-      0
-      (Pmem.Cacheline.words_of_line_containing a)
+      0 a
   in
   Pmem.Pool.clwb env.pool a;
   Env.emit env (Ev_clwb { instr; tid = ctx.tid; addr = a; dirty_words });

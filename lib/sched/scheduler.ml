@@ -77,7 +77,9 @@ let steps t = t.steps
 let fiber_count t = t.count
 
 (* Per-run step accounting, recorded once at the end of [run] (not per
-   step) so the scheduler loop itself stays metric-free. *)
+   step) so the scheduler loop itself stays metric-free.  [t.steps] is
+   cumulative across runs (the budget and [outcome.steps] observe it), so
+   the metrics record the per-run *delta*, never the running total. *)
 let m_steps_total = lazy (Obs.Metrics.counter "sched_steps_total")
 
 let m_steps_per_run =
@@ -88,45 +90,41 @@ let m_steps_per_run =
 
 let m_hung_fibers = lazy (Obs.Metrics.counter "sched_hung_fibers_total")
 
-let run ?on_step t =
-  if t.running then invalid_arg "Sched.run: already running";
-  t.running <- true;
-  let fibers = Array.of_list (List.rev t.fibers) in
-  let runnable () =
-    Array.to_list fibers
-    |> List.filter (fun f ->
-           match f.state with Not_started _ | Suspended _ -> true | Done | Crashed _ -> false)
+(* Mean wall seconds per scheduling step (including the fiber's own work
+   between preemption points), sampled once every [sample_interval] steps
+   so the hot loop pays one clock read per 64 steps, not per step. *)
+let m_step_seconds =
+  lazy
+    (Obs.Metrics.histogram
+       ~buckets:[| 2e-7; 5e-7; 1e-6; 2e-6; 5e-6; 1e-5; 5e-5; 2e-4 |]
+       "sched_step_seconds")
+
+let sample_interval = 64 (* power of two: the sample test is a mask *)
+
+let record f = function
+  | Finished -> f.state <- Done
+  | Failed e -> f.state <- Crashed e
+  | Yielded k -> f.state <- Suspended k
+
+(* Step one fiber: run it to its next preemption point (or completion /
+   failure) and fold the resumption back into its state. *)
+let step_fiber f =
+  let r =
+    match f.state with
+    | Not_started body ->
+        f.state <- Done (* placeholder; overwritten below *);
+        start body
+    | Suspended k ->
+        f.state <- Done;
+        resume k
+    | Done | Crashed _ -> assert false
   in
-  let record f = function
-    | Finished -> f.state <- Done
-    | Failed e -> f.state <- Crashed e
-    | Yielded k -> f.state <- Suspended k
-  in
-  let rec loop () =
-    match runnable () with
-    | [] -> ()
-    | rs ->
-        if t.steps >= t.step_budget then ()
-        else begin
-          let f = Rng.pick t.rng rs in
-          t.steps <- t.steps + 1;
-          (match on_step with Some g -> g f.tid | None -> ());
-          let r =
-            match f.state with
-            | Not_started body ->
-                f.state <- Done (* placeholder; overwritten below *);
-                start body
-            | Suspended k ->
-                f.state <- Done;
-                resume k
-            | Done | Crashed _ -> assert false
-          in
-          record f r;
-          loop ()
-        end
-  in
-  loop ();
-  (* Kill whatever is still suspended: budget exhausted. *)
+  record f r
+
+(* Kill whatever is still suspended (budget exhausted), then assemble the
+   outcome and record the per-run metric deltas.  Shared by [run] and
+   [run_reference] so the two paths differ only in how they pick. *)
+let finish t ~steps_before fibers =
   let hung = ref [] in
   Array.iter
     (fun f ->
@@ -154,8 +152,9 @@ let run ?on_step t =
   in
   t.running <- false;
   if Obs.Metrics.enabled () then begin
-    Obs.Metrics.incr ~by:t.steps (Lazy.force m_steps_total);
-    Obs.Metrics.observe (Lazy.force m_steps_per_run) (float_of_int t.steps);
+    let delta = t.steps - steps_before in
+    Obs.Metrics.incr ~by:delta (Lazy.force m_steps_total);
+    Obs.Metrics.observe (Lazy.force m_steps_per_run) (float_of_int delta);
     Obs.Metrics.incr ~by:(List.length !hung) (Lazy.force m_hung_fibers)
   end;
   {
@@ -164,6 +163,93 @@ let run ?on_step t =
     hung = List.rev !hung;
     failed = List.rev failed;
   }
+
+(* The hot loop.  The runnable set is a maintained index array in spawn
+   order: picking is one [Rng.int] draw and one array read, and a fiber
+   that finishes or crashes is removed with an order-preserving shift.
+   Removal must preserve spawn order — a swap-with-last would keep the
+   RNG *stream* identical (the draw bound is the same) but change which
+   fiber each drawn index denotes, silently changing every interleaving.
+   Shifts cost O(runnable), but there are at most [fiber_count] of them
+   per run, so the per-step cost is O(1) amortized where the old loop
+   rebuilt and filtered the whole fiber list every step.
+
+   RNG-stream invariant (pinned by test_scheduler's compatibility
+   property): [Rng.pick rng rs] is [List.nth rs (Rng.int rng (length rs))],
+   so drawing [Rng.int rng n_runnable] and indexing the spawn-ordered
+   runnable array consumes the identical stream and picks the identical
+   fiber the legacy list-based loop did. *)
+let run ?on_step t =
+  if t.running then invalid_arg "Sched.run: already running";
+  t.running <- true;
+  let steps_before = t.steps in
+  let fibers = Array.of_list (List.rev t.fibers) in
+  let runnable = Array.make (max 1 (Array.length fibers)) 0 in
+  let n_runnable = ref 0 in
+  Array.iteri
+    (fun i f ->
+      match f.state with
+      | Not_started _ | Suspended _ ->
+          runnable.(!n_runnable) <- i;
+          incr n_runnable
+      | Done | Crashed _ -> ())
+    fibers;
+  let sampling = Obs.Metrics.enabled () in
+  let sample_anchor = ref (if sampling then Obs.Clock.now () else 0.) in
+  let rec loop () =
+    if !n_runnable > 0 && t.steps < t.step_budget then begin
+      let i = Rng.int t.rng !n_runnable in
+      let f = fibers.(runnable.(i)) in
+      t.steps <- t.steps + 1;
+      (match on_step with Some g -> g f.tid | None -> ());
+      step_fiber f;
+      (match f.state with
+      | Done | Crashed _ ->
+          Array.blit runnable (i + 1) runnable i (!n_runnable - i - 1);
+          decr n_runnable
+      | Not_started _ | Suspended _ -> ());
+      if sampling && (t.steps - steps_before) land (sample_interval - 1) = 0 then begin
+        let now = Obs.Clock.now () in
+        Obs.Metrics.observe (Lazy.force m_step_seconds)
+          ((now -. !sample_anchor) /. float_of_int sample_interval);
+        sample_anchor := now
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  finish t ~steps_before fibers
+
+(* The legacy loop, kept verbatim as an executable specification: it
+   rebuilds the runnable list from scratch every step and picks with the
+   list-based [Rng.pick].  [run] must consume the identical RNG stream and
+   produce the identical schedule; tests assert it and the hotpath bench
+   measures the gap.  Do not optimise this. *)
+let run_reference ?on_step t =
+  if t.running then invalid_arg "Sched.run: already running";
+  t.running <- true;
+  let steps_before = t.steps in
+  let fibers = Array.of_list (List.rev t.fibers) in
+  let runnable () =
+    Array.to_list fibers
+    |> List.filter (fun f ->
+           match f.state with Not_started _ | Suspended _ -> true | Done | Crashed _ -> false)
+  in
+  let rec loop () =
+    match runnable () with
+    | [] -> ()
+    | rs ->
+        if t.steps >= t.step_budget then ()
+        else begin
+          let f = Rng.pick t.rng rs in
+          t.steps <- t.steps + 1;
+          (match on_step with Some g -> g f.tid | None -> ());
+          step_fiber f;
+          loop ()
+        end
+  in
+  loop ();
+  finish t ~steps_before fibers
 
 let completed o = o.hung = [] && o.failed = []
 

@@ -21,6 +21,22 @@ let test_same_line () =
   Alcotest.(check bool) "8 and 15" true (Cacheline.same_line 8 15);
   Alcotest.(check bool) "7 and 8" false (Cacheline.same_line 7 8)
 
+(* The allocation-free line walks must agree with the (deprecated,
+   cold-path) list materialisation, in order. *)
+let prop_iter_fold_match_list =
+  QCheck.Test.make ~name:"cacheline: iter_line/fold_line ≡ words_of_line_containing" ~count:100
+    QCheck.(int_bound 10_000)
+    (fun w ->
+      let listed = Cacheline.words_of_line_containing w in
+      let via_iter =
+        let acc = ref [] in
+        Cacheline.iter_line (fun x -> acc := x :: !acc) w;
+        List.rev !acc
+      in
+      let via_fold = List.rev (Cacheline.fold_line (fun acc x -> x :: acc) [] w) in
+      via_iter = listed && via_fold = listed
+      && Cacheline.fold_line (fun n _ -> n + 1) 0 w = Cacheline.words_per_line)
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"cacheline: first_word_of_line inverts line_of_word" ~count:100
     QCheck.(int_bound 10_000)
@@ -36,4 +52,5 @@ let suite =
     Alcotest.test_case "words_of_line_containing" `Quick test_words_of_line;
     Alcotest.test_case "same_line" `Quick test_same_line;
     QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_iter_fold_match_list;
   ]

@@ -295,6 +295,136 @@ let test_eadr_snapshot_roundtrip () =
     (Pool.image_word (Pool.crash_image p) 50);
   Alcotest.(check bool) "stats restored" true (Pool.stats p = base)
 
+(* Satellite (PR 5): the fence's work is proportional to the pending-word
+   index, not the pool — the O(pending) analogue of the O(touched) reset
+   assertion in test_engine.ml. *)
+let test_sfence_o_pending () =
+  let words = 65536 in
+  let p = Pool.create ~words () in
+  Pool.store p ~tid:0 ~instr:1 8 1L;
+  Pool.store p ~tid:0 ~instr:1 4096 2L;
+  Pool.store p ~tid:0 ~instr:1 60001 3L;
+  Pool.clwb p 8;
+  Pool.clwb p 4096;
+  Pool.clwb p 60001;
+  let work = Pool.pending_index_size p in
+  Alcotest.(check int) "fence examines just the flushed words" 3 work;
+  Alcotest.(check bool)
+    (Printf.sprintf "fence work (%d) well under the %d-word pool" work words)
+    true
+    (work < words / 2);
+  Alcotest.(check (list int)) "ascending persisted list" [ 8; 4096; 60001 ] (Pool.sfence p);
+  Alcotest.(check int) "index drained by the fence" 0 (Pool.pending_index_size p);
+  (* A re-flush after the drain re-enters the index: generations retire
+     stamps, they don't blacklist words. *)
+  Pool.store p ~tid:0 ~instr:1 8 4L;
+  Pool.clwb p 8;
+  Alcotest.(check int) "re-flushed word re-indexed" 1 (Pool.pending_index_size p);
+  Alcotest.(check (list int)) "and re-persisted" [ 8 ] (Pool.sfence p)
+
+(* Pending index across epoch bumps: reset_to_snapshot after a partial
+   fence must leave nothing pending, drop the in-flight write-backs, and
+   keep later flush/fence rounds working. *)
+let test_pending_index_across_epochs () =
+  let p = mk () in
+  Pool.quiesce p;
+  let snap = Pool.snapshot p in
+  (* Partial fence: persist one line, leave another in flight. *)
+  Pool.store p ~tid:0 ~instr:1 10 1L;
+  Pool.clwb p 10;
+  ignore (Pool.sfence p);
+  Pool.store p ~tid:0 ~instr:1 20 2L;
+  Pool.clwb p 20;
+  Pool.movnt p ~tid:0 ~instr:1 30 3L;
+  Alcotest.(check int) "clwb'd + movnt'd words in flight" 2 (Pool.pending_index_size p);
+  Pool.reset_to_snapshot p snap;
+  Alcotest.(check int) "epoch bump empties the index" 0 (Pool.pending_index_size p);
+  Alcotest.(check (list int)) "nothing pending after reset" [] (Pool.pending_words p);
+  Alcotest.(check (list int)) "post-reset fence persists nothing" [] (Pool.sfence p);
+  Alcotest.(check int64) "in-flight write-back dropped" 0L
+    (Pool.image_word (Pool.crash_image p) 20);
+  Alcotest.(check int64) "fenced word rewound" 0L (Pool.image_word (Pool.crash_image p) 10);
+  (* The same words flush and fence normally in the new epoch. *)
+  Pool.store p ~tid:0 ~instr:1 20 5L;
+  Pool.clwb p 20;
+  Pool.movnt p ~tid:0 ~instr:1 30 6L;
+  Alcotest.(check (list int)) "new-epoch flush persists" [ 20; 30 ] (Pool.sfence p)
+
+(* evict/movnt/clwb interleavings around fences: eviction does not drain
+   the pending index (it bypasses the write-back queue), and stores after
+   CLWB leave stale index entries the fence must skip. *)
+let test_pending_index_evict_store_interleaving () =
+  let p = mk () in
+  Pool.store p ~tid:0 ~instr:1 10 1L;
+  Pool.clwb p 10;
+  Pool.store p ~tid:0 ~instr:2 10 2L (* invalidates the pending write-back *);
+  Pool.movnt p ~tid:0 ~instr:1 40 3L;
+  ignore (Pool.evict_line p (40 / Cacheline.words_per_line)) (* nothing dirty there *);
+  Alcotest.(check int) "stale entry still indexed" 2 (Pool.pending_index_size p);
+  Alcotest.(check (list int)) "fence skips the stale entry" [ 40 ] (Pool.sfence p);
+  Alcotest.(check bool) "overwritten word still dirty" true (Pool.is_dirty p 10);
+  Alcotest.(check int64) "overwritten value not persisted" 0L
+    (Pool.image_word (Pool.crash_image p) 10)
+
+(* Property (PR 5): [sfence] ≡ [sfence_scan] — run arbitrary op sequences
+   on two pools in lockstep, fencing one through the O(pending) index and
+   the other through the legacy full scan; every fence must return the
+   same persisted list and the pools must stay bit-identical. *)
+let prop_sfence_equals_scan =
+  let open QCheck in
+  let op =
+    Gen.(
+      oneof
+        [
+          map2 (fun w v -> `Store (w, v)) (int_bound 63) (int_range 1 1000);
+          map2 (fun w v -> `Movnt (w, v)) (int_bound 63) (int_range 1 1000);
+          map (fun w -> `Clwb w) (int_bound 63);
+          map (fun l -> `Evict l) (int_bound 7);
+          return `Fence;
+          return `Quiesce;
+        ])
+  in
+  Test.make ~name:"pool: sfence ≡ sfence_scan (lockstep)" ~count:300
+    (make Gen.(list_size (int_range 1 60) op))
+    (fun ops ->
+      let p1 = Pool.create ~words:64 () and p2 = Pool.create ~words:64 () in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Store (w, v) ->
+              Pool.store p1 ~tid:0 ~instr:0 w (Int64.of_int v);
+              Pool.store p2 ~tid:0 ~instr:0 w (Int64.of_int v)
+          | `Movnt (w, v) ->
+              Pool.movnt p1 ~tid:0 ~instr:0 w (Int64.of_int v);
+              Pool.movnt p2 ~tid:0 ~instr:0 w (Int64.of_int v)
+          | `Clwb w ->
+              Pool.clwb p1 w;
+              Pool.clwb p2 w
+          | `Evict l ->
+              if Pool.evict_line p1 l <> Pool.evict_line p2 l then ok := false
+          | `Fence -> if Pool.sfence p1 <> Pool.sfence_scan p2 then ok := false
+          | `Quiesce ->
+              (* quiesce routes through the indexed fence on both pools;
+                 it must agree with the scan-fenced pool's state too. *)
+              Pool.quiesce p1;
+              Pool.quiesce p2)
+        ops;
+      for w = 0 to 63 do
+        if not (Int64.equal (Pool.peek p1 w) (Pool.peek p2 w)) then ok := false;
+        if
+          not
+            (Int64.equal
+               (Pool.image_word (Pool.crash_image p1) w)
+               (Pool.image_word (Pool.crash_image p2) w))
+        then ok := false;
+        if Pool.is_dirty p1 w <> Pool.is_dirty p2 w then ok := false;
+        if Pool.is_pending p1 w <> Pool.is_pending p2 w then ok := false
+      done;
+      if Pool.dirty_words p1 <> Pool.dirty_words p2 then ok := false;
+      if Pool.pending_words p1 <> Pool.pending_words p2 then ok := false;
+      !ok)
+
 (* Property: after an arbitrary op sequence from a snapshotted baseline,
    reset_to_snapshot and restore agree bit-for-bit, and the journal never
    under-counts (every differing word is journaled). *)
@@ -442,6 +572,11 @@ let suite =
     Alcotest.test_case "reset_to_snapshot baseline guard" `Quick
       test_reset_to_snapshot_wrong_baseline;
     Alcotest.test_case "eadr snapshot round-trip" `Quick test_eadr_snapshot_roundtrip;
+    Alcotest.test_case "sfence is O(pending)" `Quick test_sfence_o_pending;
+    Alcotest.test_case "pending index across epochs" `Quick test_pending_index_across_epochs;
+    Alcotest.test_case "pending index: evict/store interleavings" `Quick
+      test_pending_index_evict_store_interleaving;
+    QCheck_alcotest.to_alcotest prop_sfence_equals_scan;
     QCheck_alcotest.to_alcotest prop_reset_equals_restore;
     QCheck_alcotest.to_alcotest prop_crash_soundness;
     QCheck_alcotest.to_alcotest prop_durable_is_prefix;

@@ -116,6 +116,75 @@ let test_on_step () =
   let o = Scheduler.run ~on_step:(fun tid -> steps := tid :: !steps) s in
   Alcotest.(check int) "on_step per step" o.steps (List.length !steps)
 
+(* Satellite (PR 5): Obs metrics must record the per-run step *delta*.
+   [t.steps] is cumulative (the budget and outcome observe it), so a
+   reused scheduler value used to re-add the running total on every run. *)
+let test_metrics_record_per_run_delta () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled false) @@ fun () ->
+  Obs.Metrics.reset ();
+  let s = Scheduler.create ~rng:(Rng.create 7) () in
+  for _ = 1 to 3 do
+    ignore
+      (Scheduler.spawn s ~name:"w" (fun () ->
+           Scheduler.yield ();
+           Scheduler.yield ()))
+  done;
+  let steps_total () =
+    List.fold_left
+      (fun acc (r : Obs.Metrics.reading) ->
+        match r.r_value with
+        | Obs.Metrics.Counter n when String.equal r.r_name "sched_steps_total" -> acc + n
+        | _ -> acc)
+      0 (Obs.Metrics.snapshot ())
+  in
+  let o1 = Scheduler.run s in
+  Alcotest.(check int) "first run records its steps" o1.steps (steps_total ());
+  (* Re-running a finished scheduler takes no steps: the counter must not
+     move, even though outcome.steps stays cumulative. *)
+  let o2 = Scheduler.run s in
+  Alcotest.(check int) "outcome.steps stays cumulative" o1.steps o2.steps;
+  Alcotest.(check int) "re-run adds only the delta (0)" o1.steps (steps_total ())
+
+(* Satellite (PR 5): the index-based pick of [run] must consume the exact
+   RNG sequence of the legacy list-based [Rng.pick] loop over the same
+   runnable sets, and produce the same schedule.  [run_reference] *is* the
+   legacy loop, so running both on identical programs and comparing the
+   picked-tid trace, the outcome, and the subsequent RNG draws (stream
+   position) pins the invariant across seeds, fiber counts, and budgets. *)
+let prop_pick_stream_compatible =
+  QCheck.Test.make
+    ~name:"scheduler: run ≡ run_reference (RNG stream + schedule + outcome)" ~count:120
+    QCheck.(
+      quad small_int (int_range 1 12) (int_range 0 10) (int_range 1 400))
+    (fun (seed, nfibers, yields, budget) ->
+      let run_with runner =
+        let rng = Rng.create seed in
+        let s = Scheduler.create ~step_budget:budget ~rng () in
+        (* Fibers differ in length (i mod 3 extra yields) so they leave the
+           runnable set at staggered times, and every third fiber crashes
+           at its end, exercising the Crashed removal path too. *)
+        for i = 0 to nfibers - 1 do
+          ignore
+            (Scheduler.spawn s ~name:(string_of_int i) (fun () ->
+                 for _ = 1 to yields + (i mod 3) do
+                   Scheduler.yield ()
+                 done;
+                 if i mod 3 = 2 then failwith "boom"))
+        done;
+        let trace = ref [] in
+        let o = runner ~on_step:(fun tid -> trace := tid :: !trace) s in
+        let stream_tail = List.init 3 (fun _ -> Rng.next rng) in
+        ( List.rev !trace,
+          o.Scheduler.steps,
+          List.sort compare o.finished,
+          o.hung,
+          List.map (fun (t, n, _) -> (t, n)) o.failed,
+          stream_tail )
+      in
+      run_with (fun ~on_step s -> Scheduler.run ~on_step s)
+      = run_with (fun ~on_step s -> Scheduler.run_reference ~on_step s))
+
 let prop_all_fibers_complete =
   QCheck.Test.make ~name:"scheduler: every fiber completes within budget" ~count:100
     QCheck.(pair small_int (int_range 1 8))
@@ -143,5 +212,7 @@ let suite =
     Alcotest.test_case "killed fibers unwind" `Quick test_killed_unwinds;
     Alcotest.test_case "spawn while running rejected" `Quick test_spawn_while_running_rejected;
     Alcotest.test_case "on_step callback" `Quick test_on_step;
+    Alcotest.test_case "metrics record per-run delta" `Quick test_metrics_record_per_run_delta;
+    QCheck_alcotest.to_alcotest prop_pick_stream_compatible;
     QCheck_alcotest.to_alcotest prop_all_fibers_complete;
   ]
