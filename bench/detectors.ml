@@ -1,0 +1,131 @@
+(* Detector-cost bench (PR 6): what the second-generation detectors add
+   to the offline analyzer's per-execution cost, and what they yield.
+
+   For figure1 and p-clht we record one fixed set of seed executions
+   (Analyze.record, so both analyzer configurations see byte-identical
+   event streams), then time repeated absorb+result passes with
+
+   - base: the v1 analyzer (site graph, alias pairs, four lint rules);
+   - full: taxonomy detectors + likely-invariant mining + region
+     classifier (Analyze.full_analysis).
+
+   Reported per target: analyzer µs/execution for both sides, the
+   overhead ratio, and — for the full side — per-class finding and
+   mined-invariant counts with findings per CPU-second of analysis.
+   Writes BENCH_detectors.json (gitignored; CI uploads it). *)
+
+module Analyzer = Analysis.Analyzer
+module Lint = Analysis.Lint
+module Analyze = Pmrace.Analyze
+
+let hr ppf = Format.fprintf ppf "%s@." (String.make 72 '-')
+
+type side = {
+  s_label : string;
+  s_us_per_exec : float;  (** analyzer cost per absorbed execution *)
+  s_result : Analyzer.result;
+  s_elapsed : float;  (** one pass over the trace set, seconds *)
+}
+
+(* One timed configuration: [reps] full passes over the recorded traces
+   (fresh analyzer each pass, so per-pass state does not amortise), the
+   reported cost is the per-execution mean. *)
+let run_side ~label ~cfg ~reps (traces : Runtime.Env.event list list) =
+  let execs = List.length traces in
+  let result = ref None in
+  let t0 = Obs.Clock.now () in
+  for _ = 1 to reps do
+    let az = Analyzer.create ~cfg () in
+    List.iter (fun tr -> Analyzer.absorb az tr) traces;
+    result := Some (Analyzer.result az)
+  done;
+  let wall = Obs.Clock.elapsed t0 in
+  let per_pass = wall /. float_of_int reps in
+  {
+    s_label = label;
+    s_us_per_exec = 1e6 *. per_pass /. float_of_int (max 1 execs);
+    s_result = Option.get !result;
+    s_elapsed = per_pass;
+  }
+
+let run ppf =
+  Format.fprintf ppf
+    "@.Detectors: analyzer cost and yield, first-generation vs full detector set.@.";
+  hr ppf;
+  let targets =
+    [
+      ("figure1", Workloads.Figure1.target, { Analyze.default_config with Analyze.seeds = 6 }, 200);
+      ( "p-clht",
+        Workloads.Pclht.target,
+        { Analyze.default_config with Analyze.seeds = 3; Analyze.scheds_per_seed = 2 },
+        20 );
+    ]
+  in
+  let json_rows = ref [] in
+  Format.fprintf ppf "%-10s %6s %16s %16s %9s@." "target" "execs" "base (us/exec)"
+    "full (us/exec)" "overhead";
+  hr ppf;
+  List.iter
+    (fun (name, target, rec_cfg, reps) ->
+      let traces = Analyze.record ~cfg:rec_cfg target in
+      let execs = List.length traces in
+      let base = run_side ~label:"base" ~cfg:Analyzer.default_config ~reps traces in
+      let full = run_side ~label:"full" ~cfg:Analyze.full_analysis ~reps traces in
+      let overhead = full.s_us_per_exec /. Float.max 1e-9 base.s_us_per_exec in
+      Format.fprintf ppf "%-10s %6d %16.1f %16.1f %8.2fx@." name execs base.s_us_per_exec
+        full.s_us_per_exec overhead;
+      (* Yield of the full side: per-class counts and findings per
+         CPU-second of analysis (the number a triage budget buys). *)
+      let fr = full.s_result in
+      let classes =
+        List.filter_map
+          (fun kind ->
+            let n =
+              List.length
+                (List.filter (fun (f : Lint.finding) -> f.Lint.f_kind = kind) fr.Analyzer.r_findings)
+            in
+            if n = 0 then None
+            else Some (Lint.kind_slug kind, n, float_of_int n /. Float.max 1e-9 full.s_elapsed))
+          Lint.all_kinds
+      in
+      List.iter
+        (fun (slug, n, per_cpu_s) ->
+          Format.fprintf ppf "    %-24s %4d findings  %10.0f /cpu-s@." slug n per_cpu_s)
+        classes;
+      let mined = List.length fr.Analyzer.r_invariants in
+      Format.fprintf ppf "    %-24s %4d mined     %10.0f /cpu-s@." "invariants" mined
+        (float_of_int mined /. Float.max 1e-9 full.s_elapsed);
+      json_rows :=
+        Obs.Json.Obj
+          [
+            ("target", Obs.Json.String name);
+            ("executions", Obs.Json.Int execs);
+            ("reps", Obs.Json.Int reps);
+            ("base_us_per_exec", Obs.Json.Float base.s_us_per_exec);
+            ("full_us_per_exec", Obs.Json.Float full.s_us_per_exec);
+            ("overhead", Obs.Json.Float overhead);
+            ("invariants_mined", Obs.Json.Int mined);
+            ( "classes",
+              Obs.Json.List
+                (List.map
+                   (fun (slug, n, per_cpu_s) ->
+                     Obs.Json.Obj
+                       [
+                         ("class", Obs.Json.String slug);
+                         ("findings", Obs.Json.Int n);
+                         ("findings_per_cpu_sec", Obs.Json.Float per_cpu_s);
+                       ])
+                   classes) );
+          ]
+        :: !json_rows)
+    targets;
+  hr ppf;
+  Format.fprintf ppf
+    "(both sides absorb byte-identical recorded traces; full = taxonomy detectors@.";
+  Format.fprintf ppf " + invariant mining + pool-region classifier.)@.";
+  let json = Obs.Json.Obj [ ("targets", Obs.Json.List (List.rev !json_rows)) ] in
+  let oc = open_out "BENCH_detectors.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "(wrote BENCH_detectors.json)@."

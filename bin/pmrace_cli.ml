@@ -30,6 +30,21 @@ let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
   (match Pmrace.Report.lint_findings s.report with
   | [] -> ()
   | fs -> Format.fprintf ppf "static pre-pass: %d lint findings (see pmrace analyze)@." (List.length fs));
+  (match Pmrace.Report.invariants s.report with
+  | [] -> ()
+  | specs ->
+      Format.fprintf ppf "invariant monitor: %d likely invariants, %d violated@."
+        (List.length specs)
+        (List.length (Pmrace.Report.invariant_findings s.report));
+      List.iter
+        (fun (f : Pmrace.Report.inv_finding) ->
+          Format.fprintf ppf "  VIOLATED %s at %s (campaign %d%a)@." f.Report.iv_label
+            f.Report.iv_site f.Report.iv_found_at
+            (fun ppf -> function
+              | None -> ()
+              | Some v -> Format.fprintf ppf ", %a" Pmrace.Post_failure.pp_verdict v)
+            f.Report.iv_verdict)
+        (Pmrace.Report.invariant_findings s.report));
   Format.fprintf ppf "candidates: %d inter, %d intra@."
     (Report.candidate_count s.report Runtime.Candidates.Inter)
     (Report.candidate_count s.report Runtime.Candidates.Intra);
@@ -155,6 +170,13 @@ let fuzz_cmd =
          & info [ "no-static" ]
              ~doc:"Skip the static pre-pass (alias-pair denominator, lint, seed prioritisation).")
   in
+  let invariants =
+    Arg.(value & flag
+         & info [ "invariants" ]
+             ~doc:
+               "Mine likely persistence-ordering invariants in the pre-pass and monitor every \
+                campaign for violations (validated post-failure like other candidates).")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log campaign progress.") in
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Print detailed bug reports with reproduction inputs.")
@@ -178,14 +200,14 @@ let fuzz_cmd =
              ~doc:"Disable metrics collection (the default hot-path cost is one atomic load).")
   in
   let run target campaigns seed workers mode no_checkpoint no_validate no_ie no_se no_static
-      verbose report json_out trace_out no_metrics =
+      invariants verbose report json_out trace_out no_metrics =
     Obs.Metrics.set_enabled (not no_metrics);
     Obs.Metrics.reset ();
     let cfg =
       Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:seed ~workers ~mode
         ~use_checkpoint:((not no_checkpoint) && target.Pmrace.Target.expensive_init)
         ~validate:(not no_validate) ~interleaving_tier:(not no_ie) ~seed_tier:(not no_se)
-        ~static_prepass:(not no_static) ()
+        ~static_prepass:(not no_static) ~invariants ()
     in
     let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
     let obs, trace_oc =
@@ -214,7 +236,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Fuzz a PM system for concurrency bugs")
     Term.(
       const run $ target $ campaigns $ seed $ workers $ mode $ no_checkpoint $ no_validate $ no_ie
-      $ no_se $ no_static $ verbose $ report $ json_out $ trace_out $ no_metrics)
+      $ no_se $ no_static $ invariants $ verbose $ report $ json_out $ trace_out $ no_metrics)
 
 let replay_cmd =
   let target =
@@ -268,11 +290,33 @@ let analyze_cmd =
   in
   let strict =
     Arg.(value & flag
-         & info [ "strict" ] ~doc:"Exit with a nonzero status when the lint pass has findings (CI gate).")
+         & info [ "strict" ]
+             ~doc:"Exit with a nonzero status when the lint pass has $(i,any) finding \
+                   (equivalent to $(b,--fail-on low)).")
+  in
+  let fail_on =
+    let sev_conv =
+      Arg.enum
+        [ ("high", Analysis.Lint.High); ("medium", Analysis.Lint.Medium); ("low", Analysis.Lint.Low) ]
+    in
+    Arg.(value
+         & opt ~vopt:(Some Analysis.Lint.Medium) (some sev_conv) None
+         & info [ "fail-on" ] ~docv:"SEVERITY"
+             ~doc:
+               "Exit with a nonzero status when any finding has this severity or worse \
+                (high, medium, or low; plain $(b,--fail-on) means medium).  The CI gate uses \
+                this, so Low-severity performance lints never flap the build.")
+  in
+  let basic =
+    Arg.(value & flag
+         & info [ "basic" ]
+             ~doc:"Run only the four first-generation lint rules: no taxonomy detectors, no \
+                   invariant mining, no recovery replay.")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full finding reports.") in
-  let run (target : Pmrace.Target.t) seeds master_seed strict verbose =
-    let cfg = { Pmrace.Analyze.default_config with seeds; master_seed } in
+  let run (target : Pmrace.Target.t) seeds master_seed strict fail_on basic verbose =
+    let base = if basic then Pmrace.Analyze.default_config else Pmrace.Analyze.full_config in
+    let cfg = { base with Pmrace.Analyze.seeds; master_seed } in
     let r = Pmrace.Analyze.run ~cfg target in
     Format.printf "== %s: offline persistency analysis over %d executions ==@." target.name
       r.Analysis.Analyzer.r_executions;
@@ -281,12 +325,28 @@ let analyze_cmd =
       Format.printf "@.=== detailed lint reports ===@.";
       Pmrace.Bug_report.render_lint Format.std_formatter r.Analysis.Analyzer.r_findings
     end;
-    if strict && r.Analysis.Analyzer.r_findings <> [] then exit 1
+    let threshold = if strict then Some Analysis.Lint.Low else fail_on in
+    match threshold with
+    | None -> ()
+    | Some sev ->
+        let rank = Analysis.Lint.severity_rank sev in
+        let failing =
+          List.filter
+            (fun (f : Analysis.Lint.finding) -> Analysis.Lint.severity_rank f.f_severity <= rank)
+            r.Analysis.Analyzer.r_findings
+        in
+        if failing <> [] then begin
+          Format.printf "@.%d finding(s) at or above the %a gate@." (List.length failing)
+            Analysis.Lint.pp_severity sev;
+          exit 1
+        end
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Offline persistency analysis: site graph, alias-pair denominator, lint pass")
-    Term.(const run $ target $ seeds $ master_seed $ strict $ verbose)
+       ~doc:
+         "Offline persistency analysis: site graph, alias-pair denominator, lint and taxonomy \
+          detectors, likely-invariant mining")
+    Term.(const run $ target $ seeds $ master_seed $ strict $ fail_on $ basic $ verbose)
 
 let list_cmd =
   let run () =

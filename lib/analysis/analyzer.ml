@@ -1,30 +1,68 @@
-(* Offline persistency analyzer: site graph + alias pairs + lint, driven
-   over recorded traces.
+(* Offline persistency analyzer: site graph + alias pairs + lint +
+   likely-invariant mining, driven over recorded traces.
 
    Achieved alias pairs are derived from the lint pass's
    unflushed-store-published findings: a cross-thread dirty read is
    precisely a dynamically achieved (write site, read site) alias pair.
    Because the same traces feed the site graph, every achieved pair's
    writer and reader also appear in the graph's per-address writer/reader
-   sets — achieved <= possible holds by construction. *)
+   sets — achieved <= possible holds by construction.
 
-type t = { graph : Site_graph.t; lint : Lint.t; mutable executions : int }
+   The second-generation detectors are config-gated and default off:
+   [default_config] reproduces the v1 analyzer exactly (same findings,
+   same report), which keeps the fuzzer's seeded pre-pass bit-identical.
+   [full] enables the taxonomy lint classes and invariant mining. *)
+
+type config = {
+  taxonomy : bool;  (** PM-bug-taxonomy lint classes *)
+  invariants : bool;  (** likely-invariant mining *)
+  min_support : int;  (** invariant support threshold *)
+  region_of : (int -> int) option;  (** pool-region classifier for cross-region lint *)
+}
+
+let default_config = { taxonomy = false; invariants = false; min_support = 2; region_of = None }
+let full = { default_config with taxonomy = true; invariants = true }
+
+type t = {
+  cfg : config;
+  graph : Site_graph.t;
+  lint : Lint.t;
+  inv : Invariants.t option;
+  mutable executions : int;
+}
 
 type result = {
   r_graph : Site_graph.t;
   r_pairs : Alias_pairs.t;
   r_findings : Lint.finding list;
+  r_invariants : Invariants.spec list;
   r_executions : int;
 }
 
-let create () = { graph = Site_graph.create (); lint = Lint.create (); executions = 0 }
+let create ?(cfg = default_config) () =
+  {
+    cfg;
+    graph = Site_graph.create ();
+    lint = Lint.create ~taxonomy:cfg.taxonomy ?region_of:cfg.region_of ();
+    inv = (if cfg.invariants then Some (Invariants.create ~min_support:cfg.min_support ()) else None);
+    executions = 0;
+  }
+
+let config t = t.cfg
 
 let absorb t events =
   t.executions <- t.executions + 1;
   Site_graph.absorb t.graph events;
-  Lint.absorb t.lint events
+  Lint.absorb t.lint events;
+  Option.iter (fun inv -> Invariants.absorb inv events) t.inv
 
 let absorb_trace t trace = absorb t (Runtime.Trace.events trace)
+
+(* Recovery traces only feed the lint pass (in recovery phase, so the
+   end-of-trace residue becomes the missing-recovery-flush class).  They
+   are deterministic single-thread replays, so they would only dilute the
+   site graph and the invariant statistics. *)
+let absorb_recovery t events = if t.cfg.taxonomy then Lint.absorb ~phase:`Recovery t.lint events
 
 let result t =
   let pairs = Alias_pairs.of_site_graph t.graph in
@@ -38,6 +76,7 @@ let result t =
     r_graph = t.graph;
     r_pairs = pairs;
     r_findings = Lint.findings t.lint;
+    r_invariants = (match t.inv with Some inv -> Invariants.mine inv | None -> []);
     r_executions = t.executions;
   }
 
@@ -52,5 +91,17 @@ let pp_report ppf r =
       (List.length (List.filter (fun (f : Lint.finding) -> f.f_severity = Lint.High) r.r_findings))
       (List.length (List.filter (fun (f : Lint.finding) -> f.f_severity = Lint.Medium) r.r_findings))
       (List.length (List.filter (fun (f : Lint.finding) -> f.f_severity = Lint.Low) r.r_findings));
+    (* Per-detector-class counts, in stable kind order. *)
+    List.iter
+      (fun kind ->
+        let n =
+          List.length (List.filter (fun (f : Lint.finding) -> f.f_kind = kind) r.r_findings)
+        in
+        if n > 0 then Fmt.pf ppf "  %-24s %d@." (Lint.kind_slug kind) n)
+      Lint.all_kinds;
     List.iter (fun f -> Fmt.pf ppf "  %a@." Lint.pp_finding f) r.r_findings
+  end;
+  if r.r_invariants <> [] then begin
+    Fmt.pf ppf "invariants: %d mined@." (List.length r.r_invariants);
+    List.iter (fun s -> Fmt.pf ppf "  %a@." Invariants.pp_spec s) r.r_invariants
   end

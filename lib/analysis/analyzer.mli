@@ -3,8 +3,29 @@
     Feed it the recorded event streams of a set of seed executions
     ({!Runtime.Trace}); it builds the {!Site_graph}, computes the
     statically-possible alias pairs with achieved accounting
-    ({!Alias_pairs}), and runs the {!Lint} pass — one consumer pass per
-    trace, all offline. *)
+    ({!Alias_pairs}), runs the {!Lint} pass, and — when enabled — mines
+    likely persistence-ordering invariants ({!Invariants}); one consumer
+    pass per trace, all offline.
+
+    The second-generation detectors are gated by {!config} and default
+    OFF: {!default_config} reproduces the original analyzer exactly,
+    which keeps the fuzzer's seeded static pre-pass bit-identical with
+    the pinned goldens.  {!full} turns everything on. *)
+
+type config = {
+  taxonomy : bool;  (** PM-bug-taxonomy lint classes (see {!Lint.kind}) *)
+  invariants : bool;  (** likely-invariant mining *)
+  min_support : int;  (** support threshold handed to {!Invariants.create} *)
+  region_of : (int -> int) option;
+      (** pool-region classifier for the cross-region ordering detector *)
+}
+
+val default_config : config
+(** Everything off — byte-identical behaviour to the v1 analyzer. *)
+
+val full : config
+(** Taxonomy + invariants on ([min_support] 2, no region map — callers
+    supply one when the pool layout is known). *)
 
 type t
 
@@ -12,15 +33,23 @@ type result = {
   r_graph : Site_graph.t;
   r_pairs : Alias_pairs.t;
   r_findings : Lint.finding list;
+  r_invariants : Invariants.spec list;  (** mined specs; [[]] when mining is off *)
   r_executions : int;
 }
 
-val create : unit -> t
+val create : ?cfg:config -> unit -> t
+val config : t -> config
 
 val absorb : t -> Runtime.Env.event list -> unit
 (** Analyse one execution's recorded event stream. *)
 
 val absorb_trace : t -> Runtime.Trace.t -> unit
+
+val absorb_recovery : t -> Runtime.Env.event list -> unit
+(** Lint a recovery run's event stream in recovery phase, so that
+    end-of-trace dirty residue becomes the missing-recovery-flush class.
+    No-op unless the config enables taxonomy; never feeds the site graph
+    or invariant mining. *)
 
 val result : t -> result
 (** Snapshot the analysis: possible pairs come from the site graph,
@@ -29,4 +58,5 @@ val result : t -> result
 
 val pp_report : Format.formatter -> result -> unit
 (** The [pmrace analyze] report: site-graph summary, alias coverage as
-    achieved/possible, and the deduplicated findings. *)
+    achieved/possible, the deduplicated findings with per-class counts,
+    and the mined invariant set when non-empty. *)

@@ -1,0 +1,312 @@
+(* Likely persistence-ordering invariant inference (WITCHER-style).
+
+   Two invariant shapes are mined from correct executions:
+
+   - Order(A, B): every time store site A is issued before store site B,
+     A is already durable (fence-persisted) when B first issues.  The
+     canonical PM commit discipline: data durable before the flag that
+     publishes it is written.
+   - Commit(C): whenever a fence persists stores from two or more
+     distinct sites at once (an "epoch"), site C's store is the last one
+     issued — C is the epoch's commit variable.
+
+   All predicates are defined on FIRST occurrences per execution:
+   Order(A,B) is meaningful in an execution iff first_issue(A) <
+   first_issue(B), and holds iff first_durable(A) < first_issue(B),
+   where durability is attributed to the last writer of each word a
+   fence persists.  The online checker tests exactly the same
+   predicates at exactly the same program points, so running [check] (or
+   the checker) over the very traces an invariant was mined from yields
+   zero violations by construction — a property the tests assert.
+
+   Support is the number of executions (Order) or epochs (Commit) in
+   which the invariant was meaningful and held; [mine] keeps invariants
+   that were never violated and reach [min_support]. *)
+
+module Env = Runtime.Env
+module Instr = Runtime.Instr
+
+type inv = Order of { first : Instr.t; next : Instr.t } | Commit of { site : Instr.t }
+type spec = { inv : inv; support : int }
+
+type violation = {
+  v_inv : inv;
+  v_site : Instr.t;
+  v_addr : int;
+  v_words : int list;
+}
+
+let inv_kind_slug = function Order _ -> "order" | Commit _ -> "commit"
+
+let label = function
+  | Order { first; next } ->
+      Printf.sprintf "order %s -> %s" (Instr.name first) (Instr.name next)
+  | Commit { site } -> Printf.sprintf "commit %s" (Instr.name site)
+
+let inv_key = function
+  | Order { first; next } -> (0, Instr.to_int first, Instr.to_int next)
+  | Commit { site } -> (1, Instr.to_int site, 0)
+
+let compare_inv a b = compare (inv_key a) (inv_key b)
+
+(* ------------------------------------------------------------------ *)
+(* Mining                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type ostat = { mutable o_support : int; mutable o_violated : bool }
+type cstat = { mutable c_support : int; mutable c_violated : bool }
+
+type t = {
+  orders : (int * int, ostat) Hashtbl.t; (* (first id, next id) *)
+  commits : (int, cstat) Hashtbl.t;
+  sites : (int, Instr.t) Hashtbl.t; (* id -> site, for reconstruction *)
+  min_support : int;
+  mutable execs : int;
+}
+
+let create ?(min_support = 2) () =
+  {
+    orders = Hashtbl.create 64;
+    commits = Hashtbl.create 16;
+    sites = Hashtbl.create 32;
+    min_support;
+    execs = 0;
+  }
+
+let executions t = t.execs
+
+let absorb t events =
+  t.execs <- t.execs + 1;
+  (* One linear pass summarising the execution: first-issue and
+     first-durable event index per site, plus multi-site fence epochs. *)
+  let issue = Hashtbl.create 16 (* site id -> first issue index *)
+  and durable = Hashtbl.create 16 (* site id -> first durable index *)
+  and writers = Hashtbl.create 64 (* word -> (site id, store seq) *)
+  and epochs = ref []
+  and idx = ref 0
+  and seq = ref 0 in
+  let on_store instr addr =
+    incr seq;
+    let id = Instr.to_int instr in
+    Hashtbl.replace t.sites id instr;
+    if not (Hashtbl.mem issue id) then Hashtbl.add issue id !idx;
+    Hashtbl.replace writers addr (id, !seq)
+  in
+  List.iter
+    (fun ev ->
+      incr idx;
+      match ev with
+      | Env.Ev_store { instr; addr; _ } | Env.Ev_movnt { instr; addr; _ } ->
+          on_store instr addr
+      | Env.Ev_fence { persisted; _ } ->
+          let per_site = Hashtbl.create 8 in
+          List.iter
+            (fun w ->
+              match Hashtbl.find_opt writers w with
+              | Some (id, s) ->
+                  (match Hashtbl.find_opt per_site id with
+                  | Some s' when s' >= s -> ()
+                  | Some _ | None -> Hashtbl.replace per_site id s);
+                  if not (Hashtbl.mem durable id) then Hashtbl.add durable id !idx
+              | None -> ())
+            persisted;
+          if Hashtbl.length per_site >= 2 then begin
+            let entries = Hashtbl.fold (fun id s acc -> (s, id) :: acc) per_site [] in
+            let _, last =
+              List.fold_left (fun best e -> max best e) (List.hd entries) (List.tl entries)
+            in
+            epochs := (List.map snd entries, last) :: !epochs
+          end
+      | Env.Ev_load _ | Env.Ev_clwb _ | Env.Ev_branch _ -> ())
+    events;
+  (* Fold the summary into the cross-execution statistics. *)
+  let issued = Hashtbl.fold (fun id i acc -> (id, i) :: acc) issue [] in
+  List.iter
+    (fun (a, fa) ->
+      List.iter
+        (fun (b, fb) ->
+          if a <> b && fa < fb then begin
+            let held =
+              match Hashtbl.find_opt durable a with Some da -> da < fb | None -> false
+            in
+            let st =
+              match Hashtbl.find_opt t.orders (a, b) with
+              | Some st -> st
+              | None ->
+                  let st = { o_support = 0; o_violated = false } in
+                  Hashtbl.add t.orders (a, b) st;
+                  st
+            in
+            if held then st.o_support <- st.o_support + 1 else st.o_violated <- true
+          end)
+        issued)
+    issued;
+  List.iter
+    (fun (sites, last) ->
+      List.iter
+        (fun id ->
+          let st =
+            match Hashtbl.find_opt t.commits id with
+            | Some st -> st
+            | None ->
+                let st = { c_support = 0; c_violated = false } in
+                Hashtbl.add t.commits id st;
+                st
+          in
+          if id = last then st.c_support <- st.c_support + 1 else st.c_violated <- true)
+        sites)
+    !epochs
+
+let absorb_trace t trace = absorb t (Runtime.Trace.events trace)
+
+let mine t =
+  let site id = Hashtbl.find t.sites id in
+  let specs =
+    Hashtbl.fold
+      (fun (a, b) st acc ->
+        if (not st.o_violated) && st.o_support >= t.min_support then
+          { inv = Order { first = site a; next = site b }; support = st.o_support } :: acc
+        else acc)
+      t.orders []
+  in
+  let specs =
+    Hashtbl.fold
+      (fun c st acc ->
+        if (not st.c_violated) && st.c_support >= t.min_support then
+          { inv = Commit { site = site c }; support = st.c_support } :: acc
+        else acc)
+      t.commits specs
+  in
+  List.sort (fun a b -> compare_inv a.inv b.inv) specs
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type astate = A_not_issued | A_pending of int list | A_durable
+
+type checker = {
+  order_by_next : (int, (int * inv) list) Hashtbl.t; (* next id -> (first id, inv) *)
+  firsts : (int, astate ref) Hashtbl.t; (* first-role sites *)
+  commit_sites : (int, inv) Hashtbl.t;
+  next_seen : (int, unit) Hashtbl.t; (* per campaign: only B's first store checks *)
+  cwriters : (int, Instr.t * int) Hashtbl.t; (* word -> (writer site, store seq) *)
+  mutable cseq : int;
+}
+
+let checker specs =
+  let c =
+    {
+      order_by_next = Hashtbl.create 16;
+      firsts = Hashtbl.create 16;
+      commit_sites = Hashtbl.create 8;
+      next_seen = Hashtbl.create 16;
+      cwriters = Hashtbl.create 64;
+      cseq = 0;
+    }
+  in
+  List.iter
+    (fun { inv; _ } ->
+      match inv with
+      | Order { first; next } ->
+          let fid = Instr.to_int first and nid = Instr.to_int next in
+          if not (Hashtbl.mem c.firsts fid) then
+            Hashtbl.add c.firsts fid (ref A_not_issued);
+          let prev = Option.value ~default:[] (Hashtbl.find_opt c.order_by_next nid) in
+          Hashtbl.replace c.order_by_next nid ((fid, inv) :: prev)
+      | Commit { site } -> Hashtbl.replace c.commit_sites (Instr.to_int site) inv)
+    specs;
+  c
+
+let reset c =
+  Hashtbl.iter (fun _ r -> r := A_not_issued) c.firsts;
+  Hashtbl.reset c.next_seen;
+  Hashtbl.reset c.cwriters;
+  c.cseq <- 0
+
+let step c ~emit (ev : Env.event) =
+  match ev with
+  | Env.Ev_store { instr; addr; _ } | Env.Ev_movnt { instr; addr; _ } ->
+      c.cseq <- c.cseq + 1;
+      let id = Instr.to_int instr in
+      (* Next-role check first: a site acting as both the [next] of one
+         invariant and the [first] of another must be tested as next
+         before its own pending state updates. *)
+      if not (Hashtbl.mem c.next_seen id) then begin
+        Hashtbl.add c.next_seen id ();
+        match Hashtbl.find_opt c.order_by_next id with
+        | Some lst ->
+            List.iter
+              (fun (fid, inv) ->
+                match Hashtbl.find_opt c.firsts fid with
+                | Some { contents = A_pending ws } ->
+                    emit
+                      {
+                        v_inv = inv;
+                        v_site = instr;
+                        v_addr = addr;
+                        v_words = List.sort_uniq compare ws;
+                      }
+                | Some _ | None -> ())
+              lst
+        | None -> ()
+      end;
+      (match Hashtbl.find_opt c.firsts id with
+      | Some r -> (
+          match !r with
+          | A_not_issued -> r := A_pending [ addr ]
+          | A_pending ws -> r := A_pending (addr :: ws)
+          | A_durable -> () (* first durability already achieved *))
+      | None -> ());
+      Hashtbl.replace c.cwriters addr (instr, c.cseq)
+  | Env.Ev_fence { persisted; _ } ->
+      let per_site = Hashtbl.create 8 in
+      List.iter
+        (fun w ->
+          match Hashtbl.find_opt c.cwriters w with
+          | Some (site, s) ->
+              let id = Instr.to_int site in
+              (match Hashtbl.find_opt per_site id with
+              | Some (s', _, _) when s' >= s -> ()
+              | Some _ | None -> Hashtbl.replace per_site id (s, w, site));
+              (match Hashtbl.find_opt c.firsts id with
+              | Some ({ contents = A_pending _ } as r) -> r := A_durable
+              | Some _ | None -> ())
+          | None -> ())
+        persisted;
+      if Hashtbl.length per_site >= 2 && Hashtbl.length c.commit_sites > 0 then begin
+        let entries =
+          Hashtbl.fold (fun id (s, w, site) acc -> (s, id, w, site) :: acc) per_site []
+        in
+        let _, last_id, last_w, last_site =
+          List.fold_left (fun best e -> max best e) (List.hd entries) (List.tl entries)
+        in
+        Hashtbl.iter
+          (fun cid inv ->
+            if cid <> last_id && Hashtbl.mem per_site cid then
+              emit
+                {
+                  v_inv = inv;
+                  v_site = last_site;
+                  v_addr = last_w;
+                  v_words = List.sort compare persisted;
+                })
+          c.commit_sites
+      end
+  | Env.Ev_load _ | Env.Ev_clwb _ | Env.Ev_branch _ -> ()
+
+let check specs events =
+  let c = checker specs in
+  let acc = ref [] in
+  List.iter (step c ~emit:(fun v -> acc := v :: !acc)) events;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_inv ppf inv = Fmt.string ppf (label inv)
+let pp_spec ppf { inv; support } = Fmt.pf ppf "%a (support %d)" pp_inv inv support
+
+let pp_violation ppf v =
+  Fmt.pf ppf "violated %a at %a (PM word %d)" pp_inv v.v_inv Instr.pp v.v_site v.v_addr

@@ -7,7 +7,15 @@
     consumes one execution's recorded event stream and emits an
     observation at every transition that violates (or wastes) the
     store→flushed→fenced discipline; {!Lint} aggregates the observations
-    into deduplicated findings. *)
+    into deduplicated findings.
+
+    Beyond the four original rules, the FSM carries shadow state for two
+    PM-bug-taxonomy detectors: a per-line last-flush table (double-flush:
+    the same line CLWB'd twice with no intervening store) and per-word
+    issue sequence numbers (cross-region durability ordering: a fence
+    persisted a word issued {e after} a still-dirty store in a different
+    pool region).  The latter needs a region classifier at {!create};
+    without one the pool is a single region and the detector is silent. *)
 
 module Instr = Runtime.Instr
 
@@ -38,10 +46,28 @@ type obs =
   | O_redundant_fence of { site : Instr.t }
       (** SFENCE with no flush or non-temporal store since the previous
           fence *)
+  | O_double_flush of { f_site : Instr.t; prev_site : Instr.t; addr : int }
+      (** CLWB of a line already CLWB'd with no intervening store to it
+          ([prev_site] is the earlier flush) — the taxonomy's double-flush
+          performance bug, distinct from {!O_redundant_flush} (which is
+          about dirty-word counts, not back-to-back flushes) *)
+  | O_cross_region_order of {
+      early_site : Instr.t;
+      early_addr : int;
+      late_site : Instr.t;
+      late_addr : int;
+    }
+      (** a fence persisted [late_addr] although [early_addr] — stored
+          earlier, in a different pool region — is still dirty: the
+          cross-region durability-ordering hazard (at most one per fence;
+          only with a [region_of] classifier) *)
 
 type t
 
-val create : unit -> t
+val create : ?region_of:(int -> int) -> unit -> t
+(** [region_of] classifies a word offset into a pool region (e.g. root /
+    log / heap) for the cross-region ordering detector; omitted, every
+    word is one region and that detector never fires. *)
 
 val step : t -> emit:(obs -> unit) -> Runtime.Env.event -> unit
 (** Feed one event in program order; [emit] receives any observations. *)

@@ -4,7 +4,12 @@
    The executions use plain random scheduling (every instrumented
    operation a preemption point) so cross-thread publishes show up in the
    traces; the analyzer itself is entirely offline.  A private RNG keeps
-   the driver deterministic and independent of the fuzzer's streams. *)
+   the driver deterministic and independent of the fuzzer's streams.
+
+   When the analysis config enables the taxonomy detectors, each seed
+   execution is followed by a recovery replay: the post-crash image of
+   the finished run is booted and the target's recovery code traced, so
+   the missing-recovery-path-flush detector sees real recovery traces. *)
 
 module Rng = Sched.Rng
 module Trace = Runtime.Trace
@@ -14,17 +19,39 @@ type config = {
   scheds_per_seed : int;
   master_seed : int;
   step_budget : int;
+  analysis : Analysis.Analyzer.config;
 }
 
-let default_config = { seeds = 6; scheds_per_seed = 2; master_seed = 7; step_budget = 60_000 }
+let default_config =
+  {
+    seeds = 6;
+    scheds_per_seed = 2;
+    master_seed = 7;
+    step_budget = 60_000;
+    analysis = Analysis.Analyzer.default_config;
+  }
+
+(* Pool regions per the mini-PMDK layout, for the cross-region
+   durability-ordering detector: header / root / heap metadata / undo
+   logs / heap data. *)
+let region_of_word w =
+  if w < Pmdk.Layout.root_base then 0
+  else if w < Pmdk.Layout.heap_meta then 1
+  else if w < Pmdk.Layout.log_base then 2
+  else if w < Pmdk.Layout.heap_base then 3
+  else 4
+
+let full_analysis = { Analysis.Analyzer.full with region_of = Some region_of_word }
+let full_config = { default_config with analysis = full_analysis }
 
 let m_executions = lazy (Obs.Metrics.counter "analyze_executions_total")
+let m_recoveries = lazy (Obs.Metrics.counter "analyze_recovery_executions_total")
 let m_duration = lazy (Obs.Metrics.gauge "analyze_duration_seconds")
 
-let run ?(cfg = default_config) (target : Target.t) =
-  let t0 = Obs.Clock.now () in
+(* Iterate the driver's seed executions, handing each completed campaign
+   result (with its recorded trace) to [f]. *)
+let iter_executions ?(cfg = default_config) (target : Target.t) f =
   let rng = Rng.create cfg.master_seed in
-  let az = Analysis.Analyzer.create () in
   (* One engine for all seed executions: expensive-init targets get the
      persistent context (checkpoint + O(touched) resets), others the
      legacy fresh construction.  The trace is a transient listener, so
@@ -39,13 +66,40 @@ let run ?(cfg = default_config) (target : Target.t) =
         Campaign.input ~sched_seed ~policy:Campaign.Random_sched ~step_budget:cfg.step_budget
           target seed
       in
-      ignore (Campaign.run ~engine ~listeners:[ Trace.attach trace ] input);
+      let res = Campaign.run ~engine ~listeners:[ Trace.attach trace ] input in
       Obs.Metrics.incr (Lazy.force m_executions);
-      Analysis.Analyzer.absorb_trace az trace
+      f res trace
     done
-  done;
+  done
+
+let run ?(cfg = default_config) (target : Target.t) =
+  let t0 = Obs.Clock.now () in
+  let az = Analysis.Analyzer.create ~cfg:cfg.analysis () in
+  let taxonomy = cfg.analysis.Analysis.Analyzer.taxonomy in
+  iter_executions ~cfg target (fun (res : Campaign.result) trace ->
+      Analysis.Analyzer.absorb_trace az trace;
+      if taxonomy then begin
+        (* Recovery replay: boot the end-of-run durable image and trace
+           the target's recovery path, so its own flush discipline is
+           linted too (missing-recovery-flush residue). *)
+        let image = Pmem.Pool.crash_image res.Campaign.env.Runtime.Env.pool in
+        let rtrace = Trace.create () in
+        let _env, _written, _hang =
+          Post_failure.run_recovery ~listeners:[ Trace.attach rtrace ] target image
+        in
+        Obs.Metrics.incr (Lazy.force m_recoveries);
+        Analysis.Analyzer.absorb_recovery az (Trace.events rtrace)
+      end);
   Obs.Metrics.set (Lazy.force m_duration) (Obs.Clock.elapsed t0);
   Analysis.Analyzer.result az
 
-let prepass ?(seeds = 4) target =
-  run ~cfg:{ default_config with seeds; master_seed = 11 } target
+(* Record the driver's seed executions as raw event streams, without
+   analysing them — the bench harness replays these through differently
+   configured analyzers, and tests mine/check invariants offline. *)
+let record ?cfg (target : Target.t) =
+  let traces = ref [] in
+  iter_executions ?cfg target (fun _res trace -> traces := Trace.events trace :: !traces);
+  List.rev !traces
+
+let prepass ?(seeds = 4) ?(analysis = Analysis.Analyzer.default_config) target =
+  run ~cfg:{ default_config with seeds; master_seed = 11; analysis } target

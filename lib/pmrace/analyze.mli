@@ -6,20 +6,45 @@
     pre-pass: it bounds alias-pair coverage (the possible-pair
     denominator) and lints the traces against the persistency lifecycle
     rules.  Used standalone by [pmrace analyze] and as the fuzzer's
-    static pre-pass. *)
+    static pre-pass.
+
+    When the embedded analysis config enables the taxonomy detectors,
+    each seed execution is followed by a traced recovery replay of its
+    end-of-run durable image, feeding the missing-recovery-path-flush
+    detector. *)
 
 type config = {
   seeds : int;  (** distinct generated seeds to execute *)
   scheds_per_seed : int;  (** random schedules per seed *)
   master_seed : int;
   step_budget : int;
+  analysis : Analysis.Analyzer.config;  (** detector gating *)
 }
 
 val default_config : config
+(** v1-compatible: all second-generation detectors off. *)
+
+val region_of_word : int -> int
+(** Pool-region classifier per the mini-PMDK layout (header / root /
+    heap metadata / undo logs / heap), for the cross-region ordering
+    detector. *)
+
+val full_analysis : Analysis.Analyzer.config
+(** {!Analysis.Analyzer.full} with {!region_of_word} installed. *)
+
+val full_config : config
+(** {!default_config} with {!full_analysis}. *)
 
 val run : ?cfg:config -> Target.t -> Analysis.Analyzer.result
 (** Execute the seed set with trace capture and analyse the traces. *)
 
-val prepass : ?seeds:int -> Target.t -> Analysis.Analyzer.result
+val record : ?cfg:config -> Target.t -> Runtime.Env.event list list
+(** Execute the seed set and return the raw recorded event streams
+    without analysing them — for benchmarking differently configured
+    analyzers over identical traces, and for offline invariant tests. *)
+
+val prepass :
+  ?seeds:int -> ?analysis:Analysis.Analyzer.config -> Target.t -> Analysis.Analyzer.result
 (** The fuzzer-facing entry point: a smaller seed set, fixed master seed
-    (deterministic across fuzzer configurations). *)
+    (deterministic across fuzzer configurations).  [analysis] defaults to
+    all detectors off, preserving the bit-identical seeded pre-pass. *)

@@ -11,7 +11,11 @@ module J = Obs.Json
 module Instr = Runtime.Instr
 
 let schema = "pmrace-session"
-let version = 1
+
+(* v2: adds the "lint" list, the "invariants" {mined; violations}
+   section, and config.invariants.  All additive — v1 artifacts decode
+   with the new fields empty/false. *)
+let version = 2
 
 type bug = {
   b_kind : string;
@@ -29,6 +33,26 @@ type prov_entry = {
   pr_spec : Campaign.policy_spec;
 }
 
+type lint_entry = {
+  l_kind : string;
+  l_severity : string;
+  l_write_site : string option;
+  l_site : string;
+  l_addr : int;
+  l_count : int;
+}
+
+type inv_spec_entry = { ie_label : string; ie_kind : string; ie_support : int }
+
+type inv_finding_entry = {
+  ivf_label : string;
+  ivf_kind : string;
+  ivf_site : string;
+  ivf_addr : int;
+  ivf_campaign : int;
+  ivf_verdict : string option;
+}
+
 type t = {
   a_target : string;
   a_config : Fuzzer.config;
@@ -43,6 +67,9 @@ type t = {
   a_timeline : Fuzzer.timeline_point list;
   a_bugs : bug list;
   a_hangs : (string * int) list;
+  a_lint : lint_entry list; (* static pre-pass lint findings (v2) *)
+  a_invariants : inv_spec_entry list; (* the mined monitor set (v2) *)
+  a_inv_findings : inv_finding_entry list; (* invariant violations (v2) *)
   a_provenance : prov_entry list;
   a_metrics : J.t;
 }
@@ -65,6 +92,21 @@ let get_float = get J.to_float "float"
 let get_list = get J.to_list "list"
 let str j = match J.to_str j with Some s -> s | None -> fail "expected string"
 let int_of j = match J.to_int j with Some n -> n | None -> fail "expected int"
+
+(* Fields added after v1: absent in old artifacts, so they default
+   instead of failing. *)
+let get_bool_opt ~default name j =
+  match J.member name j with
+  | None | Some J.Null -> default
+  | Some v -> ( match J.to_bool v with Some b -> b | None -> fail "field %S: expected bool" name)
+
+let get_list_opt name j =
+  match J.member name j with
+  | None | Some J.Null -> []
+  | Some v -> (
+      match J.to_list v with Some l -> l | None -> fail "field %S: expected list" name)
+
+let str_opt j = match j with J.Null -> None | v -> Some (str v)
 
 (* ------------------------------------------------------------------ *)
 (* Config *)
@@ -99,6 +141,7 @@ let config_to_json (c : Fuzzer.config) =
       ("initial_seeds", J.Int c.initial_seeds);
       ("whitelist_extra", J.List (List.map (fun s -> J.String s) c.whitelist_extra));
       ("static_prepass", J.Bool c.static_prepass);
+      ("invariants", J.Bool c.invariants);
     ]
 
 let config_of_json j =
@@ -114,7 +157,9 @@ let config_of_json j =
     ~evict_prob:(get_float "evict_prob" j) ~eadr:(get_bool "eadr" j)
     ~workers:(get_int "workers" j) ~initial_seeds:(get_int "initial_seeds" j)
     ~whitelist_extra:(List.map str (get_list "whitelist_extra" j))
-    ~static_prepass:(get_bool "static_prepass" j) ()
+    ~static_prepass:(get_bool "static_prepass" j)
+    ~invariants:(get_bool_opt ~default:false "invariants" j)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Seeds *)
@@ -253,6 +298,17 @@ let first_campaign (s : Fuzzer.session) (g : Report.bug_group) =
 
 let kind_string = function `Inter -> "inter" | `Intra -> "intra" | `Sync -> "sync"
 
+let severity_string = function
+  | Analysis.Lint.High -> "high"
+  | Analysis.Lint.Medium -> "medium"
+  | Analysis.Lint.Low -> "low"
+
+let verdict_string = function
+  | Post_failure.Validated_fp -> "validated-fp"
+  | Post_failure.Whitelisted_fp -> "whitelisted-fp"
+  | Post_failure.Bug { recovery_hang = true } -> "bug-recovery-hang"
+  | Post_failure.Bug { recovery_hang = false } -> "bug"
+
 let of_session ~(target : Target.t) ~cfg (s : Fuzzer.session) =
   let bugs =
     List.map
@@ -297,6 +353,39 @@ let of_session ~(target : Target.t) ~cfg (s : Fuzzer.session) =
     a_timeline = s.timeline;
     a_bugs = bugs;
     a_hangs = Report.hangs s.report;
+    a_lint =
+      List.map
+        (fun (f : Analysis.Lint.finding) ->
+          {
+            l_kind = Analysis.Lint.kind_slug f.f_kind;
+            l_severity = severity_string f.f_severity;
+            l_write_site = Option.map Instr.name f.f_write_site;
+            l_site = Instr.name f.f_site;
+            l_addr = f.f_addr;
+            l_count = f.f_count;
+          })
+        (Report.lint_findings s.report);
+    a_invariants =
+      List.map
+        (fun (sp : Analysis.Invariants.spec) ->
+          {
+            ie_label = Analysis.Invariants.label sp.inv;
+            ie_kind = Analysis.Invariants.inv_kind_slug sp.inv;
+            ie_support = sp.support;
+          })
+        (Report.invariants s.report);
+    a_inv_findings =
+      List.map
+        (fun (f : Report.inv_finding) ->
+          {
+            ivf_label = f.iv_label;
+            ivf_kind = f.iv_kind;
+            ivf_site = f.iv_site;
+            ivf_addr = f.iv_addr;
+            ivf_campaign = f.iv_found_at;
+            ivf_verdict = Option.map verdict_string f.iv_verdict;
+          })
+        (Report.invariant_findings s.report);
     a_provenance = provenance;
     a_metrics = (if Obs.Metrics.enabled () then Obs.Metrics.to_json () else J.Null);
   }
@@ -361,6 +450,51 @@ let to_json (a : t) =
           (List.map
              (fun (info, n) -> J.Obj [ ("info", J.String info); ("count", J.Int n) ])
              a.a_hangs) );
+      ( "lint",
+        J.List
+          (List.map
+             (fun l ->
+               J.Obj
+                 [
+                   ("kind", J.String l.l_kind);
+                   ("severity", J.String l.l_severity);
+                   ( "write_site",
+                     match l.l_write_site with Some s -> J.String s | None -> J.Null );
+                   ("site", J.String l.l_site);
+                   ("addr", J.Int l.l_addr);
+                   ("count", J.Int l.l_count);
+                 ])
+             a.a_lint) );
+      ( "invariants",
+        J.Obj
+          [
+            ( "mined",
+              J.List
+                (List.map
+                   (fun e ->
+                     J.Obj
+                       [
+                         ("label", J.String e.ie_label);
+                         ("kind", J.String e.ie_kind);
+                         ("support", J.Int e.ie_support);
+                       ])
+                   a.a_invariants) );
+            ( "violations",
+              J.List
+                (List.map
+                   (fun f ->
+                     J.Obj
+                       [
+                         ("label", J.String f.ivf_label);
+                         ("kind", J.String f.ivf_kind);
+                         ("site", J.String f.ivf_site);
+                         ("addr", J.Int f.ivf_addr);
+                         ("campaign", J.Int f.ivf_campaign);
+                         ( "verdict",
+                           match f.ivf_verdict with Some v -> J.String v | None -> J.Null );
+                       ])
+                   a.a_inv_findings) );
+          ] );
       ( "provenance",
         J.List
           (List.map
@@ -424,6 +558,45 @@ let of_json j =
             (get_list "bugs" j);
         a_hangs =
           List.map (fun h -> (get_str "info" h, get_int "count" h)) (get_list "hangs" j);
+        a_lint =
+          List.map
+            (fun l ->
+              {
+                l_kind = get_str "kind" l;
+                l_severity = get_str "severity" l;
+                l_write_site = str_opt (mem "write_site" l);
+                l_site = get_str "site" l;
+                l_addr = get_int "addr" l;
+                l_count = get_int "count" l;
+              })
+            (get_list_opt "lint" j);
+        a_invariants =
+          (match J.member "invariants" j with
+          | None | Some J.Null -> []
+          | Some inv ->
+              List.map
+                (fun e ->
+                  {
+                    ie_label = get_str "label" e;
+                    ie_kind = get_str "kind" e;
+                    ie_support = get_int "support" e;
+                  })
+                (get_list_opt "mined" inv));
+        a_inv_findings =
+          (match J.member "invariants" j with
+          | None | Some J.Null -> []
+          | Some inv ->
+              List.map
+                (fun f ->
+                  {
+                    ivf_label = get_str "label" f;
+                    ivf_kind = get_str "kind" f;
+                    ivf_site = get_str "site" f;
+                    ivf_addr = get_int "addr" f;
+                    ivf_campaign = get_int "campaign" f;
+                    ivf_verdict = str_opt (mem "verdict" f);
+                  })
+                (get_list_opt "violations" inv));
         a_provenance =
           List.map
             (fun p ->

@@ -16,6 +16,10 @@ val schema : string
 (** ["pmrace-session"] *)
 
 val version : int
+(** [2]: adds the lint-finding list, the mined-invariant section, and
+    [config.invariants].  v1 artifacts still decode (the new fields
+    default to empty/false); newer-than-[version] artifacts are
+    rejected. *)
 
 type bug = {
   b_kind : string;  (** "inter" | "intra" | "sync" *)
@@ -34,6 +38,30 @@ type prov_entry = {
   pr_spec : Campaign.policy_spec;
 }
 
+type lint_entry = {
+  l_kind : string;  (** {!Analysis.Lint.kind_slug} *)
+  l_severity : string;  (** "high" | "medium" | "low" *)
+  l_write_site : string option;
+  l_site : string;
+  l_addr : int;
+  l_count : int;
+}
+
+type inv_spec_entry = {
+  ie_label : string;  (** {!Analysis.Invariants.label} *)
+  ie_kind : string;  (** "order" | "commit" *)
+  ie_support : int;
+}
+
+type inv_finding_entry = {
+  ivf_label : string;
+  ivf_kind : string;
+  ivf_site : string;
+  ivf_addr : int;
+  ivf_campaign : int;
+  ivf_verdict : string option;
+}
+
 type t = {
   a_target : string;
   a_config : Fuzzer.config;
@@ -48,6 +76,9 @@ type t = {
   a_timeline : Fuzzer.timeline_point list;
   a_bugs : bug list;
   a_hangs : (string * int) list;
+  a_lint : lint_entry list;  (** static pre-pass lint findings (v2) *)
+  a_invariants : inv_spec_entry list;  (** the mined monitor set (v2) *)
+  a_inv_findings : inv_finding_entry list;  (** invariant violations (v2) *)
   a_provenance : prov_entry list;  (** sorted by campaign index *)
   a_metrics : Obs.Json.t;  (** opaque {!Obs.Metrics.to_json} snapshot *)
 }

@@ -71,8 +71,11 @@ let pp_lint_finding ppf (f : Analysis.Lint.finding) =
   Fmt.pf ppf "  %s : %s@."
     (match f.f_kind with
     | Analysis.Lint.Unflushed_publish | Analysis.Lint.Unfenced_publish -> "racy read         "
-    | Analysis.Lint.Redundant_flush -> "flush site        "
-    | Analysis.Lint.Redundant_fence -> "fence site        ")
+    | Analysis.Lint.Redundant_flush | Analysis.Lint.Double_flush -> "flush site        "
+    | Analysis.Lint.Redundant_fence -> "fence site        "
+    | Analysis.Lint.Cross_region_order -> "persisted site    "
+    | Analysis.Lint.Unflushed_at_exit | Analysis.Lint.Missing_recovery_flush ->
+        "dirty store site  ")
     (Instr.name f.f_site);
   if f.f_addr >= 0 then Fmt.pf ppf "  sample address     : PM word %d@." f.f_addr;
   Fmt.pf ppf "  occurrences        : %d (first in execution %d)@." f.f_count f.f_first_exec

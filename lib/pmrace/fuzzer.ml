@@ -47,6 +47,10 @@ type config = {
       (* run the offline analyzer first (the LLVM pre-pass analogue): its
          site graph bounds alias coverage (achieved/possible) and seeds
          touching uncovered possible pairs are preferred as parents *)
+  invariants : bool;
+      (* mine likely persistence-ordering invariants in the pre-pass and
+         monitor campaigns for violations (validated post-failure like any
+         candidate); off by default so seeded sessions stay bit-identical *)
 }
 
 let default_config =
@@ -67,6 +71,7 @@ let default_config =
     initial_seeds = 2;
     whitelist_extra = [];
     static_prepass = false;
+    invariants = false;
   }
 
 (* The configuration front door: an optional-argument builder over
@@ -88,7 +93,8 @@ module Config = struct
       ?(evict_prob = default_config.evict_prob) ?(eadr = default_config.eadr)
       ?(workers = default_config.workers) ?(initial_seeds = default_config.initial_seeds)
       ?(whitelist_extra = default_config.whitelist_extra)
-      ?(static_prepass = default_config.static_prepass) () =
+      ?(static_prepass = default_config.static_prepass)
+      ?(invariants = default_config.invariants) () =
     {
       max_campaigns;
       execs_per_interleaving;
@@ -106,6 +112,7 @@ module Config = struct
       initial_seeds;
       whitelist_extra;
       static_prepass;
+      invariants;
     }
 end
 
@@ -166,6 +173,7 @@ type worker = {
      retargeted by [do_campaign] instead of attaching a fresh closure. *)
   cur_sites : (int, unit) Hashtbl.t ref;
   whitelist : Whitelist.t; (* shared, read-only during fuzzing *)
+  inv_mon : Inv_monitor.t option; (* mined-invariant violation monitor *)
   static_on : bool;
   log : string -> unit;
   obs : Obs.Events.t option; (* structured event stream, when a sink listens *)
@@ -249,7 +257,11 @@ let do_campaign w seed policy =
          handler at this seed's table. *)
       Hub.reset_delta w.delta;
       if w.static_on then w.cur_sites := sites_of w seed;
-      let result = Campaign.run ~engine:w.engine input in
+      let result =
+        match w.inv_mon with
+        | None -> Campaign.run ~engine:w.engine input
+        | Some m -> Campaign.run ~engine:w.engine ~listeners:[ Inv_monitor.attach m ] input
+      in
       let c =
         Hub.commit w.hub ~campaign ~delta:w.delta result.env ~hung:result.hung
           ~hang_info:(hang_info result)
@@ -336,6 +348,47 @@ let do_campaign w seed policy =
                    }))
           c.c_new_sync
       end;
+      (* Invariant-violation hits: register first sightings with the hub
+         (dedup by label across workers) and validate them like any other
+         candidate, outside the lock. *)
+      (match w.inv_mon with
+      | None -> ()
+      | Some m ->
+          List.iter
+            (fun (h : Inv_monitor.hit) ->
+              match
+                Hub.record_invariant w.hub ~campaign ~label:h.h_label
+                  ~kind:(Analysis.Invariants.inv_kind_slug h.h_inv)
+                  ~site:(Runtime.Instr.name h.h_site) ~addr:h.h_addr
+              with
+              | None -> ()
+              | Some f ->
+                  emit w
+                    (Obs.Events.Candidate_found
+                       {
+                         campaign;
+                         worker = w.widx;
+                         kind = "invariant";
+                         write_site = h.h_label;
+                         read_site = Runtime.Instr.name h.h_site;
+                       });
+                  if w.cfg.validate then begin
+                    let v =
+                      Post_failure.validate_ordering w.target ~image:h.h_image
+                        ~eff_words:h.h_words
+                    in
+                    f.Report.iv_verdict <- Some v;
+                    emit w
+                      (Obs.Events.Validation_verdict
+                         {
+                           campaign;
+                           worker = w.widx;
+                           kind = "invariant";
+                           site = h.h_label;
+                           verdict = verdict_label v;
+                         })
+                  end)
+            (Inv_monitor.drain m));
       rescore_seed w seed;
       w.my_campaigns <- w.my_campaigns + 1;
       Obs.Metrics.incr w.m_campaigns;
@@ -509,19 +562,44 @@ let run ?(log = fun _ -> ()) ?obs target cfg =
   (* Static pre-pass (the LLVM-pass analogue): bound the alias-pair
      coverage map and collect the lint findings before fuzzing starts.
      Pre-pass executions do not count against the campaign budget. *)
-  let prepass = if cfg.static_prepass then Some (Analyze.prepass target) else None in
-  let static = Option.map (fun (r : Analysis.Analyzer.result) -> r.r_pairs) prepass in
+  (* [invariants] rides on the pre-pass: mining needs its seed traces, so
+     it forces one even when [static_prepass] is off — but the site-graph
+     denominator and seed re-scoring stay gated on [static_prepass], so
+     the invariant monitor alone never changes exploration. *)
+  let prepass =
+    if cfg.static_prepass || cfg.invariants then
+      let analysis =
+        if cfg.invariants then { Analysis.Analyzer.default_config with invariants = true }
+        else Analysis.Analyzer.default_config
+      in
+      Some (Analyze.prepass ~analysis target)
+    else None
+  in
+  let static =
+    if cfg.static_prepass then
+      Option.map (fun (r : Analysis.Analyzer.result) -> r.r_pairs) prepass
+    else None
+  in
   let hub = Hub.create ?static ~max_campaigns:cfg.max_campaigns () in
   let whitelist = Whitelist.create (target.Target.whitelist_sites @ cfg.whitelist_extra) in
-  (match prepass with
-  | Some r ->
+  (match (prepass, cfg.static_prepass) with
+  | Some r, true ->
       Alias_cov.set_possible (Hub.alias hub) (Analysis.Alias_pairs.possible_count r.r_pairs);
       Report.set_lint (Hub.report hub) r.r_findings;
       log
         (Printf.sprintf "static pre-pass: %d possible alias pairs, %d lint findings"
            (Analysis.Alias_pairs.possible_count r.r_pairs)
            (List.length r.r_findings))
-  | None -> ());
+  | _ -> ());
+  let inv_specs =
+    match prepass with
+    | Some r when cfg.invariants -> r.Analysis.Analyzer.r_invariants
+    | _ -> []
+  in
+  if cfg.invariants then begin
+    Report.set_invariants (Hub.report hub) inv_specs;
+    log (Printf.sprintf "invariant mining: %d likely invariants" (List.length inv_specs))
+  end;
   (* Worker pool (§5): N domains share the hub's coverage, priority queue
      and report; each owns its RNG streams, corpus, and scratch tables, so
      campaigns do not contend.  Worker 0's streams are exactly the
@@ -574,6 +652,7 @@ let run ?(log = fun _ -> ()) ?obs target cfg =
       delta;
       cur_sites;
       whitelist;
+      inv_mon = (if inv_specs = [] then None else Some (Inv_monitor.create inv_specs));
       static_on;
       log;
       obs;

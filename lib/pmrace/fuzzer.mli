@@ -44,6 +44,14 @@ type config = {
           uncovered possible pairs are preferred as mutation parents.
           Off by default so that the paper-profile sessions are driven by
           coverage alone; the CLI turns it on unless [--no-static]. *)
+  invariants : bool;
+      (** mine likely persistence-ordering invariants ({!Analysis.Invariants})
+          from the pre-pass seed traces and monitor every campaign for
+          violations, validating first sightings post-failure
+          ({!Post_failure.validate_ordering}).  Forces a pre-pass run even
+          without [static_prepass], but never installs the site-graph
+          denominator on its own.  Off by default so seeded sessions stay
+          bit-identical; the CLI enables it with [--invariants]. *)
 }
 
 val default_config : config
@@ -74,6 +82,7 @@ module Config : sig
     ?initial_seeds:int ->
     ?whitelist_extra:string list ->
     ?static_prepass:bool ->
+    ?invariants:bool ->
     unit ->
     t
   (** Unspecified fields take their {!default} values; [workers] is

@@ -205,6 +205,12 @@ let commit t ~campaign ~delta (env : Runtime.Env.t) ~hung ~hang_info =
         c_branch_bits;
       })
 
+(* First sighting of an invariant violation across all workers; the
+   returned finding (if new) is validated by the discovering worker
+   outside the lock, like dynamic findings. *)
+let record_invariant t ~campaign ~label ~kind ~site ~addr =
+  with_lock t (fun () -> Report.record_invariant ~campaign t.report ~label ~kind ~site ~addr)
+
 let queue_entries t = with_lock t (fun () -> Shared_queue.entries t.queue)
 
 (* Re-score a seed against the static pre-pass: first refresh the

@@ -89,6 +89,18 @@ val commit :
     timeline.  One critical section; the returned new findings are then
     validated by the caller outside the lock. *)
 
+val record_invariant :
+  t ->
+  campaign:int ->
+  label:string ->
+  kind:string ->
+  site:string ->
+  addr:int ->
+  Report.inv_finding option
+(** Record a mined-invariant violation (locked); returns the finding only
+    on the first sighting of the label across all workers — the
+    discovering worker then validates it outside the lock. *)
+
 val queue_entries : t -> Shared_queue.entry list
 (** Snapshot of the shared-access priority queue (locked). *)
 

@@ -32,10 +32,12 @@ let m_validation = lazy (Obs.Metrics.histogram "validation_seconds")
 let m_validations = lazy (Obs.Metrics.counter "validations_total")
 
 (* Run the target's recovery on a crash image, recording every PM word the
-   recovery code overwrites. *)
-let run_recovery (target : Target.t) image =
+   recovery code overwrites.  Extra [listeners] (e.g. a trace recorder for
+   the recovery-path lint) are attached before recovery starts. *)
+let run_recovery ?(listeners = []) (target : Target.t) image =
   let env = Env.of_image image in
   target.annotate env;
+  List.iter (fun l -> l env) listeners;
   let written : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   Env.add_listener env (function
     | Env.Ev_store { addr; _ } | Env.Ev_movnt { addr; _ } -> Hashtbl.replace written addr ()
@@ -60,6 +62,23 @@ let validate_inconsistency (target : Target.t) whitelist (inc : Checkers.inconsi
           inc.eff_words <> [] && List.for_all (fun w -> Hashtbl.mem written w) inc.eff_words
         then Validated_fp
         else Bug { recovery_hang = false }
+
+(* Ordering-invariant violations are validated like inter-thread
+   inconsistencies: the crash image captured at the violating store shows
+   the invariant's source words still volatile.  If the target's own
+   recovery rewrites every one of those pending words, the mined
+   invariant was an artifact of the seed runs — a false positive. *)
+let validate_ordering (target : Target.t) ~image ~eff_words =
+  Obs.Metrics.incr (Lazy.force m_validations);
+  Obs.Metrics.time (Lazy.force m_validation) @@ fun () ->
+  match image with
+  | None -> Bug { recovery_hang = false }
+  | Some image ->
+      let _env, written, hang = run_recovery target image in
+      if hang then Bug { recovery_hang = true }
+      else if eff_words <> [] && List.for_all (fun w -> Hashtbl.mem written w) eff_words then
+        Validated_fp
+      else Bug { recovery_hang = false }
 
 let validate_sync (target : Target.t) (ev : Checkers.sync_event) =
   Obs.Metrics.incr (Lazy.force m_validations);

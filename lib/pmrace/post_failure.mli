@@ -11,14 +11,25 @@ type verdict =
 val pp_verdict : Format.formatter -> verdict -> unit
 
 val run_recovery :
-  Target.t -> Pmem.Pool.image -> Runtime.Env.t * (int, unit) Hashtbl.t * bool
+  ?listeners:(Runtime.Env.t -> unit) list ->
+  Target.t ->
+  Pmem.Pool.image ->
+  Runtime.Env.t * (int, unit) Hashtbl.t * bool
 (** Run recovery on a crash image; returns the post-recovery environment,
-    the set of PM words recovery overwrote, and whether it hung. *)
+    the set of PM words recovery overwrote, and whether it hung.
+    [listeners] (e.g. {!Runtime.Trace.attach}) are applied to the booted
+    environment before recovery starts. *)
 
 val validate_inconsistency :
   Target.t -> Whitelist.t -> Runtime.Checkers.inconsistency -> verdict
 (** False positive iff every side-effect word was overwritten during the
     immediate recovery (or the reading site is whitelisted). *)
+
+val validate_ordering :
+  Target.t -> image:Pmem.Pool.image option -> eff_words:int list -> verdict
+(** Validate an ordering-invariant violation: false positive iff the
+    target's recovery, run on the crash image captured at the violating
+    store, overwrites every still-pending source word ([eff_words]). *)
 
 val validate_sync : Target.t -> Runtime.Checkers.sync_event -> verdict
 (** False positive iff recovery restores the annotated variable to its

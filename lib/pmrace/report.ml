@@ -21,6 +21,17 @@ type sync_finding = {
   mutable sync_verdict : Post_failure.verdict option;
 }
 
+(* A mined-invariant violation observed during fuzzing, deduplicated by
+   the invariant's stable label. *)
+type inv_finding = {
+  iv_label : string;
+  iv_kind : string; (* "order" | "commit" *)
+  iv_site : string; (* violating store's site name *)
+  iv_addr : int;
+  iv_found_at : int;
+  mutable iv_verdict : Post_failure.verdict option;
+}
+
 type cand_key = { ck_write : string; ck_read : string; ck_kind : Candidates.kind }
 type inc_key = { xk_write : string; xk_read : string; xk_eff : string; xk_kind : Candidates.kind }
 
@@ -29,7 +40,9 @@ type t = {
   findings : (inc_key, finding) Hashtbl.t;
   sync_findings : (string * int64, sync_finding) Hashtbl.t;
   hangs : (string, int) Hashtbl.t; (* hung-thread description -> occurrences *)
+  inv_findings : (string, inv_finding) Hashtbl.t; (* invariant label -> finding *)
   mutable lint : Analysis.Lint.finding list; (* static pre-pass lint findings *)
+  mutable invariants : Analysis.Invariants.spec list; (* the mined monitor set *)
   mutable campaigns : int;
 }
 
@@ -39,7 +52,9 @@ let create () =
     findings = Hashtbl.create 64;
     sync_findings = Hashtbl.create 16;
     hangs = Hashtbl.create 8;
+    inv_findings = Hashtbl.create 16;
     lint = [];
+    invariants = [];
     campaigns = 0;
   }
 
@@ -102,9 +117,35 @@ let absorb ?campaign t (env : Runtime.Env.t) ~hung ~hang_info =
   end;
   (new_findings, new_sync)
 
+(* First sighting of an invariant violation wins (by label); returns the
+   finding only when it is new, so the caller validates each invariant
+   once per session. *)
+let record_invariant ?campaign t ~label ~kind ~site ~addr =
+  if Hashtbl.mem t.inv_findings label then None
+  else begin
+    let f =
+      {
+        iv_label = label;
+        iv_kind = kind;
+        iv_site = site;
+        iv_addr = addr;
+        iv_found_at = Option.value ~default:t.campaigns campaign;
+        iv_verdict = None;
+      }
+    in
+    Hashtbl.add t.inv_findings label f;
+    Some f
+  end
+
+let invariant_findings t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.inv_findings []
+  |> List.sort (fun a b -> String.compare a.iv_label b.iv_label)
+
 let campaigns t = t.campaigns
 let set_lint t fs = t.lint <- fs
 let lint_findings t = t.lint
+let set_invariants t specs = t.invariants <- specs
+let invariants t = t.invariants
 let findings t = Hashtbl.fold (fun _ f acc -> f :: acc) t.findings []
 let sync_findings t = Hashtbl.fold (fun _ f acc -> f :: acc) t.sync_findings []
 let hangs t = Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.hangs []

@@ -17,6 +17,15 @@ type sync_finding = {
   mutable sync_verdict : Post_failure.verdict option;
 }
 
+type inv_finding = {
+  iv_label : string;  (** the invariant's stable label — the dedup key *)
+  iv_kind : string;  (** ["order" | "commit"] *)
+  iv_site : string;  (** the violating store's site name *)
+  iv_addr : int;
+  iv_found_at : int;  (** campaign index of first sighting *)
+  mutable iv_verdict : Post_failure.verdict option;
+}
+
 type t
 
 val create : unit -> t
@@ -44,6 +53,25 @@ val set_lint : t -> Analysis.Lint.finding list -> unit
     carry them alongside the dynamic findings. *)
 
 val lint_findings : t -> Analysis.Lint.finding list
+
+val set_invariants : t -> Analysis.Invariants.spec list -> unit
+(** Attach the mined invariant set the session's monitor ran with. *)
+
+val invariants : t -> Analysis.Invariants.spec list
+
+val record_invariant :
+  ?campaign:int ->
+  t ->
+  label:string ->
+  kind:string ->
+  site:string ->
+  addr:int ->
+  inv_finding option
+(** Record an invariant violation; returns the finding only on first
+    sighting of the label, so each invariant is validated once. *)
+
+val invariant_findings : t -> inv_finding list
+(** Sorted by label (deterministic regardless of discovery order). *)
 
 val findings : t -> finding list
 val sync_findings : t -> sync_finding list

@@ -106,3 +106,79 @@ let target : Pmrace.Target.t =
       ];
     whitelist_sites = [];
   }
+
+(* ------------------------------------------------------------------ *)
+(* figure1-planted: the opt-in ground-truth variant for the
+   second-generation detectors.  Two seeded taxonomy bugs on top of the
+   Figure 1 program:
+
+   - ordering: [put] releases the lock BEFORE x is flushed, so the
+     likely invariant "store_x durable before unlock_g" (mined from the
+     correct figure1) is violated in every execution;
+   - missing recovery-path flush: recovery writes a progress marker to
+     PM and never flushes it, so the marker is dirty when recovery ends.
+
+   Opt-in: reachable through [Registry.planted] / [Registry.find] only,
+   never listed in [Registry.names], so ordinary sessions cannot pick it
+   up by accident.  The one extra site is registered lazily — a toplevel
+   [Instr.site] here would shift every later site id and break the
+   pinned coverage goldens. *)
+
+let r_off = Pmdk.Layout.root_base + 24 (* recovery progress marker *)
+let i_recover_mark = lazy (Instr.site "figure1.c:recover_mark")
+
+let put_planted ctx value =
+  Mem.branch ctx ~instr:i_b_put;
+  Mem.spin_lock ~persist_lock:true ctx ~instr:i_lock (Tval.of_int g_off);
+  Mem.store ctx ~instr:i_store_x (Tval.of_int x_off) (Tval.of_int value);
+  for i = 0 to 3 do
+    ignore (Mem.load ctx ~instr:i_busy (Tval.of_int (y_off + 1 + i)))
+  done;
+  (* BUG (ordering): the lock is released while x is still volatile. *)
+  Mem.unlock ~persist_lock:true ctx ~instr:i_unlock (Tval.of_int g_off);
+  Mem.persist ctx ~instr:i_flush_x (Tval.of_int x_off)
+
+let run_op_planted ctx (op : Pmrace.Seed.op) =
+  match op with
+  | Put { value; _ } | Update { value; _ } -> put_planted ctx value
+  | Get _ | Scan _ -> get ctx
+  | Delete _ -> put_planted ctx 0
+  | Incr _ | Decr _ | Append _ | Prepend _ -> get ctx
+  | Cas { value; _ } -> put_planted ctx value
+  | Touch _ | Flush_all | Stats -> get ctx
+
+let recover_planted (env : Env.t) =
+  let ctx = Env.ctx env ~tid:(-2) in
+  (* BUG (missing recovery-path flush): the marker never reaches durable. *)
+  Mem.store ctx ~instr:(Lazy.force i_recover_mark) (Tval.of_int r_off) (Tval.of_int 1)
+
+let planted : Pmrace.Target.t =
+  {
+    target with
+    name = "figure1-planted";
+    scope = "seeded taxonomy bugs (detector ground truth)";
+    run_op = run_op_planted;
+    recover = recover_planted;
+    known_bugs =
+      target.known_bugs
+      @ [
+          {
+            kb_id = 103;
+            kb_type = `Other;
+            kb_new = true;
+            kb_write_site = Some "figure1.c:unlock_g";
+            kb_read_site = None;
+            kb_description = "lock released before x is durable (ordering)";
+            kb_consequence = "order store_x -> unlock_g invariant violated";
+          };
+          {
+            kb_id = 104;
+            kb_type = `Other;
+            kb_new = true;
+            kb_write_site = Some "figure1.c:recover_mark";
+            kb_read_site = None;
+            kb_description = "recovery marker written but never flushed";
+            kb_consequence = "marker lost at the next crash";
+          };
+        ];
+  }

@@ -18,3 +18,15 @@ val get : Runtime.Env.ctx -> unit
 (** Thread-2's path: read x, write it to y, flush y. *)
 
 val target : Pmrace.Target.t
+
+val r_off : int
+(** PM word of the planted variant's recovery progress marker. *)
+
+val planted : Pmrace.Target.t
+(** ["figure1-planted"]: the opt-in ground-truth variant for the
+    second-generation detectors.  Its [put] releases the lock before x is
+    flushed (violating the mined "store_x durable before unlock_g"
+    invariant in every execution) and its recovery writes a marker word
+    it never flushes (the missing-recovery-path-flush class).  Reachable
+    by name through {!Registry.find} but excluded from
+    {!Registry.names}/{!Registry.with_examples}. *)

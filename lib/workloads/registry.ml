@@ -6,8 +6,14 @@ let all : Pmrace.Target.t list =
 
 let with_examples = Figure1.target :: all
 
+(* Opt-in seeded-bug variants: resolvable by exact name, never listed —
+   ordinary sessions and the CI sweep cannot pick them up by accident. *)
+let planted : Pmrace.Target.t list = [ Figure1.planted ]
+
 let find name =
-  List.find_opt (fun (t : Pmrace.Target.t) -> String.equal t.name name) with_examples
+  List.find_opt
+    (fun (t : Pmrace.Target.t) -> String.equal t.name name)
+    (with_examples @ planted)
 
 let names () = List.map (fun (t : Pmrace.Target.t) -> t.name) with_examples
 

@@ -6,8 +6,16 @@ val all : Pmrace.Target.t list
 val with_examples : Pmrace.Target.t list
 (** [all] plus the Figure 1 running example. *)
 
+val planted : Pmrace.Target.t list
+(** Opt-in seeded-bug variants (detector ground truth), e.g.
+    ["figure1-planted"].  Resolvable through {!find} by exact name but
+    excluded from {!names} and {!with_examples}. *)
+
 val find : string -> Pmrace.Target.t option
+(** Searches [with_examples] and [planted]. *)
+
 val names : unit -> string list
+(** Names of [with_examples] only — planted variants are not listed. *)
 
 val table1 : unit -> (string * string * string * string) list
 (** (system, version, scope, concurrency) rows. *)

@@ -25,6 +25,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);
+      ("detectors", Test_detectors.suite);
       ("invariants", Test_invariants.suite);
       ("integration", Test_integration.suite);
     ]
