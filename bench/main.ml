@@ -21,6 +21,7 @@ let sections : (string * (Format.formatter -> unit)) list =
     ("workers-scaling", Ablations.workers_scaling);
     ("engine", Ablations.engine);
     ("hotpath", Hotpath.run);
+    ("fleet", Fleet_bench.run);
     ("detectors", Detectors.run);
     ("micro", Micro.run);
   ]

@@ -177,6 +177,14 @@ let fuzz_cmd =
                "Mine likely persistence-ordering invariants in the pre-pass and monitor every \
                 campaign for violations (validated post-failure like other candidates).")
   in
+  let corpus_sched =
+    Arg.(value & flag
+         & info [ "corpus-sched" ]
+             ~doc:
+               "AFL-style corpus scheduling: draw mutation parents from the favored cover of the \
+                achieved alias-pair set (recomputed each generation) instead of uniformly from \
+                the corpus.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log campaign progress.") in
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Print detailed bug reports with reproduction inputs.")
@@ -200,14 +208,14 @@ let fuzz_cmd =
              ~doc:"Disable metrics collection (the default hot-path cost is one atomic load).")
   in
   let run target campaigns seed workers mode no_checkpoint no_validate no_ie no_se no_static
-      invariants verbose report json_out trace_out no_metrics =
+      invariants corpus_sched verbose report json_out trace_out no_metrics =
     Obs.Metrics.set_enabled (not no_metrics);
     Obs.Metrics.reset ();
     let cfg =
       Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:seed ~workers ~mode
         ~use_checkpoint:((not no_checkpoint) && target.Pmrace.Target.expensive_init)
         ~validate:(not no_validate) ~interleaving_tier:(not no_ie) ~seed_tier:(not no_se)
-        ~static_prepass:(not no_static) ~invariants ()
+        ~static_prepass:(not no_static) ~invariants ~corpus_sched ()
     in
     let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
     let obs, trace_oc =
@@ -236,7 +244,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Fuzz a PM system for concurrency bugs")
     Term.(
       const run $ target $ campaigns $ seed $ workers $ mode $ no_checkpoint $ no_validate $ no_ie
-      $ no_se $ no_static $ invariants $ verbose $ report $ json_out $ trace_out $ no_metrics)
+      $ no_se $ no_static $ invariants $ corpus_sched $ verbose $ report $ json_out $ trace_out
+      $ no_metrics)
 
 let replay_cmd =
   let target =
@@ -371,9 +380,166 @@ let inspect_cmd =
   in
   Cmd.v (Cmd.info "inspect" ~doc:"Show a target's seeded ground truth") Term.(const run $ target)
 
+let hub_cmd =
+  let store_dir =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR"
+             ~doc:
+               "Durable store directory (created if absent).  Restarting a hub on the same \
+                directory resumes its budget ledger, aggregate coverage, bug set and corpus.")
+  in
+  let target =
+    Arg.(required & opt (some target_conv) None
+         & info [ "target" ] ~docv:"TARGET" ~doc:"Target this hub serves; worker mismatches are refused.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on (default $(i,DIR)/hub.sock).")
+  in
+  let budget =
+    Arg.(value & opt int 300
+         & info [ "budget"; "n" ]
+             ~doc:"Total campaign budget across all workers and hub restarts.")
+  in
+  let campaigns_per_lease =
+    Arg.(value & opt int 30
+         & info [ "campaigns-per-lease" ] ~doc:"Campaign-grant cap per lease request.")
+  in
+  let seeds_per_lease =
+    Arg.(value & opt int 4
+         & info [ "seeds-per-lease" ] ~doc:"Favored corpus seeds handed out per lease.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log attach/lease/delta traffic.") in
+  let run store_dir (target : Pmrace.Target.t) socket budget campaigns_per_lease seeds_per_lease
+      verbose =
+    let socket_path =
+      match socket with Some p -> p | None -> Filename.concat store_dir "hub.sock"
+    in
+    let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
+    let cfg =
+      {
+        Fleet.Coordinator.socket_path;
+        store_dir;
+        target = target.Pmrace.Target.name;
+        budget;
+        campaigns_per_lease;
+        seeds_per_lease;
+        log;
+      }
+    in
+    match Fleet.Coordinator.serve cfg with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 2
+    | Ok st ->
+        Format.printf "hub drained: %d campaigns, %d unique bugs, %d workers served@."
+          st.Fleet.Coordinator.st_campaigns st.st_bugs st.st_clients
+  in
+  Cmd.v
+    (Cmd.info "hub"
+       ~doc:
+         "Run a fleet coordinator: a durable corpus/coverage hub that leases campaign budget to \
+          $(b,pmrace worker) processes")
+    Term.(
+      const run $ store_dir $ target $ socket $ budget $ campaigns_per_lease $ seeds_per_lease
+      $ verbose)
+
+let worker_cmd =
+  let target =
+    Arg.(required & pos 0 (some target_conv) None & info [] ~docv:"TARGET" ~doc:"Target to fuzz.")
+  in
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"PATH" ~doc:"The hub's Unix-domain socket.")
+  in
+  let seed = Arg.(value & opt int 5 & info [ "seed" ] ~doc:"Master random seed (the worker's \
+                                                            streams also mix in its hub-assigned \
+                                                            index).")
+  in
+  let max_campaigns =
+    Arg.(value & opt (some int) None
+         & info [ "max-campaigns" ] ~docv:"N"
+             ~doc:"Detach after N local campaigns even if budget remains (the hub reclaims the \
+                   rest of the lease).")
+  in
+  let no_static =
+    Arg.(value & flag & info [ "no-static" ] ~doc:"Skip the static pre-pass.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:"Write this worker's local session shard as an artifact; combine shards with \
+                   $(b,pmrace merge).")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log campaign progress.") in
+  let run (target : Pmrace.Target.t) connect seed max_campaigns no_static json_out verbose =
+    let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
+    let cfg =
+      Fuzzer.Config.make ~master_seed:seed
+        ~use_checkpoint:target.Pmrace.Target.expensive_init
+        ~static_prepass:(not no_static) ()
+    in
+    let wcfg = { Fleet.Worker.default_config with connect; cfg; max_local = max_campaigns; log } in
+    match Fleet.Worker.run wcfg target with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 2
+    | Ok o ->
+        Format.printf "worker %d: %d campaigns@." o.Fleet.Worker.o_widx o.o_campaigns;
+        print_session Format.std_formatter target o.o_session;
+        (match json_out with
+        | Some path ->
+            Pmrace.Artifact.write ~path (Pmrace.Artifact.of_session ~target ~cfg o.o_session);
+            Format.printf "@.shard artifact written to %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "worker" ~doc:"Run one fleet fuzzing worker attached to a $(b,pmrace hub)")
+    Term.(const run $ target $ connect $ seed $ max_campaigns $ no_static $ json_out $ verbose)
+
+let merge_cmd =
+  let inputs =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"SHARD.json" ~doc:"Session artifacts of the same target.")
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"OUT.json" ~doc:"Merged artifact path.")
+  in
+  let run inputs out =
+    let shards =
+      List.map
+        (fun path ->
+          match Pmrace.Artifact.read ~path with
+          | Error e ->
+              Format.eprintf "cannot read %s: %s@." path e;
+              exit 2
+          | Ok a -> (Filename.basename path, a))
+        inputs
+    in
+    match Pmrace.Artifact.merge shards with
+    | Error e ->
+        Format.eprintf "merge failed: %s@." e;
+        exit 2
+    | Ok merged ->
+        Pmrace.Artifact.write ~path:out merged;
+        Format.printf "merged %d shards: %d campaigns, %d unique bugs, %d site pairs -> %s@."
+          (List.length shards) merged.Pmrace.Artifact.a_campaigns
+          (List.length merged.Pmrace.Artifact.a_bugs)
+          (List.length merged.Pmrace.Artifact.a_site_pairs)
+          out
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Union session artifacts of one target into a single artifact with per-origin \
+          provenance; campaign indices are re-based so $(b,pmrace replay) still works")
+    Term.(const run $ inputs $ out)
+
 let () =
   let doc = "PMRace: PM-aware coverage-guided fuzzing for persistent-memory concurrency bugs" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "pmrace" ~doc)
-          [ fuzz_cmd; replay_cmd; analyze_cmd; list_cmd; inspect_cmd ]))
+          [ fuzz_cmd; replay_cmd; analyze_cmd; list_cmd; inspect_cmd; hub_cmd; worker_cmd; merge_cmd ]))

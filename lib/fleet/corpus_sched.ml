@@ -1,0 +1,4 @@
+(* Re-export: the scheduler lives in [pmrace] (the in-process fuzzer
+   uses it behind [--corpus-sched]) but is conceptually part of the
+   fleet surface, so [Fleet.Corpus_sched] aliases it. *)
+include Pmrace.Corpus_sched

@@ -1,0 +1,322 @@
+(* The coordinator's durable on-disk state.
+
+   Everything a restarted coordinator needs lives in the store directory:
+   the budget ledger (meta.json), the aggregate coverage delta
+   (coverage.json), the deduplicated bug sightings (bugs.json), and one
+   file per unique corpus seed (corpus/<fingerprint>.json).  Mutations
+   persist with write-to-temp + rename before the worker gets its ack, so
+   a SIGKILL at any instant loses at most frames that were never
+   acknowledged — a worker whose delta was acked is durably merged.
+
+   Seed identity is Seed.fingerprint (a content hash over rendered ops),
+   so the same seed re-contributed by two workers, or re-loaded after a
+   restart, lands on one corpus file.  Coverage identity is site names
+   (Hub's delta codec), so the aggregate merges correctly across worker
+   processes with different site-id layouts. *)
+
+module J = Obs.Json
+module Hub = Pmrace.Hub
+module Seed = Pmrace.Seed
+module Corpus_sched = Pmrace.Corpus_sched
+
+type bug_entry = {
+  be_kind : string;
+  be_site : string;
+  be_read_sites : string list;
+  be_members : int;
+  be_origin : string;
+  be_first_campaign : int option;
+}
+
+type t = {
+  s_dir : string;
+  s_target : string;
+  mutable s_budget_total : int;
+  mutable s_budget_used : int;
+  mutable s_clients : int; (* worker indices handed out, across restarts *)
+  s_corpus : Corpus_sched.t;
+  s_agg : Hub.delta; (* fleet-wide achieved coverage *)
+  mutable s_bugs : bug_entry list;
+}
+
+let dir t = t.s_dir
+let target t = t.s_target
+let budget_total t = t.s_budget_total
+let budget_used t = t.s_budget_used
+let corpus t = t.s_corpus
+let coverage t = t.s_agg
+let budget_remaining t = max 0 (t.s_budget_total - t.s_budget_used)
+
+let bugs t =
+  List.sort (fun a b -> compare (a.be_kind, a.be_site) (b.be_kind, b.be_site)) t.s_bugs
+
+(* ------------------------------------------------------------------ *)
+(* Files *)
+
+let meta_path t = Filename.concat t.s_dir "meta.json"
+let coverage_path t = Filename.concat t.s_dir "coverage.json"
+let bugs_path t = Filename.concat t.s_dir "bugs.json"
+let corpus_dir t = Filename.concat t.s_dir "corpus"
+let fp_name fp = Printf.sprintf "%016Lx.json" fp
+
+(* Atomic persist: a reader (or a restart) sees the old file or the new
+   file, never a torn write. *)
+let write_file path json =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string ~minify:true json);
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> J.of_string text
+
+let get conv name j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "store: bad or missing field %S" name)
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Persist *)
+
+let save_meta t =
+  write_file (meta_path t)
+    (J.Obj
+       [
+         ("target", J.String t.s_target);
+         ("budget_total", J.Int t.s_budget_total);
+         ("budget_used", J.Int t.s_budget_used);
+         ("clients", J.Int t.s_clients);
+       ])
+
+let save_coverage t = write_file (coverage_path t) (Hub.delta_to_json t.s_agg)
+
+let bug_to_json b =
+  J.Obj
+    [
+      ("kind", J.String b.be_kind);
+      ("site", J.String b.be_site);
+      ("read_sites", J.List (List.map (fun s -> J.String s) b.be_read_sites));
+      ("members", J.Int b.be_members);
+      ("origin", J.String b.be_origin);
+      ("first_campaign", match b.be_first_campaign with Some c -> J.Int c | None -> J.Null);
+    ]
+
+let save_bugs t = write_file (bugs_path t) (J.List (List.map bug_to_json (bugs t)))
+
+let save_corpus_entry t (e : Corpus_sched.entry) =
+  write_file
+    (Filename.concat (corpus_dir t) (fp_name e.e_fp))
+    (J.Obj
+       [
+         ("seed", Pmrace.Artifact.seed_to_json e.e_seed);
+         ( "pairs",
+           J.List
+             (List.map
+                (fun (w, r) -> J.Obj [ ("write", J.String w); ("read", J.String r) ])
+                e.e_pairs) );
+         ("added", J.Int e.e_added);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Load *)
+
+let load_meta t =
+  let* j = read_file (meta_path t) in
+  let* target = get J.to_str "target" j in
+  if not (String.equal target t.s_target) then
+    Error (Printf.sprintf "store %s holds target %S, not %S" t.s_dir target t.s_target)
+  else begin
+    let* used = get J.to_int "budget_used" j in
+    let* clients = get J.to_int "clients" j in
+    t.s_budget_used <- used;
+    t.s_clients <- clients;
+    Ok ()
+  end
+
+let load_coverage t =
+  if not (Sys.file_exists (coverage_path t)) then Ok ()
+  else
+    let* j = read_file (coverage_path t) in
+    let* d = Hub.delta_of_json j in
+    Hub.merge_delta_into ~src:d ~dst:t.s_agg;
+    Ok ()
+
+let load_bugs t =
+  if not (Sys.file_exists (bugs_path t)) then Ok ()
+  else
+    let* j = read_file (bugs_path t) in
+    match J.to_list j with
+    | None -> Error "store: bugs.json: expected list"
+    | Some l ->
+        let* entries =
+          List.fold_left
+            (fun acc b ->
+              let* acc = acc in
+              let* be_kind = get J.to_str "kind" b in
+              let* be_site = get J.to_str "site" b in
+              let* rs = get J.to_list "read_sites" b in
+              let be_read_sites = List.filter_map J.to_str rs in
+              let* be_members = get J.to_int "members" b in
+              let* be_origin = get J.to_str "origin" b in
+              let be_first_campaign = Option.bind (J.member "first_campaign" b) J.to_int in
+              Ok ({ be_kind; be_site; be_read_sites; be_members; be_origin; be_first_campaign } :: acc))
+            (Ok []) l
+        in
+        t.s_bugs <- List.rev entries;
+        Ok ()
+
+let load_corpus t =
+  let cdir = corpus_dir t in
+  if not (Sys.file_exists cdir) then Ok ()
+  else begin
+    let files =
+      Sys.readdir cdir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort compare
+    in
+    let* entries =
+      List.fold_left
+        (fun acc f ->
+          let* acc = acc in
+          let* j = read_file (Filename.concat cdir f) in
+          let* sj =
+            match J.member "seed" j with Some s -> Ok s | None -> Error "store: corpus: missing seed"
+          in
+          let* seed = Pmrace.Artifact.seed_of_json sj in
+          let* pj = get J.to_list "pairs" j in
+          let* pairs =
+            List.fold_left
+              (fun acc p ->
+                let* acc = acc in
+                let* w = get J.to_str "write" p in
+                let* r = get J.to_str "read" p in
+                Ok ((w, r) :: acc))
+              (Ok []) pj
+            |> Result.map List.rev
+          in
+          let* added = get J.to_int "added" j in
+          Ok ((added, seed, pairs) :: acc))
+        (Ok []) files
+    in
+    (* Oldest first, so reload preserves the age axis and the insertion
+       sequence resumes past the highest stored value. *)
+    List.iter
+      (fun (added, seed, pairs) -> ignore (Corpus_sched.add t.s_corpus ~pairs ~added seed))
+      (List.sort compare entries);
+    Ok ()
+  end
+
+let open_store ~dir ~target ~budget =
+  let t =
+    {
+      s_dir = dir;
+      s_target = target;
+      s_budget_total = budget;
+      s_budget_used = 0;
+      s_clients = 0;
+      s_corpus = Corpus_sched.create ();
+      s_agg = Hub.fresh_delta ();
+      s_bugs = [];
+    }
+  in
+  try
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    if not (Sys.file_exists (corpus_dir t)) then Unix.mkdir (corpus_dir t) 0o755;
+    if Sys.file_exists (meta_path t) then begin
+      let* () = load_meta t in
+      let* () = load_coverage t in
+      let* () = load_bugs t in
+      let* () = load_corpus t in
+      (* The caller's budget is the new total (a restart may extend the
+         campaign), but the used count survives. *)
+      t.s_budget_total <- budget;
+      save_meta t;
+      Ok t
+    end
+    else begin
+      save_meta t;
+      Ok t
+    end
+  with
+  | Unix.Unix_error (e, _, p) -> Error (Printf.sprintf "store: %s: %s" p (Unix.error_message e))
+  | Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Mutations (persist before the caller acks the worker) *)
+
+let next_widx t =
+  let w = t.s_clients in
+  t.s_clients <- w + 1;
+  save_meta t;
+  w
+
+let record_campaigns t n =
+  if n > 0 then begin
+    t.s_budget_used <- t.s_budget_used + n;
+    save_meta t
+  end
+
+let m_merge = lazy (Obs.Metrics.histogram "fleet_delta_merge_seconds")
+
+let merge_delta t d =
+  Obs.Metrics.time (Lazy.force m_merge) @@ fun () ->
+  Hub.merge_delta_into ~src:d ~dst:t.s_agg;
+  save_coverage t
+
+let add_seed t ?(pairs = []) seed =
+  match Corpus_sched.add t.s_corpus ~pairs seed with
+  | Some e ->
+      save_corpus_entry t e;
+      true
+  | None ->
+      (* Duplicate content: the existing entry absorbed the pair credit;
+         persist it if the credit changed anything. *)
+      if pairs <> [] then
+        Option.iter (save_corpus_entry t) (Corpus_sched.find t.s_corpus (Seed.fingerprint seed));
+      false
+
+let credit_seed t seed pairs =
+  let fp = Seed.fingerprint seed in
+  Corpus_sched.credit_pairs t.s_corpus fp pairs;
+  Option.iter (save_corpus_entry t) (Corpus_sched.find t.s_corpus fp)
+
+let record_bug t ~kind ~site ~read_sites ~members ~origin ~first_campaign =
+  let fresh = not (List.exists (fun b -> b.be_kind = kind && b.be_site = site) t.s_bugs) in
+  (if fresh then
+     t.s_bugs <-
+       {
+         be_kind = kind;
+         be_site = site;
+         be_read_sites = List.sort_uniq compare read_sites;
+         be_members = members;
+         be_origin = origin;
+         be_first_campaign = first_campaign;
+       }
+       :: t.s_bugs
+   else
+     t.s_bugs <-
+       List.map
+         (fun b ->
+           if b.be_kind = kind && b.be_site = site then
+             {
+               b with
+               be_members = b.be_members + members;
+               be_read_sites = List.sort_uniq compare (read_sites @ b.be_read_sites);
+             }
+           else b)
+         t.s_bugs);
+  save_bugs t;
+  fresh

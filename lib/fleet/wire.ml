@@ -1,0 +1,265 @@
+(* The fleet wire protocol: 4-byte big-endian length prefix, then that
+   many bytes of minified Obs.Json.
+
+   Site identity crosses the process boundary by *name*, never by raw id:
+   the seed/spec codecs come from Artifact and the delta codec from Hub,
+   both of which re-register names via Runtime.Instr.site on decode.  A
+   worker and the coordinator therefore never need the same site-id
+   layout — which they would not have, since each process registers sites
+   in its own discovery order. *)
+
+module J = Obs.Json
+
+let protocol_version = 1
+
+(* Frames above this are a protocol error, not a workload: the largest
+   legitimate payload (a full-coverage delta for the biggest target) is a
+   few hundred KB. *)
+let max_frame = 64 * 1024 * 1024
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = try Unix.write fd buf off len with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+    write_all fd buf (off + n) (len - n)
+  end
+
+(* [Error "eof"] on a clean close before any byte; short reads mid-frame
+   are a protocol error. *)
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off >= len then Ok buf
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then Error "eof" else Error "truncated frame"
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let m_bytes = lazy (Obs.Metrics.counter "fleet_wire_bytes_total")
+
+let send fd json =
+  let payload = Bytes.of_string (J.to_string ~minify:true json) in
+  let len = Bytes.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  Obs.Metrics.incr ~by:(len + 4) (Lazy.force m_bytes);
+  write_all fd hdr 0 4;
+  write_all fd payload 0 len
+
+let recv fd =
+  match read_exact fd 4 with
+  | Error _ as e -> e
+  | Ok hdr -> (
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then Error (Printf.sprintf "bad frame length %d" len)
+      else
+        match read_exact fd len with
+        | Error _ as e -> e
+        | Ok payload -> (
+            Obs.Metrics.incr ~by:(len + 4) (Lazy.force m_bytes);
+            match J.of_string (Bytes.to_string payload) with
+            | Ok j -> Ok j
+            | Error e -> Error (Printf.sprintf "bad frame payload: %s" e)))
+
+(* ------------------------------------------------------------------ *)
+(* Message codecs *)
+
+type client_msg =
+  | Hello of { target : string; version : int }
+  | Lease_req of { campaigns : int; seeds : int }
+  | Delta of {
+      delta : Pmrace.Hub.delta;
+      campaigns : int;
+      seeds : (Pmrace.Seed.t * (string * string) list) list;
+    }
+  | Bug of {
+      kind : string;
+      site : string;
+      read_sites : string list;
+      members : int;
+      first_campaign : int option;
+    }
+  | Bye
+
+type server_msg =
+  | Hello_ack of { widx : int; budget_total : int; budget_used : int; corpus : int }
+  | Lease of { campaigns : int; seeds : Pmrace.Seed.t list }
+  | Retry
+  | Drained
+  | Delta_ack
+  | Bug_ack of { fresh : bool }
+  | Bye_ack
+  | Err of string
+
+let pairs_to_json ps =
+  J.List (List.map (fun (w, r) -> J.Obj [ ("write", J.String w); ("read", J.String r) ]) ps)
+
+let get conv name j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "wire: bad or missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let pairs_of_json j =
+  match J.to_list j with
+  | None -> Error "wire: pairs: expected list"
+  | Some l ->
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          let* w = get J.to_str "write" p in
+          let* r = get J.to_str "read" p in
+          Ok ((w, r) :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+
+let client_to_json = function
+  | Hello { target; version } ->
+      J.Obj [ ("type", J.String "hello"); ("target", J.String target); ("version", J.Int version) ]
+  | Lease_req { campaigns; seeds } ->
+      J.Obj
+        [ ("type", J.String "lease_req"); ("campaigns", J.Int campaigns); ("seeds", J.Int seeds) ]
+  | Delta { delta; campaigns; seeds } ->
+      J.Obj
+        [
+          ("type", J.String "delta");
+          ("campaigns", J.Int campaigns);
+          ("delta", Pmrace.Hub.delta_to_json delta);
+          ( "seeds",
+            J.List
+              (List.map
+                 (fun (s, ps) ->
+                   J.Obj [ ("seed", Pmrace.Artifact.seed_to_json s); ("pairs", pairs_to_json ps) ])
+                 seeds) );
+        ]
+  | Bug { kind; site; read_sites; members; first_campaign } ->
+      J.Obj
+        [
+          ("type", J.String "bug");
+          ("kind", J.String kind);
+          ("site", J.String site);
+          ("read_sites", J.List (List.map (fun s -> J.String s) read_sites));
+          ("members", J.Int members);
+          ( "first_campaign",
+            match first_campaign with Some c -> J.Int c | None -> J.Null );
+        ]
+  | Bye -> J.Obj [ ("type", J.String "bye") ]
+
+let client_of_json j =
+  let* ty = get J.to_str "type" j in
+  match ty with
+  | "hello" ->
+      let* target = get J.to_str "target" j in
+      let* version = get J.to_int "version" j in
+      Ok (Hello { target; version })
+  | "lease_req" ->
+      let* campaigns = get J.to_int "campaigns" j in
+      let* seeds = get J.to_int "seeds" j in
+      Ok (Lease_req { campaigns; seeds })
+  | "delta" ->
+      let* campaigns = get J.to_int "campaigns" j in
+      let* dj =
+        match J.member "delta" j with Some d -> Ok d | None -> Error "wire: delta: missing delta"
+      in
+      let* delta = Pmrace.Hub.delta_of_json dj in
+      let* sl = get J.to_list "seeds" j in
+      let* seeds =
+        List.fold_left
+          (fun acc sj ->
+            let* acc = acc in
+            let* seed_j =
+              match J.member "seed" sj with
+              | Some s -> Ok s
+              | None -> Error "wire: delta seed: missing seed"
+            in
+            let* seed = Pmrace.Artifact.seed_of_json seed_j in
+            let* ps =
+              match J.member "pairs" sj with
+              | Some p -> pairs_of_json p
+              | None -> Error "wire: delta seed: missing pairs"
+            in
+            Ok ((seed, ps) :: acc))
+          (Ok []) sl
+        |> Result.map List.rev
+      in
+      Ok (Delta { delta; campaigns; seeds })
+  | "bug" ->
+      let* kind = get J.to_str "kind" j in
+      let* site = get J.to_str "site" j in
+      let* rs = get J.to_list "read_sites" j in
+      let* read_sites =
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            match J.to_str s with
+            | Some s -> Ok (s :: acc)
+            | None -> Error "wire: bug: bad read site")
+          (Ok []) rs
+        |> Result.map List.rev
+      in
+      let* members = get J.to_int "members" j in
+      let first_campaign = Option.bind (J.member "first_campaign" j) J.to_int in
+      Ok (Bug { kind; site; read_sites; members; first_campaign })
+  | "bye" -> Ok Bye
+  | ty -> Error (Printf.sprintf "wire: unknown client message %S" ty)
+
+let server_to_json = function
+  | Hello_ack { widx; budget_total; budget_used; corpus } ->
+      J.Obj
+        [
+          ("type", J.String "hello_ack");
+          ("widx", J.Int widx);
+          ("budget_total", J.Int budget_total);
+          ("budget_used", J.Int budget_used);
+          ("corpus", J.Int corpus);
+        ]
+  | Lease { campaigns; seeds } ->
+      J.Obj
+        [
+          ("type", J.String "lease");
+          ("campaigns", J.Int campaigns);
+          ("seeds", J.List (List.map Pmrace.Artifact.seed_to_json seeds));
+        ]
+  | Retry -> J.Obj [ ("type", J.String "retry") ]
+  | Drained -> J.Obj [ ("type", J.String "drained") ]
+  | Delta_ack -> J.Obj [ ("type", J.String "delta_ack") ]
+  | Bug_ack { fresh } -> J.Obj [ ("type", J.String "bug_ack"); ("fresh", J.Bool fresh) ]
+  | Bye_ack -> J.Obj [ ("type", J.String "bye_ack") ]
+  | Err msg -> J.Obj [ ("type", J.String "error"); ("msg", J.String msg) ]
+
+let server_of_json j =
+  let* ty = get J.to_str "type" j in
+  match ty with
+  | "hello_ack" ->
+      let* widx = get J.to_int "widx" j in
+      let* budget_total = get J.to_int "budget_total" j in
+      let* budget_used = get J.to_int "budget_used" j in
+      let* corpus = get J.to_int "corpus" j in
+      Ok (Hello_ack { widx; budget_total; budget_used; corpus })
+  | "lease" ->
+      let* campaigns = get J.to_int "campaigns" j in
+      let* sl = get J.to_list "seeds" j in
+      let* seeds =
+        List.fold_left
+          (fun acc sj ->
+            let* acc = acc in
+            let* s = Pmrace.Artifact.seed_of_json sj in
+            Ok (s :: acc))
+          (Ok []) sl
+        |> Result.map List.rev
+      in
+      Ok (Lease { campaigns; seeds })
+  | "retry" -> Ok Retry
+  | "drained" -> Ok Drained
+  | "delta_ack" -> Ok Delta_ack
+  | "bug_ack" ->
+      let* fresh = get J.to_bool "fresh" j in
+      Ok (Bug_ack { fresh })
+  | "bye_ack" -> Ok Bye_ack
+  | "error" ->
+      let* msg = get J.to_str "msg" j in
+      Ok (Err msg)
+  | ty -> Error (Printf.sprintf "wire: unknown server message %S" ty)

@@ -1,0 +1,63 @@
+(** The fleet wire protocol: length-prefixed {!Obs.Json} frames over a
+    Unix-domain socket.
+
+    Strict RPC shape: every {!client_msg} a worker sends gets exactly one
+    {!server_msg} reply from the coordinator.  All payloads encode
+    instruction sites by {e name} (the codecs re-register them via
+    {!Runtime.Instr.site} on decode), so frames are valid across
+    processes with different site-id layouts.
+
+    Framing: a 4-byte big-endian payload length, then that many bytes of
+    minified JSON.  {!recv} returns [Error] on EOF, oversized frames and
+    malformed payloads — the peer is then treated as gone. *)
+
+val protocol_version : int
+
+val send : Unix.file_descr -> Obs.Json.t -> unit
+(** Write one frame (handles short writes).  Raises [Unix.Unix_error]
+    (e.g. [EPIPE]) when the peer vanished. *)
+
+val recv : Unix.file_descr -> (Obs.Json.t, string) result
+(** Read one frame; [Error "eof"] on a clean close. *)
+
+(** Worker-to-coordinator messages. *)
+type client_msg =
+  | Hello of { target : string; version : int }
+      (** first message on a connection; the coordinator checks the
+          target and assigns the worker its index *)
+  | Lease_req of { campaigns : int; seeds : int }
+      (** ask for a campaign-budget reservation of up to [campaigns] and
+          up to [seeds] corpus seeds to fuzz *)
+  | Delta of {
+      delta : Pmrace.Hub.delta;
+      campaigns : int;  (** campaigns executed since the last shipment *)
+      seeds : (Pmrace.Seed.t * (string * string) list) list;
+          (** seeds that achieved new alias pairs, with the pair names *)
+    }
+  | Bug of {
+      kind : string;
+      site : string;
+      read_sites : string list;
+      members : int;
+      first_campaign : int option;  (** worker-local campaign index *)
+    }
+  | Bye
+
+(** Coordinator replies. *)
+type server_msg =
+  | Hello_ack of { widx : int; budget_total : int; budget_used : int; corpus : int }
+  | Lease of { campaigns : int; seeds : Pmrace.Seed.t list }
+  | Retry
+      (** nothing grantable now, but outstanding leases may return —
+          back off and re-request *)
+  | Drained  (** budget exhausted for good: wind down *)
+  | Delta_ack
+  | Bug_ack of { fresh : bool }
+      (** [fresh] = first sighting of this (kind, site) across the fleet *)
+  | Bye_ack
+  | Err of string
+
+val client_to_json : client_msg -> Obs.Json.t
+val client_of_json : Obs.Json.t -> (client_msg, string) result
+val server_to_json : server_msg -> Obs.Json.t
+val server_of_json : Obs.Json.t -> (server_msg, string) result

@@ -1,0 +1,40 @@
+(** A fleet worker: the PR-2 worker loop ({!Pmrace.Fuzzer.worker_loop})
+    bound to a coordinator instead of an in-process hub.
+
+    The worker keeps a private local {!Pmrace.Hub} (unbounded budget —
+    the coordinator's leases are the real budget) and a {e wire delta}
+    that every campaign delta is folded into at commit.  At each lease
+    boundary it ships the wire delta, the seeds that achieved new alias
+    pairs, and any new validated bug groups, then asks for the next
+    lease.  A worker that dies mid-lease loses only that leased batch;
+    one that loses its coordinator keeps its local session and still
+    writes its shard artifact. *)
+
+type config = {
+  connect : string;  (** the hub's Unix-domain socket path *)
+  cfg : Pmrace.Fuzzer.config;
+      (** engine/mutation parameters; [max_campaigns] is ignored (the
+          coordinator's budget governs) and [workers] must be 1 *)
+  max_local : int option;
+      (** stop after this many local campaigns even if leases remain
+          (the CI kill scenario detaches a worker mid-campaign) *)
+  lease_campaigns : int;  (** campaigns requested per lease *)
+  lease_seeds : int;  (** corpus seeds requested per lease *)
+  log : string -> unit;
+}
+
+val default_config : config
+(** Empty socket path, {!Pmrace.Fuzzer.default_config}, no local cap,
+    30-campaign 4-seed lease requests, silent log. *)
+
+type outcome = {
+  o_session : Pmrace.Fuzzer.session;  (** the worker's local session shard *)
+  o_widx : int;  (** coordinator-assigned worker index *)
+  o_campaigns : int;  (** campaigns this worker completed *)
+}
+
+val run : ?obs:Obs.Events.t -> config -> Pmrace.Target.t -> (outcome, string) result
+(** Attach, fuzz until the coordinator drains (or [max_local] hits),
+    detach, and assemble the local session.  Losing the connection
+    mid-session is not an error: the worker stops fuzzing and returns
+    the salvaged session. *)

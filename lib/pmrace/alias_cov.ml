@@ -150,3 +150,87 @@ let clear t =
 let attach t env =
   let tr = tracker () in
   Runtime.Env.add_listener env (handler t tr)
+
+(* ------------------------------------------------------------------ *)
+(* Wire/store codec (fleet mode).  Site pairs travel by *name* and are
+   re-registered on decode, so they are valid across processes with
+   different site-id layouts.  The raw bitmap is also carried (hex): it
+   only or-merges meaningfully between processes running the same binary,
+   but even a layout-shifted bitmap stays a sound coverage estimate (the
+   count can only be approximate, exactly as within one AFL fleet). *)
+
+module J = Obs.Json
+
+let hex_of_bytes b =
+  let n = Bytes.length b in
+  let out = Buffer.create (2 * n) in
+  for i = 0 to n - 1 do
+    Buffer.add_string out (Printf.sprintf "%02x" (Char.code (Bytes.get b i)))
+  done;
+  Buffer.contents out
+
+let bytes_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Alias_cov: odd hex length";
+  let b = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    Bytes.set b i (Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+  done;
+  b
+
+let to_json t =
+  J.Obj
+    [
+      ("size", J.Int t.size);
+      ("bits", J.String (hex_of_bytes t.bits));
+      ( "site_pairs",
+        J.List
+          (List.map
+             (fun (w, r) ->
+               J.Obj
+                 [
+                   ("write", J.String (Runtime.Instr.name (Runtime.Instr.of_int w)));
+                   ("read", J.String (Runtime.Instr.name (Runtime.Instr.of_int r)));
+                 ])
+             (site_pairs t)) );
+    ]
+
+let of_json j =
+  match (J.member "size" j, J.member "bits" j, J.member "site_pairs" j) with
+  | Some size_j, Some bits_j, Some pairs_j -> (
+      match (J.to_int size_j, J.to_str bits_j, J.to_list pairs_j) with
+      | Some size, Some hex, Some pairs when size > 0 && size land (size - 1) = 0 -> (
+          try
+            let bits = bytes_of_hex hex in
+            if Bytes.length bits <> size / 8 then Error "Alias_cov: bitmap length mismatch"
+            else begin
+              let size_log =
+                let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+                log2 size 0
+              in
+              let t = create ~size_log () in
+              Bytes.blit bits 0 t.bits 0 (Bytes.length bits);
+              let count = ref 0 in
+              Bytes.iter
+                (fun c ->
+                  let rec pop n acc = if n = 0 then acc else pop (n lsr 1) (acc + (n land 1)) in
+                  count := !count + pop (Char.code c) 0)
+                t.bits;
+              t.count <- !count;
+              List.iter
+                (fun p ->
+                  match (J.member "write" p, J.member "read" p) with
+                  | Some w, Some r -> (
+                      match (J.to_str w, J.to_str r) with
+                      | Some w, Some r ->
+                          record_site_pair t
+                            ~write_instr:(Runtime.Instr.to_int (Runtime.Instr.site w))
+                            ~read_instr:(Runtime.Instr.to_int (Runtime.Instr.site r))
+                      | _ -> failwith "Alias_cov: site pair expects strings")
+                  | _ -> failwith "Alias_cov: site pair missing field")
+                pairs;
+              Ok t
+            end
+          with Failure msg | Invalid_argument msg -> Error msg)
+      | _ -> Error "Alias_cov: bad size/bits/site_pairs")
+  | _ -> Error "Alias_cov: missing field"

@@ -64,3 +64,11 @@ val clear : t -> unit
 val attach : t -> Runtime.Env.t -> unit
 (** Subscribe to an execution's access events and feed the bitmap
     (transient listener with a fresh {!tracker}). *)
+
+val to_json : t -> Obs.Json.t
+(** Wire/store codec (fleet mode): the bitmap as hex plus the achieved
+    site pairs {e by name}, so the pairs survive processes with different
+    site-id layouts.  The static denominator is not carried. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Decode; re-registers site names via {!Runtime.Instr.site}. *)

@@ -13,9 +13,12 @@ module Instr = Runtime.Instr
 let schema = "pmrace-session"
 
 (* v2: adds the "lint" list, the "invariants" {mined; violations}
-   section, and config.invariants.  All additive — v1 artifacts decode
-   with the new fields empty/false. *)
-let version = 2
+   section, and config.invariants.
+   v3: adds the "origins" list (fleet mode: one entry per merged session
+   shard, with its campaign re-index offset) and config.corpus_sched.
+   All additive — v1/v2 artifacts decode with the new fields
+   empty/false. *)
+let version = 3
 
 type bug = {
   b_kind : string;
@@ -53,6 +56,16 @@ type inv_finding_entry = {
   ivf_verdict : string option;
 }
 
+(* One merged-in session shard: where its campaigns landed in the merged
+   numbering ([o_offset] was added to every campaign index it
+   contributed), and its own headline numbers. *)
+type origin = {
+  o_label : string;
+  o_campaigns : int;
+  o_wall_time : float;
+  o_offset : int;
+}
+
 type t = {
   a_target : string;
   a_config : Fuzzer.config;
@@ -71,6 +84,7 @@ type t = {
   a_invariants : inv_spec_entry list; (* the mined monitor set (v2) *)
   a_inv_findings : inv_finding_entry list; (* invariant violations (v2) *)
   a_provenance : prov_entry list;
+  a_origins : origin list; (* merged shards, in merge order (v3); [] = single session *)
   a_metrics : J.t;
 }
 
@@ -142,6 +156,7 @@ let config_to_json (c : Fuzzer.config) =
       ("whitelist_extra", J.List (List.map (fun s -> J.String s) c.whitelist_extra));
       ("static_prepass", J.Bool c.static_prepass);
       ("invariants", J.Bool c.invariants);
+      ("corpus_sched", J.Bool c.corpus_sched);
     ]
 
 let config_of_json j =
@@ -159,6 +174,7 @@ let config_of_json j =
     ~whitelist_extra:(List.map str (get_list "whitelist_extra" j))
     ~static_prepass:(get_bool "static_prepass" j)
     ~invariants:(get_bool_opt ~default:false "invariants" j)
+    ~corpus_sched:(get_bool_opt ~default:false "corpus_sched" j)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -205,7 +221,7 @@ let seed_to_json seed =
        (Array.map (fun ops -> J.List (Array.to_list (Array.map op_to_json ops)))
           (Seed.threads seed)))
 
-let seed_of_json j =
+let seed_of_json_exn j =
   match J.to_list j with
   | None -> fail "seed: expected list of threads"
   | Some threads ->
@@ -217,6 +233,10 @@ let seed_of_json j =
                 | None -> fail "seed thread: expected list of ops"
                 | Some ops -> Array.of_list (List.map op_of_json ops))
               threads))
+
+(* [result] front for external (wire/store) callers; the artifact decoder
+   itself stays in exception style. *)
+let seed_of_json j = try Ok (seed_of_json_exn j) with Failure msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
 (* Policy specs *)
@@ -245,7 +265,7 @@ let spec_to_json = function
   | Campaign.Random_sched -> J.Obj [ ("policy", J.String "random") ]
   | Campaign.No_preempt -> J.Obj [ ("policy", J.String "none") ]
 
-let spec_of_json j =
+let spec_of_json_exn j =
   match get_str "policy" j with
   | "pmrace" ->
       Campaign.Pmrace
@@ -264,6 +284,8 @@ let spec_of_json j =
   | "none" -> Campaign.No_preempt
   | s -> fail "unknown policy spec %S" s
 
+let spec_of_json j = try Ok (spec_of_json_exn j) with Failure msg -> Error msg
+
 (* ------------------------------------------------------------------ *)
 (* Session -> artifact *)
 
@@ -272,10 +294,10 @@ let min_opt = function [] -> None | x :: xs -> Some (List.fold_left min x xs)
 (* The campaign index of a bug group's earliest member finding, recovered
    by matching the group identity (kind + write site / sync variable)
    against the fine-grained findings. *)
-let first_campaign (s : Fuzzer.session) (g : Report.bug_group) =
+let first_campaign (report : Report.t) (g : Report.bug_group) =
   match g.Report.bg_kind with
   | `Sync ->
-      Report.sync_findings s.report
+      Report.sync_findings report
       |> List.filter_map (fun (f : Report.sync_finding) ->
              if String.equal f.ev.var.Runtime.Checkers.sv_name g.Report.bg_site then
                Some f.sync_found_at
@@ -285,7 +307,7 @@ let first_campaign (s : Fuzzer.session) (g : Report.bug_group) =
       let kind =
         match k with `Inter -> Runtime.Candidates.Inter | `Intra -> Runtime.Candidates.Intra
       in
-      Report.findings s.report
+      Report.findings report
       |> List.filter_map (fun (f : Report.finding) ->
              if
                f.inc.source.Runtime.Candidates.kind = kind
@@ -318,7 +340,7 @@ let of_session ~(target : Target.t) ~cfg (s : Fuzzer.session) =
           b_site = g.bg_site;
           b_read_sites = g.bg_read_sites;
           b_members = g.bg_members;
-          b_first_campaign = first_campaign s g;
+          b_first_campaign = first_campaign s.report g;
         })
       (Report.bug_groups s.report)
   in
@@ -387,6 +409,7 @@ let of_session ~(target : Target.t) ~cfg (s : Fuzzer.session) =
           })
         (Report.invariant_findings s.report);
     a_provenance = provenance;
+    a_origins = [];
     a_metrics = (if Obs.Metrics.enabled () then Obs.Metrics.to_json () else J.Null);
   }
 
@@ -508,6 +531,18 @@ let to_json (a : t) =
                    ("spec", spec_to_json p.pr_spec);
                  ])
              a.a_provenance) );
+      ( "origins",
+        J.List
+          (List.map
+             (fun o ->
+               J.Obj
+                 [
+                   ("label", J.String o.o_label);
+                   ("campaigns", J.Int o.o_campaigns);
+                   ("wall_time", J.Float o.o_wall_time);
+                   ("offset", J.Int o.o_offset);
+                 ])
+             a.a_origins) );
       ("metrics", a.a_metrics);
     ]
 
@@ -604,10 +639,20 @@ let of_json j =
                 pr_campaign = get_int "campaign" p;
                 pr_sched_seed = get_int "sched_seed" p;
                 pr_policy = get_str "policy" p;
-                pr_seed = seed_of_json (mem "seed" p);
-                pr_spec = spec_of_json (mem "spec" p);
+                pr_seed = seed_of_json_exn (mem "seed" p);
+                pr_spec = spec_of_json_exn (mem "spec" p);
               })
             (get_list "provenance" j);
+        a_origins =
+          List.map
+            (fun o ->
+              {
+                o_label = get_str "label" o;
+                o_campaigns = get_int "campaigns" o;
+                o_wall_time = get_float "wall_time" o;
+                o_offset = get_int "offset" o;
+              })
+            (get_list_opt "origins" j);
         a_metrics = Option.value ~default:J.Null (J.member "metrics" j);
       }
   with Failure msg -> Error msg
@@ -635,3 +680,185 @@ let find_provenance a campaign =
 
 let bug_fingerprints a =
   List.sort compare (List.map (fun b -> (b.b_kind, b.b_site)) a.a_bugs)
+
+(* ------------------------------------------------------------------ *)
+(* Session merging (fleet mode) *)
+
+(* How many campaign indices a shard occupies: its campaign count, or
+   further if provenance/timeline reach higher (a worker killed
+   mid-campaign leaves reserved-but-uncommitted indices). *)
+let span a =
+  let m = List.fold_left (fun m p -> max m (p.pr_campaign + 1)) a.a_campaigns a.a_provenance in
+  List.fold_left (fun m (tp : Fuzzer.timeline_point) -> max m tp.tp_campaign) m a.a_timeline
+
+let merge inputs =
+  match inputs with
+  | [] -> Error "merge: no artifacts"
+  | (_, (first : t)) :: _ -> (
+      try
+        List.iter
+          (fun (_, a) ->
+            if not (String.equal a.a_target first.a_target) then
+              fail "merge: target mismatch (%S vs %S)" a.a_target first.a_target)
+          inputs;
+        (* Re-index: shard [i]'s campaigns shift by the summed span of the
+           shards before it, so provenance, timeline, bug first-sightings
+           and invariant violations stay replayable by (merged) index. *)
+        let _, shifted_rev, origins_rev =
+          List.fold_left
+            (fun (off, acc, origs) (label, a) ->
+              let origs =
+                if a.a_origins = [] then
+                  {
+                    o_label = label;
+                    o_campaigns = a.a_campaigns;
+                    o_wall_time = a.a_wall_time;
+                    o_offset = off;
+                  }
+                  :: origs
+                else
+                  (* Merging a merged artifact: keep its per-shard origins,
+                     re-offset into the new numbering. *)
+                  List.fold_left
+                    (fun origs o ->
+                      {
+                        o with
+                        o_label = Printf.sprintf "%s/%s" label o.o_label;
+                        o_offset = o.o_offset + off;
+                      }
+                      :: origs)
+                    origs a.a_origins
+              in
+              (off + span a, (off, a) :: acc, origs))
+            (0, [], []) inputs
+        in
+        let shifted = List.rev shifted_rev in
+        let concat_map f = List.concat_map (fun (off, a) -> f off a) shifted in
+        (* Unique-bug groups: dedup by (kind, site) — the same identity the
+           in-session report uses — summing members, unioning read sites,
+           keeping the earliest (re-indexed) first sighting. *)
+        let bug_tbl : (string * string, bug ref) Hashtbl.t = Hashtbl.create 32 in
+        List.iter
+          (fun (off, a) ->
+            List.iter
+              (fun b ->
+                let shifted_first = Option.map (fun c -> c + off) b.b_first_campaign in
+                match Hashtbl.find_opt bug_tbl (b.b_kind, b.b_site) with
+                | None ->
+                    Hashtbl.add bug_tbl (b.b_kind, b.b_site)
+                      (ref { b with b_first_campaign = shifted_first })
+                | Some r ->
+                    let merged_first =
+                      match ((!r).b_first_campaign, shifted_first) with
+                      | Some x, Some y -> Some (min x y)
+                      | (Some _ as x), None | None, x -> x
+                    in
+                    r :=
+                      {
+                        !r with
+                        b_members = (!r).b_members + b.b_members;
+                        b_read_sites =
+                          List.sort_uniq compare ((!r).b_read_sites @ b.b_read_sites);
+                        b_first_campaign = merged_first;
+                      })
+              a.a_bugs)
+          shifted;
+        let bugs =
+          Hashtbl.fold (fun _ r acc -> !r :: acc) bug_tbl []
+          |> List.sort (fun a b -> compare (a.b_kind, a.b_site) (b.b_kind, b.b_site))
+        in
+        let hang_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (_, a) ->
+            List.iter
+              (fun (info, n) ->
+                Hashtbl.replace hang_tbl info
+                  (n + Option.value ~default:0 (Hashtbl.find_opt hang_tbl info)))
+              a.a_hangs)
+          shifted;
+        let hangs =
+          Hashtbl.fold (fun info n acc -> (info, n) :: acc) hang_tbl [] |> List.sort compare
+        in
+        (* Mined invariants: same miner over the same target, so dedup by
+           (label, kind) keeping the max support seen. *)
+        let inv_tbl : (string * string, int) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (_, a) ->
+            List.iter
+              (fun e ->
+                let k = (e.ie_label, e.ie_kind) in
+                Hashtbl.replace inv_tbl k
+                  (max e.ie_support (Option.value ~default:0 (Hashtbl.find_opt inv_tbl k))))
+              a.a_invariants)
+          shifted;
+        let invariants =
+          Hashtbl.fold
+            (fun (ie_label, ie_kind) ie_support acc -> { ie_label; ie_kind; ie_support } :: acc)
+            inv_tbl []
+          |> List.sort compare
+        in
+        (* Invariant violations are first-sightings per label within a
+           shard; across shards keep the earliest, preferring a validated
+           verdict when sightings tie. *)
+        let ivf_tbl : (string, inv_finding_entry) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (off, a) ->
+            List.iter
+              (fun f ->
+                let f = { f with ivf_campaign = f.ivf_campaign + off } in
+                match Hashtbl.find_opt ivf_tbl f.ivf_label with
+                | None -> Hashtbl.add ivf_tbl f.ivf_label f
+                | Some g when f.ivf_campaign < g.ivf_campaign ->
+                    Hashtbl.replace ivf_tbl f.ivf_label
+                      { f with ivf_verdict = (match f.ivf_verdict with Some _ as v -> v | None -> g.ivf_verdict) }
+                | Some g when g.ivf_verdict = None && f.ivf_verdict <> None ->
+                    Hashtbl.replace ivf_tbl f.ivf_label { g with ivf_verdict = f.ivf_verdict }
+                | Some _ -> ())
+              a.a_inv_findings)
+          shifted;
+        let inv_findings =
+          Hashtbl.fold (fun _ f acc -> f :: acc) ivf_tbl [] |> List.sort compare
+        in
+        Ok
+          {
+            a_target = first.a_target;
+            a_config = first.a_config;
+            a_campaigns = List.fold_left (fun n (_, a) -> n + a.a_campaigns) 0 shifted;
+            a_wall_time = List.fold_left (fun w (_, a) -> w +. a.a_wall_time) 0. shifted;
+            a_annotations = List.fold_left (fun n (_, a) -> max n a.a_annotations) 0 shifted;
+            a_worker_campaigns = concat_map (fun _ a -> a.a_worker_campaigns);
+            (* Raw bitmap counts are per-process (hash layout), so the union
+               is not recoverable from the shards; the max is a sound lower
+               bound.  The named site-pair union below is exact. *)
+            a_alias_bits = List.fold_left (fun n (_, a) -> max n a.a_alias_bits) 0 shifted;
+            a_branch_bits = List.fold_left (fun n (_, a) -> max n a.a_branch_bits) 0 shifted;
+            a_possible_pairs =
+              List.fold_left
+                (fun acc (_, a) ->
+                  match (acc, a.a_possible_pairs) with
+                  | Some x, Some y -> Some (max x y)
+                  | (Some _ as x), None | None, x -> x)
+                None shifted;
+            a_site_pairs =
+              List.sort_uniq compare (concat_map (fun _ a -> a.a_site_pairs));
+            a_timeline =
+              concat_map (fun off a ->
+                  List.map
+                    (fun (tp : Fuzzer.timeline_point) ->
+                      { tp with Fuzzer.tp_campaign = tp.Fuzzer.tp_campaign + off })
+                    a.a_timeline)
+              |> List.sort (fun (a : Fuzzer.timeline_point) b ->
+                     compare a.Fuzzer.tp_campaign b.Fuzzer.tp_campaign);
+            a_bugs = bugs;
+            a_hangs = hangs;
+            a_lint = List.sort_uniq compare (concat_map (fun _ a -> a.a_lint));
+            a_invariants = invariants;
+            a_inv_findings = inv_findings;
+            a_provenance =
+              concat_map (fun off a ->
+                  List.map (fun p -> { p with pr_campaign = p.pr_campaign + off }) a.a_provenance)
+              |> List.sort (fun a b -> compare a.pr_campaign b.pr_campaign);
+            a_origins = List.rev origins_rev;
+            a_metrics = J.Null;
+          }
+      with Failure msg -> Error msg)

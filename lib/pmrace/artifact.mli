@@ -16,10 +16,11 @@ val schema : string
 (** ["pmrace-session"] *)
 
 val version : int
-(** [2]: adds the lint-finding list, the mined-invariant section, and
-    [config.invariants].  v1 artifacts still decode (the new fields
-    default to empty/false); newer-than-[version] artifacts are
-    rejected. *)
+(** [3]: adds the per-shard [origins] list written by {!merge} (fleet
+    mode) and [config.corpus_sched]; v2 added the lint-finding list, the
+    mined-invariant section, and [config.invariants].  Older artifacts
+    still decode (the new fields default to empty/false);
+    newer-than-[version] artifacts are rejected. *)
 
 type bug = {
   b_kind : string;  (** "inter" | "intra" | "sync" *)
@@ -62,6 +63,16 @@ type inv_finding_entry = {
   ivf_verdict : string option;
 }
 
+type origin = {
+  o_label : string;  (** merge-time label, normally the shard's file name *)
+  o_campaigns : int;
+  o_wall_time : float;
+  o_offset : int;
+      (** the shard's campaign re-index base: add it to an index local to
+          the shard to get the merged index *)
+}
+(** One merged-in session shard (v3). *)
+
 type t = {
   a_target : string;
   a_config : Fuzzer.config;
@@ -80,6 +91,8 @@ type t = {
   a_invariants : inv_spec_entry list;  (** the mined monitor set (v2) *)
   a_inv_findings : inv_finding_entry list;  (** invariant violations (v2) *)
   a_provenance : prov_entry list;  (** sorted by campaign index *)
+  a_origins : origin list;
+      (** merged shards in merge order (v3); [[]] for a single session *)
   a_metrics : Obs.Json.t;  (** opaque {!Obs.Metrics.to_json} snapshot *)
 }
 
@@ -100,3 +113,34 @@ val bug_fingerprints : t -> (string * string) list
 (** The (kind, site) pairs of the unique-bug groups, sorted — the
     session identity the golden round-trip test and [pmrace replay]
     compare. *)
+
+val merge : (string * t) list -> (t, string) result
+(** [merge [(label, shard); ...]] unions session shards of the {e same
+    target} into one artifact ([pmrace merge]).  Campaign indices are
+    re-based per shard (shard [i] shifts by the summed span of the shards
+    before it) and the shifts are recorded in [a_origins], so provenance
+    stays replayable by merged index.  Bug groups dedup by (kind, site)
+    with members summed, read sites unioned and the earliest first
+    sighting kept; named site pairs, lint and mined invariants union;
+    campaign counts, wall time and hang counts sum.  Raw alias/branch
+    bitmap counts are per-process, so the merged counts are the max over
+    shards (a lower bound on the true union — [a_site_pairs] is exact).
+    Merging already-merged artifacts flattens their origins under the
+    outer label.  Errors on an empty list or a target mismatch;
+    [a_config] is the first shard's. *)
+
+(** {2 Codec exports}
+
+    Fleet wire/store messages ({!Fleet.Wire}) reuse the artifact codecs
+    for seeds and policy specs, so one encoding round-trips everywhere.
+    Decoders re-register site names via {!Runtime.Instr.site}. *)
+
+val seed_to_json : Seed.t -> Obs.Json.t
+val seed_of_json : Obs.Json.t -> (Seed.t, string) result
+val spec_to_json : Campaign.policy_spec -> Obs.Json.t
+val spec_of_json : Obs.Json.t -> (Campaign.policy_spec, string) result
+
+val first_campaign : Report.t -> Report.bug_group -> int option
+(** The campaign index of a bug group's earliest member finding (the
+    [b_first_campaign] source), recovered by matching group identity
+    against the session's fine-grained findings. *)

@@ -2,6 +2,8 @@
    executed so far.  PMRace combines this with PM alias pair coverage as
    fuzzing feedback (§4.2.3). *)
 
+module J' = Obs.Json
+
 type t = { hits : (int, unit) Hashtbl.t }
 
 let create () = { hits = Hashtbl.create 128 }
@@ -30,3 +32,26 @@ let handler t = function
 let clear t = Hashtbl.reset t.hits
 
 let attach t env = Runtime.Env.add_listener env (handler t)
+
+(* Wire/store codec (fleet mode): covered branch sites by name, sorted for
+   a canonical encoding; decode re-registers the names. *)
+let to_json t =
+  J'.List
+    (Hashtbl.fold (fun id () acc -> Runtime.Instr.name (Runtime.Instr.of_int id) :: acc) t.hits []
+    |> List.sort compare
+    |> List.map (fun n -> J'.String n))
+
+let of_json j =
+  match J'.to_list j with
+  | None -> Error "Branch_cov: expected list"
+  | Some sites -> (
+      try
+        let t = create () in
+        List.iter
+          (fun s ->
+            match J'.to_str s with
+            | Some name -> ignore (observe t (Runtime.Instr.site name))
+            | None -> failwith "Branch_cov: expected site name string")
+          sites;
+        Ok t
+      with Failure msg -> Error msg)

@@ -21,3 +21,9 @@ val clear : t -> unit
 (** Empty the map so a worker-local delta can be reused across campaigns. *)
 
 val attach : t -> Runtime.Env.t -> unit
+
+val to_json : t -> Obs.Json.t
+(** Wire/store codec (fleet mode): covered branch sites by name, sorted. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Decode; re-registers site names via {!Runtime.Instr.site}. *)

@@ -1,0 +1,181 @@
+(* AFL-style corpus scheduling: favored-seed culling over a fingerprinted
+   corpus.
+
+   A corpus that only ever grows stops being useful at scale: mutation
+   parents are drawn uniformly from an ever-larger pool, most of which
+   never contributed coverage.  AFL's answer — and ours — is to keep a
+   small *favored* subset that still covers everything the corpus has
+   achieved, and to draw from it preferentially:
+
+   - every entry is keyed by {!Seed.fingerprint} (content hash), so the
+     same seed content deduplicates across workers and store restarts;
+   - entries are credited with the (write site, read site) alias pairs
+     their campaigns were first to achieve;
+   - {!cull} computes a greedy minimal cover of the achieved-pair set,
+     scoring candidates by (pairs credited, op_count, age) — more pairs
+     first, then cheaper seeds, then younger ones — marks the cover
+     favored, and tombstones dominated entries (non-favored entries whose
+     every credited pair is covered by the favored set);
+   - {!lease} hands out favored entries preferentially, least-leased
+     first, so concurrent workers rotate through the favored set instead
+     of converging on one seed.
+
+   Used by both the fleet coordinator (its durable corpus) and the
+   in-process fuzzer behind [--corpus-sched].  Not synchronised — the
+   coordinator is single-threaded and the in-process fuzzer keeps one
+   instance per worker. *)
+
+type entry = {
+  e_fp : int64;
+  e_seed : Seed.t;
+  e_op_count : int;
+  e_added : int; (* sequence number at insertion: the age axis *)
+  mutable e_pairs : (string * string) list; (* credited alias site pairs *)
+  mutable e_favored : bool;
+  mutable e_tombstone : bool;
+  mutable e_leases : int; (* times handed out by [lease] *)
+}
+
+type t = {
+  entries : (int64, entry) Hashtbl.t;
+  mutable seq : int; (* insertion sequence, monotonically increasing *)
+}
+
+let create () = { entries = Hashtbl.create 64; seq = 0 }
+
+let size t = Hashtbl.length t.entries
+
+let find t fp = Hashtbl.find_opt t.entries fp
+
+(* Deterministic iteration order: insertion sequence, fingerprint as the
+   tiebreak (sequences are unique per instance, but store reloads may
+   assign equal ones). *)
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+  |> List.sort (fun a b ->
+         match compare a.e_added b.e_added with 0 -> compare a.e_fp b.e_fp | c -> c)
+
+let favored_count t =
+  Hashtbl.fold (fun _ e n -> if e.e_favored && not e.e_tombstone then n + 1 else n) t.entries 0
+
+let tombstoned_count t =
+  Hashtbl.fold (fun _ e n -> if e.e_tombstone then n + 1 else n) t.entries 0
+
+let add t ?(pairs = []) ?added seed =
+  let fp = Seed.fingerprint seed in
+  match Hashtbl.find_opt t.entries fp with
+  | Some e ->
+      (* Duplicate content: keep the existing entry, but absorb any new
+         pair credit so a re-discovered seed does not lose its history. *)
+      e.e_pairs <- List.sort_uniq compare (pairs @ e.e_pairs);
+      None
+  | None ->
+      let e_added =
+        match added with
+        | Some a ->
+            t.seq <- max t.seq (a + 1);
+            a
+        | None ->
+            let a = t.seq in
+            t.seq <- a + 1;
+            a
+      in
+      let e =
+        {
+          e_fp = fp;
+          e_seed = seed;
+          e_op_count = Seed.op_count seed;
+          e_added;
+          e_pairs = List.sort_uniq compare pairs;
+          e_favored = false;
+          e_tombstone = false;
+          e_leases = 0;
+        }
+      in
+      Hashtbl.add t.entries fp e;
+      Some e
+
+let credit_pairs t fp pairs =
+  match Hashtbl.find_opt t.entries fp with
+  | None -> ()
+  | Some e ->
+      e.e_pairs <- List.sort_uniq compare (pairs @ e.e_pairs);
+      (* New coverage resurrects a tombstoned entry: its pair set changed,
+         so the dominance judgment that buried it no longer applies. *)
+      if pairs <> [] then e.e_tombstone <- false
+
+(* Candidate score for covering a pair: more credited pairs first (a seed
+   that achieved several pairs keeps the cover small), then fewer ops
+   (cheaper executions), then younger (recent seeds reflect the deeper
+   exploration frontier), fingerprint as the deterministic tiebreak. *)
+let better a b =
+  let c = compare (List.length b.e_pairs) (List.length a.e_pairs) in
+  if c <> 0 then c < 0
+  else
+    let c = compare a.e_op_count b.e_op_count in
+    if c <> 0 then c < 0
+    else
+      let c = compare b.e_added a.e_added in
+      if c <> 0 then c < 0 else a.e_fp < b.e_fp
+
+let cull t =
+  let live = List.filter (fun e -> not e.e_tombstone) (entries t) in
+  (* Winner per achieved pair. *)
+  let winner : (string * string, entry) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt winner p with
+          | Some w when better w e -> ()
+          | Some _ | None -> Hashtbl.replace winner p e)
+        e.e_pairs)
+    live;
+  (* Greedy minimal cover: take pair winners in deterministic pair order,
+     skipping pairs already covered by an entry chosen for an earlier
+     pair. *)
+  let pairs = Hashtbl.fold (fun p _ acc -> p :: acc) winner [] |> List.sort compare in
+  let covered : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let favored : (int64, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem covered p) then begin
+        let w = Hashtbl.find winner p in
+        Hashtbl.replace favored w.e_fp ();
+        List.iter (fun q -> Hashtbl.replace covered q ()) w.e_pairs
+      end)
+    pairs;
+  List.iter
+    (fun e ->
+      e.e_favored <- Hashtbl.mem favored e.e_fp;
+      (* Dominated: contributed pairs once, but the favored cover now
+         achieves all of them without this entry. *)
+      if (not e.e_favored) && e.e_pairs <> [] then
+        e.e_tombstone <- List.for_all (Hashtbl.mem covered) e.e_pairs)
+    live
+
+(* Favored first, then the undecided reservoir (entries that never
+   contributed a pair); within each class least-leased first so workers
+   rotate, then youngest.  Tombstoned entries are never leased. *)
+let lease_order t =
+  let live = List.filter (fun e -> not e.e_tombstone) (entries t) in
+  let rank e = if e.e_favored then 0 else 1 in
+  List.sort
+    (fun a b ->
+      match compare (rank a) (rank b) with
+      | 0 -> (
+          match compare a.e_leases b.e_leases with
+          | 0 -> ( match compare b.e_added a.e_added with 0 -> compare a.e_fp b.e_fp | c -> c)
+          | c -> c)
+      | c -> c)
+    live
+
+let lease t n =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | e :: rest ->
+        e.e_leases <- e.e_leases + 1;
+        e.e_seed :: take (k - 1) rest
+  in
+  take n (lease_order t)

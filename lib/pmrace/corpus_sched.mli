@@ -1,0 +1,52 @@
+(** AFL-style corpus scheduling: favored-seed culling over a corpus keyed
+    by {!Seed.fingerprint}.
+
+    Entries are credited with the (write site, read site) alias pairs
+    their campaigns first achieved; {!cull} keeps a greedy minimal
+    {e favored} cover of the achieved-pair set — scored by (pairs
+    credited, op count, age) — and tombstones dominated entries, and
+    {!lease} hands out favored seeds preferentially, least-leased first.
+
+    Used by the fleet coordinator (durable corpus) and by the in-process
+    fuzzer behind [--corpus-sched].  Not synchronised. *)
+
+type entry = {
+  e_fp : int64;  (** {!Seed.fingerprint} — the dedup key *)
+  e_seed : Seed.t;
+  e_op_count : int;
+  e_added : int;  (** insertion sequence number — the age axis *)
+  mutable e_pairs : (string * string) list;
+      (** alias site pairs credited to this entry, sorted *)
+  mutable e_favored : bool;
+  mutable e_tombstone : bool;  (** dominated — never leased again *)
+  mutable e_leases : int;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> ?pairs:(string * string) list -> ?added:int -> Seed.t -> entry option
+(** Insert a seed; [None] when its fingerprint is already present (the
+    existing entry absorbs [pairs] instead).  [added] overrides the
+    insertion sequence number — store reloads use it to preserve age. *)
+
+val credit_pairs : t -> int64 -> (string * string) list -> unit
+(** Credit an entry with newly achieved pairs (no-op for unknown
+    fingerprints).  Fresh credit resurrects a tombstoned entry. *)
+
+val cull : t -> unit
+(** Recompute the favored cover and tombstone dominated entries. *)
+
+val lease : t -> int -> Seed.t list
+(** Up to [n] seeds: favored first, then the never-contributed reservoir;
+    least-leased first within each class.  Bumps lease counts, so
+    repeated calls rotate through the favored set.  Deterministic. *)
+
+val find : t -> int64 -> entry option
+val entries : t -> entry list
+(** All entries (including tombstoned), insertion order. *)
+
+val size : t -> int
+val favored_count : t -> int
+val tombstoned_count : t -> int

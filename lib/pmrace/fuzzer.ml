@@ -51,6 +51,11 @@ type config = {
       (* mine likely persistence-ordering invariants in the pre-pass and
          monitor campaigns for violations (validated post-failure like any
          candidate); off by default so seeded sessions stay bit-identical *)
+  corpus_sched : bool;
+      (* AFL-style corpus scheduling ({!Corpus_sched}): mutation parents
+         are leased from the favored cover of the achieved alias-pair set
+         instead of drawn uniformly; off by default so seeded sessions
+         stay bit-identical *)
 }
 
 let default_config =
@@ -72,6 +77,7 @@ let default_config =
     whitelist_extra = [];
     static_prepass = false;
     invariants = false;
+    corpus_sched = false;
   }
 
 (* The configuration front door: an optional-argument builder over
@@ -94,7 +100,7 @@ module Config = struct
       ?(workers = default_config.workers) ?(initial_seeds = default_config.initial_seeds)
       ?(whitelist_extra = default_config.whitelist_extra)
       ?(static_prepass = default_config.static_prepass)
-      ?(invariants = default_config.invariants) () =
+      ?(invariants = default_config.invariants) ?(corpus_sched = default_config.corpus_sched) () =
     {
       max_campaigns;
       execs_per_interleaving;
@@ -113,6 +119,7 @@ module Config = struct
       whitelist_extra;
       static_prepass;
       invariants;
+      corpus_sched;
     }
 end
 
@@ -146,6 +153,51 @@ type session = {
   worker_campaigns : int array; (* campaigns completed per worker (index = widx) *)
 }
 
+(* The worker's view of the shared side, as a record of functions.  The
+   in-process pool binds it to a {!Hub} ([hub_sink] — pure indirection, so
+   [workers = 1] sessions stay bit-identical to the sequential fuzzer);
+   fleet workers bind it to a wrapper that enforces the coordinator's
+   lease budget and accumulates a wire delta.  Everything the fuzzing
+   loop ever asks of the shared side goes through here. *)
+type sink = {
+  sk_budget_left : unit -> bool;
+  sk_reserve : Hub.provenance -> int option;
+  sk_commit :
+    campaign:int ->
+    delta:Hub.delta ->
+    Runtime.Env.t ->
+    hung:bool ->
+    hang_info:string ->
+    Hub.commit_result;
+  sk_record_invariant :
+    campaign:int ->
+    label:string ->
+    kind:string ->
+    site:string ->
+    addr:int ->
+    Report.inv_finding option;
+  sk_queue_entries : unit -> Shared_queue.entry list;
+  sk_rescore : sites:(int, unit) Hashtbl.t -> Seed.t -> unit;
+  sk_completed : unit -> int; (* campaigns committed, for progress logs *)
+}
+
+(* The in-process binding: forward every operation to the hub verbatim,
+   same calls in the same order as the pre-sink fuzzer made directly. *)
+let hub_sink hub =
+  {
+    sk_budget_left = (fun () -> Hub.budget_left hub);
+    sk_reserve = (fun prov -> Hub.reserve hub prov);
+    sk_commit =
+      (fun ~campaign ~delta env ~hung ~hang_info ->
+        Hub.commit hub ~campaign ~delta env ~hung ~hang_info);
+    sk_record_invariant =
+      (fun ~campaign ~label ~kind ~site ~addr ->
+        Hub.record_invariant hub ~campaign ~label ~kind ~site ~addr);
+    sk_queue_entries = (fun () -> Hub.queue_entries hub);
+    sk_rescore = (fun ~sites seed -> Hub.rescore_seed hub ~sites seed);
+    sk_completed = (fun () -> Hub.completed hub);
+  }
+
 (* A fuzzing worker: one domain's private half of the state split.  Two
    RNG streams — [sched_rng] draws campaign scheduler seeds (worker 0
    continues the sequential fuzzer's session stream) and [gen_rng] drives
@@ -155,10 +207,11 @@ type worker = {
   widx : int;
   cfg : config;
   target : Target.t;
-  hub : Hub.t;
+  sink : sink;
   sched_rng : Rng.t;
   gen_rng : Rng.t;
   mutable corpus : Seed.t list;
+  csched : Corpus_sched.t option; (* [corpus_sched]: the favored-cover scheduler *)
   mutable generation : int;
   skip_store : (int * int, int) Hashtbl.t; (* (seed id, addr) -> skip *)
   (* per-address exploration state: number of attempts, negative once the
@@ -225,7 +278,7 @@ let rescore_seed w seed =
     let sites =
       Option.value ~default:(Hashtbl.create 1) (Hashtbl.find_opt w.seed_sites (Seed.id seed))
     in
-    Hub.rescore_seed w.hub ~sites seed
+    w.sink.sk_rescore ~sites seed
 
 (* Run one campaign: reserve a budget slot, execute against a private
    delta (lock-free), commit at the boundary, then validate any new
@@ -234,7 +287,7 @@ let rescore_seed w seed =
 let do_campaign w seed policy =
   let sched_seed = Rng.int w.sched_rng 1_000_000_000 in
   match
-    Hub.reserve w.hub
+    w.sink.sk_reserve
       { p_seed = seed; p_sched_seed = sched_seed; p_policy = policy_label policy; p_spec = policy }
   with
   | None -> None
@@ -263,9 +316,17 @@ let do_campaign w seed policy =
         | Some m -> Campaign.run ~engine:w.engine ~listeners:[ Inv_monitor.attach m ] input
       in
       let c =
-        Hub.commit w.hub ~campaign ~delta:w.delta result.env ~hung:result.hung
+        w.sink.sk_commit ~campaign ~delta:w.delta result.env ~hung:result.hung
           ~hang_info:(hang_info result)
       in
+      (* Corpus scheduling: credit this seed with the alias pairs its
+         campaign was first to achieve — the currency [Corpus_sched.cull]
+         scores by. *)
+      (match w.csched with
+      | Some cs when c.Hub.c_new_pairs <> [] ->
+          Corpus_sched.credit_pairs cs (Seed.fingerprint seed)
+            (List.map (fun (wr, rd) -> (site_name wr, site_name rd)) c.Hub.c_new_pairs)
+      | Some _ | None -> ());
       if w.obs <> None then begin
         emit w
           (Obs.Events.Worker_merge
@@ -357,7 +418,7 @@ let do_campaign w seed policy =
           List.iter
             (fun (h : Inv_monitor.hit) ->
               match
-                Hub.record_invariant w.hub ~campaign ~label:h.h_label
+                w.sink.sk_record_invariant ~campaign ~label:h.h_label
                   ~kind:(Analysis.Invariants.inv_kind_slug h.h_inv)
                   ~site:(Runtime.Instr.name h.h_site) ~addr:h.h_addr
               with
@@ -403,7 +464,7 @@ let do_campaign w seed policy =
            });
       Some (c.c_improved, result)
 
-let budget_left w = Hub.budget_left w.hub
+let budget_left w = w.sink.sk_budget_left ()
 
 (* The PM-aware schedule: recon run, then interleaving tier over queue
    entries, with the execution tier inside. *)
@@ -418,7 +479,7 @@ let fuzz_seed_pmrace w seed =
         | None -> false
       in
       let unexplored () =
-        Hub.queue_entries w.hub
+        w.sink.sk_queue_entries ()
         |> List.filter (fun (e : Shared_queue.entry) -> not (exhausted e.addr))
       in
       let entries =
@@ -478,6 +539,12 @@ let fuzz_seed_pmrace w seed =
     end
   end
 
+(* Register a freshly created seed with the corpus scheduler (no-op when
+   scheduling is off; duplicates dedup by fingerprint). *)
+let register_seed w s =
+  (match w.csched with Some cs -> ignore (Corpus_sched.add cs s) | None -> ());
+  s
+
 let next_seed w =
   if (not w.cfg.seed_tier) || w.corpus = [] then
     match w.corpus with
@@ -485,30 +552,39 @@ let next_seed w =
     | [] ->
         let s = Seed.gen w.gen_rng w.target.Target.profile in
         w.corpus <- [ s ];
-        s
+        register_seed w s
   else if w.generation > 0 && w.generation mod 5 = 4 then begin
     (* The populate fallback: a load phase with many inserts. *)
     let s = Mutator.populate w.gen_rng w.target.Target.profile ~factor:3 in
     w.corpus <- s :: w.corpus;
-    s
+    register_seed w s
   end
   else begin
-    (* Parent selection: when the static pre-pass is live, prefer seeds
-       touching uncovered statically-possible alias pairs (highest
-       priority wins, random among ties); otherwise uniform. *)
+    (* Parent selection: with corpus scheduling, lease from the favored
+       cover (recull first so new pair credit takes effect); when the
+       static pre-pass is live, prefer seeds touching uncovered
+       statically-possible alias pairs (highest priority wins, random
+       among ties); otherwise uniform. *)
     let parent =
-      let best =
-        if not w.static_on then []
-        else begin
-          let top = List.fold_left (fun m s -> max m (Seed.priority s)) 0 w.corpus in
-          if top = 0 then [] else List.filter (fun s -> Seed.priority s = top) w.corpus
-        end
-      in
-      match best with [] -> Rng.pick w.gen_rng w.corpus | cs -> Rng.pick w.gen_rng cs
+      match w.csched with
+      | Some cs -> (
+          Corpus_sched.cull cs;
+          match Corpus_sched.lease cs 1 with
+          | [ s ] -> s
+          | _ -> Rng.pick w.gen_rng w.corpus)
+      | None -> (
+          let best =
+            if not w.static_on then []
+            else begin
+              let top = List.fold_left (fun m s -> max m (Seed.priority s)) 0 w.corpus in
+              if top = 0 then [] else List.filter (fun s -> Seed.priority s = top) w.corpus
+            end
+          in
+          match best with [] -> Rng.pick w.gen_rng w.corpus | cs -> Rng.pick w.gen_rng cs)
     in
     let _, child = Mutator.evolve w.gen_rng w.target.Target.profile ~corpus:w.corpus parent in
     w.corpus <- child :: w.corpus;
-    child
+    register_seed w child
   end
 
 (* One worker's whole session: keep claiming seeds and fuzzing them until
@@ -520,7 +596,7 @@ let worker_loop w =
       while budget_left w do
         let seed = pick_seed () in
         w.log
-          (Printf.sprintf "campaign %d/%d: worker %d seed #%d (gen %d)" (Hub.completed w.hub)
+          (Printf.sprintf "campaign %d/%d: worker %d seed #%d (gen %d)" (w.sink.sk_completed ())
              w.cfg.max_campaigns w.widx (Seed.id seed) w.generation);
         fuzz_seed_pmrace w seed;
         w.generation <- w.generation + 1
@@ -545,6 +621,115 @@ let worker_loop w =
         exec 0 0;
         w.generation <- w.generation + 1
       done
+
+(* Build one worker.  The default corpus is one populate (load-phase) seed
+   plus random operation seeds — drawn from [gen_rng], so worker [widx]'s
+   corpus is a pure function of (master_seed, widx) in any process.
+   Passing [corpus] skips that draw entirely (fleet workers resuming a
+   leased batch).  [whitelist] defaults to the target's own whitelist plus
+   [cfg.whitelist_extra]; the in-process pool passes one shared instance. *)
+let create_worker ?(log = fun _ -> ()) ?obs ?snapshot ?corpus ?whitelist ?(inv_specs = [])
+    ?(static_on = false) ~cfg ~sink ~widx target =
+  let gen_rng = Rng.create (cfg.master_seed + (1_000_003 * widx)) in
+  let delta = Hub.fresh_delta () in
+  let cur_sites = ref (Hashtbl.create 1) in
+  let whitelist =
+    match whitelist with
+    | Some wl -> wl
+    | None -> Whitelist.create (target.Target.whitelist_sites @ cfg.whitelist_extra)
+  in
+  let corpus =
+    match corpus with
+    | Some c -> c
+    | None ->
+        (* One populate (load-phase) seed plus random operation seeds: the
+           load phase triggers resize/migration paths from the start. *)
+        Mutator.populate gen_rng target.Target.profile ~factor:3
+        :: List.init cfg.initial_seeds (fun _ -> Seed.gen gen_rng target.Target.profile)
+  in
+  let csched =
+    if not cfg.corpus_sched then None
+    else begin
+      let cs = Corpus_sched.create () in
+      List.iter (fun s -> ignore (Corpus_sched.add cs s)) corpus;
+      Some cs
+    end
+  in
+  (* The worker's permanent listener array: the delta's coverage handlers
+     plus the seed-site recorder, bound once instead of rebuilt per
+     campaign.  Each handler writes only its own structure, so dispatch
+     order does not affect results. *)
+  let seed_site_handler =
+    if not static_on then fun _ -> ()
+    else function
+      | Runtime.Env.Ev_load { instr; _ }
+      | Runtime.Env.Ev_store { instr; _ }
+      | Runtime.Env.Ev_movnt { instr; _ } ->
+          Hashtbl.replace !cur_sites (Runtime.Instr.to_int instr) ()
+      | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ()
+  in
+  let bound = Array.of_list (Hub.delta_handlers delta @ [ seed_site_handler ]) in
+  {
+    widx;
+    cfg;
+    target;
+    sink;
+    sched_rng = Rng.create (cfg.master_seed + (500_000_003 * widx));
+    gen_rng;
+    corpus;
+    csched;
+    generation = 0;
+    skip_store = Hashtbl.create 32;
+    explored = Hashtbl.create 32;
+    seed_sites = Hashtbl.create 32;
+    engine =
+      Engine.create ~evict_prob:cfg.evict_prob ~eadr:cfg.eadr ~bound ?snapshot
+        ~use_checkpoint:cfg.use_checkpoint target;
+    delta;
+    cur_sites;
+    whitelist;
+    inv_mon = (if inv_specs = [] then None else Some (Inv_monitor.create inv_specs));
+    static_on;
+    log;
+    obs;
+    m_campaigns =
+      Obs.Metrics.counter ~labels:[ ("worker", string_of_int widx) ] "fuzz_campaigns_total";
+    my_campaigns = 0;
+  }
+
+(* Prepend fresh seeds (a fleet lease) to the worker's corpus.  They lead
+   the list, so generation 0's [List.hd] picks the first leased seed. *)
+let refresh_corpus w seeds =
+  (match w.csched with
+  | Some cs -> List.iter (fun s -> ignore (Corpus_sched.add cs s)) seeds
+  | None -> ());
+  if seeds <> [] then w.corpus <- seeds @ w.corpus
+
+let campaigns_done w = w.my_campaigns
+let worker_whitelist w = w.whitelist
+
+(* Session assembly from a drained hub — shared by the in-process [run]
+   and the fleet worker's shard artifact. *)
+let assemble_session ?static ~whitelist ~worker_campaigns hub target =
+  (* Annotation count comes from the target's layout annotations. *)
+  let annotations =
+    let env = Runtime.Env.create ~capture_images:false ~pool_words:target.Target.pool_words () in
+    target.Target.annotate env;
+    Runtime.Checkers.annotation_count env.Runtime.Env.checkers
+  in
+  {
+    report = Hub.report hub;
+    alias = Hub.alias hub;
+    branch = Hub.branch hub;
+    timeline = Hub.timeline hub;
+    campaigns_run = Hub.completed hub;
+    wall_time = Hub.elapsed hub;
+    annotations;
+    whitelist;
+    provenance = Hub.provenance hub;
+    static;
+    worker_campaigns;
+  }
 
 let run ?(log = fun _ -> ()) ?obs target cfg =
   (match obs with
@@ -611,55 +796,10 @@ let run ?(log = fun _ -> ()) ?obs target cfg =
       Mutex.lock lk;
       Fun.protect ~finally:(fun () -> Mutex.unlock lk) (fun () -> log m)
   in
+  let sink = hub_sink hub in
   let mk_worker widx =
-    let gen_rng = Rng.create (cfg.master_seed + (1_000_003 * widx)) in
-    let delta = Hub.fresh_delta () in
-    let cur_sites = ref (Hashtbl.create 1) in
-    let static_on = static <> None in
-    (* The worker's permanent listener array: the delta's coverage handlers
-       plus the seed-site recorder, bound once instead of rebuilt per
-       campaign.  Each handler writes only its own structure, so dispatch
-       order does not affect results. *)
-    let seed_site_handler =
-      if not static_on then fun _ -> ()
-      else function
-        | Runtime.Env.Ev_load { instr; _ }
-        | Runtime.Env.Ev_store { instr; _ }
-        | Runtime.Env.Ev_movnt { instr; _ } ->
-            Hashtbl.replace !cur_sites (Runtime.Instr.to_int instr) ()
-        | Runtime.Env.Ev_clwb _ | Runtime.Env.Ev_fence _ | Runtime.Env.Ev_branch _ -> ()
-    in
-    let bound = Array.of_list (Hub.delta_handlers delta @ [ seed_site_handler ]) in
-    {
-      widx;
-      cfg;
-      target;
-      hub;
-      sched_rng = Rng.create (cfg.master_seed + (500_000_003 * widx));
-      gen_rng;
-      corpus =
-        (* One populate (load-phase) seed plus random operation seeds: the
-           load phase triggers resize/migration paths from the start. *)
-        Mutator.populate gen_rng target.Target.profile ~factor:3
-        :: List.init cfg.initial_seeds (fun _ -> Seed.gen gen_rng target.Target.profile);
-      generation = 0;
-      skip_store = Hashtbl.create 32;
-      explored = Hashtbl.create 32;
-      seed_sites = Hashtbl.create 32;
-      engine =
-        Engine.create ~evict_prob:cfg.evict_prob ~eadr:cfg.eadr ~bound ?snapshot
-          ~use_checkpoint:cfg.use_checkpoint target;
-      delta;
-      cur_sites;
-      whitelist;
-      inv_mon = (if inv_specs = [] then None else Some (Inv_monitor.create inv_specs));
-      static_on;
-      log;
-      obs;
-      m_campaigns =
-        Obs.Metrics.counter ~labels:[ ("worker", string_of_int widx) ] "fuzz_campaigns_total";
-      my_campaigns = 0;
-    }
+    create_worker ~log ?obs ?snapshot ~whitelist ~inv_specs ~static_on:(static <> None) ~cfg
+      ~sink ~widx target
   in
   let nworkers = max 1 cfg.workers in
   let workers = Array.init nworkers mk_worker in
@@ -668,26 +808,10 @@ let run ?(log = fun _ -> ()) ?obs target cfg =
     (* Domain-per-worker (§5): truly parallel campaigns on OCaml 5. *)
     Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers
     |> Array.iter Domain.join;
-  (* Annotation count comes from the target's layout annotations. *)
-  let annotations =
-    let env = Runtime.Env.create ~capture_images:false ~pool_words:target.Target.pool_words () in
-    target.Target.annotate env;
-    Runtime.Checkers.annotation_count env.Runtime.Env.checkers
-  in
   let session =
-    {
-      report = Hub.report hub;
-      alias = Hub.alias hub;
-      branch = Hub.branch hub;
-      timeline = Hub.timeline hub;
-      campaigns_run = Hub.completed hub;
-      wall_time = Hub.elapsed hub;
-      annotations;
-      whitelist;
-      provenance = Hub.provenance hub;
-      static = prepass;
-      worker_campaigns = Array.map (fun w -> w.my_campaigns) workers;
-    }
+    assemble_session ?static:prepass ~whitelist
+      ~worker_campaigns:(Array.map (fun w -> w.my_campaigns) workers)
+      hub target
   in
   (match obs with
   | Some o ->

@@ -52,6 +52,12 @@ type config = {
           without [static_prepass], but never installs the site-graph
           denominator on its own.  Off by default so seeded sessions stay
           bit-identical; the CLI enables it with [--invariants]. *)
+  corpus_sched : bool;
+      (** AFL-style corpus scheduling ({!Corpus_sched}): mutation parents
+          are leased from the favored cover of the achieved alias-pair set
+          (recomputed each generation) instead of drawn uniformly from the
+          whole corpus.  Off by default so seeded sessions stay
+          bit-identical; the CLI enables it with [--corpus-sched]. *)
 }
 
 val default_config : config
@@ -83,6 +89,7 @@ module Config : sig
     ?whitelist_extra:string list ->
     ?static_prepass:bool ->
     ?invariants:bool ->
+    ?corpus_sched:bool ->
     unit ->
     t
   (** Unspecified fields take their {!default} values; [workers] is
@@ -129,6 +136,86 @@ val run : ?log:(string -> unit) -> ?obs:Obs.Events.t -> Target.t -> config -> se
     boundaries, new alias pairs, candidates, verdicts).  Event emission
     never draws from the fuzzer's RNG streams, so attaching a sink leaves
     seeded sessions bit-identical. *)
+
+(** {2 The reusable worker loop}
+
+    The fuzzing loop, split from the shared side it feeds.  A {!sink} is
+    the worker's entire view of "the shared side": the in-process pool
+    binds it to a {!Hub} with {!hub_sink} (pure indirection — [run] with
+    [workers = 1] makes exactly the sequential fuzzer's calls), and fleet
+    workers ({!Fleet.Worker}) bind it to a wrapper that enforces the
+    coordinator's lease budget and accumulates a wire delta. *)
+
+type sink = {
+  sk_budget_left : unit -> bool;  (** advisory loop-condition check *)
+  sk_reserve : Hub.provenance -> int option;
+      (** claim the next campaign slot; [None] = wind down *)
+  sk_commit :
+    campaign:int ->
+    delta:Hub.delta ->
+    Runtime.Env.t ->
+    hung:bool ->
+    hang_info:string ->
+    Hub.commit_result;
+  sk_record_invariant :
+    campaign:int ->
+    label:string ->
+    kind:string ->
+    site:string ->
+    addr:int ->
+    Report.inv_finding option;
+  sk_queue_entries : unit -> Shared_queue.entry list;
+  sk_rescore : sites:(int, unit) Hashtbl.t -> Seed.t -> unit;
+  sk_completed : unit -> int;  (** campaigns committed, for progress logs *)
+}
+
+val hub_sink : Hub.t -> sink
+(** The in-process binding: every operation forwards to the hub verbatim. *)
+
+type worker
+(** One worker's private state: RNG streams (derived from
+    [cfg.master_seed] and [widx], so worker 0 reproduces the sequential
+    streams in any process), corpus, generation counter, campaign scratch
+    tables, and a persistent-mode {!Engine}. *)
+
+val create_worker :
+  ?log:(string -> unit) ->
+  ?obs:Obs.Events.t ->
+  ?snapshot:Pmem.Pool.snapshot ->
+  ?corpus:Seed.t list ->
+  ?whitelist:Whitelist.t ->
+  ?inv_specs:Analysis.Invariants.spec list ->
+  ?static_on:bool ->
+  cfg:config ->
+  sink:sink ->
+  widx:int ->
+  Target.t ->
+  worker
+(** [corpus] overrides the default generated corpus (one populate seed
+    plus [cfg.initial_seeds] random seeds, drawn from the worker's
+    [gen_rng]); [whitelist] defaults to the target's whitelist plus
+    [cfg.whitelist_extra]. *)
+
+val worker_loop : worker -> unit
+(** Claim seeds and fuzz them until [sk_budget_left] (checked between
+    campaigns) or [sk_reserve] (authoritative) says stop. *)
+
+val refresh_corpus : worker -> Seed.t list -> unit
+(** Prepend seeds (a fleet lease) to the worker's corpus; they are
+    registered with the corpus scheduler when [corpus_sched] is on. *)
+
+val campaigns_done : worker -> int
+val worker_whitelist : worker -> Whitelist.t
+
+val assemble_session :
+  ?static:Analysis.Analyzer.result ->
+  whitelist:Whitelist.t ->
+  worker_campaigns:int array ->
+  Hub.t ->
+  Target.t ->
+  session
+(** Build a {!session} from a drained hub (shared by [run] and the fleet
+    worker's shard artifact).  Single-domain: call after workers stop. *)
 
 val found_known_bugs : session -> Target.t -> (Target.known_bug * bool) list
 (** Match the session's findings against the target's seeded ground truth:

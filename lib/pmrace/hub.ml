@@ -147,6 +147,36 @@ let reset_delta d =
   Shared_queue.clear d.d_queue;
   Alias_cov.reset_tracker d.d_tracker
 
+(* Accumulate one delta into another (set unions / counter additions, like
+   the shared-side merge).  Fleet workers keep a second "wire" delta that
+   every campaign delta is folded into before its reset; the wire delta is
+   what travels to the coordinator.  The tracker is per-execution scratch
+   and is not merged. *)
+let merge_delta_into ~src ~dst =
+  Alias_cov.merge_into ~src:src.d_alias dst.d_alias;
+  Branch_cov.merge_into ~src:src.d_branch dst.d_branch;
+  Shared_queue.merge_into ~src:src.d_queue dst.d_queue
+
+(* Wire/store codec for a delta: the three coverage structures, each via
+   its own (site-name based, process-independent) codec. *)
+let delta_to_json d =
+  Obs.Json.Obj
+    [
+      ("alias", Alias_cov.to_json d.d_alias);
+      ("branch", Branch_cov.to_json d.d_branch);
+      ("queue", Shared_queue.to_json d.d_queue);
+    ]
+
+let delta_of_json j =
+  let field name = Obs.Json.member name j in
+  match (field "alias", field "branch", field "queue") with
+  | Some aj, Some bj, Some qj -> (
+      match (Alias_cov.of_json aj, Branch_cov.of_json bj, Shared_queue.of_json qj) with
+      | Ok d_alias, Ok d_branch, Ok d_queue ->
+          Ok { d_alias; d_branch; d_queue; d_tracker = Alias_cov.tracker () }
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+  | _ -> Error "Hub.delta_of_json: missing field"
+
 type commit_result = {
   c_improved : bool; (* the merge contributed new coverage bits *)
   c_new_findings : Report.finding list;

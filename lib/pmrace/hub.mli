@@ -64,6 +64,19 @@ val reset_delta : delta -> unit
 (** Empty a delta (coverage structures and alias tracker) for reuse —
     observationally equivalent to a {!fresh_delta}. *)
 
+val merge_delta_into : src:delta -> dst:delta -> unit
+(** Fold one delta into another (set unions / counter additions — the same
+    algebra the shared-side merge uses).  Fleet workers accumulate each
+    campaign delta into a "wire" delta before {!reset_delta}; the wire
+    delta is what ships to the coordinator. *)
+
+val delta_to_json : delta -> Obs.Json.t
+(** Wire/store codec: the delta's coverage structures with sites encoded
+    by {e name}, so a delta serialised in one worker process decodes and
+    merges correctly in the coordinator regardless of site-id layout. *)
+
+val delta_of_json : Obs.Json.t -> (delta, string) result
+
 type commit_result = {
   c_improved : bool;  (** the merge contributed new coverage bits *)
   c_new_findings : Report.finding list;

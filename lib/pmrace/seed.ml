@@ -169,6 +169,30 @@ let render_op = function
   | Flush_all -> "flush_all\r\n"
   | Stats -> "stats\r\n" 
 
+(* Content fingerprint: a 64-bit FNV-1a over the rendered operation text,
+   with thread boundaries folded in explicitly so [ [|a; b|] ] and
+   [ [|a ^ b|] ] cannot collide by concatenation.  The hash depends only
+   on the operations themselves — never on seed ids, Instr site-id layout
+   or any other per-process state — so the same seed content hashes
+   identically in every worker process.  The fleet corpus store keys
+   entries by this value. *)
+let fingerprint t =
+  let open Int64 in
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  let feed_byte b = h := mul (logxor !h (of_int b)) prime in
+  let feed_string s = String.iter (fun c -> feed_byte (Char.code c)) s in
+  Array.iter
+    (fun ops ->
+      feed_byte 0xFE (* thread separator *);
+      Array.iter
+        (fun op ->
+          feed_byte 0xFD (* op separator *);
+          feed_string (render_op op))
+        ops)
+    t.threads;
+  !h
+
 let pp_op ppf op =
   match op with
   | Put { key; value } -> Fmt.pf ppf "put(%d,%d)" key value

@@ -69,6 +69,13 @@ val priority : t -> int
 
 val set_priority : t -> int -> unit
 
+val fingerprint : t -> int64
+(** Stable content hash (64-bit FNV-1a) over the rendered operation
+    sequences, with explicit thread/op separators.  Depends only on the
+    seed's operations — independent of seed ids and of the process's
+    [Instr] site-id layout — so corpus entries deduplicate correctly
+    across worker processes and store restarts. *)
+
 val render_op : op -> string
 (** Text rendering in the memcached protocol (driver input and the Table 4
     mutator comparison). *)

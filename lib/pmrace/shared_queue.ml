@@ -109,6 +109,74 @@ let entries t =
 
 let tracked_addresses t = Hashtbl.length t.tbl
 
+(* ------------------------------------------------------------------ *)
+(* Wire/store codec (fleet mode).  Unlike [entries], the codec carries the
+   *full* per-address records (including thread-id sets and not-yet-shared
+   addresses), so decode-then-merge is exactly equivalent to merging the
+   original queue. *)
+
+module J = Obs.Json
+
+let to_json t =
+  let records =
+    Hashtbl.fold (fun addr r acc -> (addr, r) :: acc) t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let names s = J.List (List.map (fun i -> J.String (Instr.name i)) (Iset.elements s)) in
+  let tids s = J.List (List.map (fun i -> J.Int i) (Tset.elements s)) in
+  J.List
+    (List.map
+       (fun (addr, r) ->
+         J.Obj
+           [
+             ("addr", J.Int addr);
+             ("loads", names r.load_instrs);
+             ("stores", names r.store_instrs);
+             ("load_tids", tids r.load_tids);
+             ("store_tids", tids r.store_tids);
+             ("hits", J.Int r.hits);
+           ])
+       records)
+
+let of_json j =
+  match J.to_list j with
+  | None -> Error "Shared_queue: expected list"
+  | Some records -> (
+      try
+        let t = create () in
+        let get name conv rj =
+          match Option.bind (J.member name rj) conv with
+          | Some v -> v
+          | None -> failwith (Printf.sprintf "Shared_queue: bad field %S" name)
+        in
+        let iset rj name =
+          List.fold_left
+            (fun acc s ->
+              match J.to_str s with
+              | Some n -> Iset.add (Instr.site n) acc
+              | None -> failwith "Shared_queue: expected site name")
+            Iset.empty (get name J.to_list rj)
+        in
+        let tset rj name =
+          List.fold_left
+            (fun acc s ->
+              match J.to_int s with
+              | Some n -> Tset.add n acc
+              | None -> failwith "Shared_queue: expected tid int")
+            Tset.empty (get name J.to_list rj)
+        in
+        List.iter
+          (fun rj ->
+            let r = record_of t (get "addr" J.to_int rj) in
+            r.load_instrs <- Iset.union r.load_instrs (iset rj "loads");
+            r.store_instrs <- Iset.union r.store_instrs (iset rj "stores");
+            r.load_tids <- Tset.union r.load_tids (tset rj "load_tids");
+            r.store_tids <- Tset.union r.store_tids (tset rj "store_tids");
+            r.hits <- r.hits + get "hits" J.to_int rj)
+          records;
+        Ok t
+      with Failure msg -> Error msg)
+
 let pp_entry ppf e =
   Fmt.pf ppf "addr=%d hits=%d loads=[%a] stores=[%a]" e.addr e.hits
     Fmt.(list ~sep:comma Instr.pp)

@@ -39,3 +39,11 @@ val entries : t -> entry list
 
 val tracked_addresses : t -> int
 val pp_entry : Format.formatter -> entry -> unit
+
+val to_json : t -> Obs.Json.t
+(** Wire/store codec (fleet mode): the full per-address records (sites by
+    name, thread-id sets, hit counts), so decode-then-{!merge_into} is
+    equivalent to merging the original queue. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Decode; re-registers site names via {!Runtime.Instr.site}. *)
