@@ -58,6 +58,7 @@ let update_corpus_gauges store =
   end
 
 let serve ?(on_ready = fun () -> ()) cfg =
+  Wire.ignore_sigpipe ();
   match Store.open_store ~dir:cfg.store_dir ~target:cfg.target ~budget:cfg.budget with
   | Error _ as e -> e
   | Ok store -> (
@@ -81,8 +82,10 @@ let serve ?(on_ready = fun () -> ()) cfg =
       let handle c msg =
         match msg with
         | Wire.Hello { target; version } ->
-            if version <> Wire.protocol_version then
-              reply c (Wire.Err (Printf.sprintf "protocol version %d unsupported" version))
+            if version <> Wire.protocol_version then begin
+              reply c (Wire.Err (Printf.sprintf "protocol version %d unsupported" version));
+              drop c
+            end
             else if not (String.equal target (Store.target store)) then begin
               reply c
                 (Wire.Err
@@ -102,6 +105,11 @@ let serve ?(on_ready = fun () -> ()) cfg =
                      corpus = Pmrace.Corpus_sched.size (Store.corpus store);
                    })
             end
+        | _ when c.c_widx < 0 ->
+            (* The target-match check in Hello gates everything else; a
+               client that skips the handshake gets nothing. *)
+            reply c (Wire.Err "hello required before any other message");
+            drop c
         | Wire.Lease_req { campaigns; seeds } ->
             let avail = Store.budget_remaining store - outstanding () in
             if avail <= 0 then
@@ -123,15 +131,24 @@ let serve ?(on_ready = fun () -> ()) cfg =
               reply c (Wire.Lease { campaigns = n; seeds = leased })
             end
         | Wire.Delta { delta; campaigns; seeds } ->
+            (* The ledger only ever accounts budget the coordinator
+               itself granted: a buggy or duplicate-shipping worker
+               cannot push budget_used past its outstanding lease. *)
+            let n = min (max 0 campaigns) c.c_leased in
+            if n < campaigns then
+              cfg.log
+                (Printf.sprintf
+                   "fleet: worker %d shipped %d campaigns but holds only %d leased; clamping"
+                   c.c_widx campaigns c.c_leased);
             Store.merge_delta store delta;
-            Store.record_campaigns store campaigns;
-            c.c_leased <- max 0 (c.c_leased - campaigns);
+            Store.record_campaigns store n;
+            c.c_leased <- c.c_leased - n;
             List.iter (fun (seed, pairs) -> ignore (Store.add_seed store ~pairs seed)) seeds;
             update_corpus_gauges store;
             Obs.Metrics.incr (Lazy.force m_deltas);
             cfg.log
               (Printf.sprintf "fleet: delta from worker %d (%d campaigns, %d seeds; %d/%d used)"
-                 c.c_widx campaigns (List.length seeds) (Store.budget_used store)
+                 c.c_widx n (List.length seeds) (Store.budget_used store)
                  (Store.budget_total store));
             reply c Wire.Delta_ack
         | Wire.Bug { kind; site; read_sites; members; first_campaign } ->

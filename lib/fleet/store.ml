@@ -4,9 +4,9 @@
    the budget ledger (meta.json), the aggregate coverage delta
    (coverage.json), the deduplicated bug sightings (bugs.json), and one
    file per unique corpus seed (corpus/<fingerprint>.json).  Mutations
-   persist with write-to-temp + rename before the worker gets its ack, so
-   a SIGKILL at any instant loses at most frames that were never
-   acknowledged — a worker whose delta was acked is durably merged.
+   persist with write-to-temp + fsync + rename before the worker gets
+   its ack, so killing the coordinator at any instant — including an OS
+   crash — loses at most frames that were never acknowledged — a worker whose delta was acked is durably merged.
 
    Seed identity is Seed.fingerprint (a content hash over rendered ops),
    so the same seed re-contributed by two workers, or re-loaded after a
@@ -59,17 +59,40 @@ let bugs_path t = Filename.concat t.s_dir "bugs.json"
 let corpus_dir t = Filename.concat t.s_dir "corpus"
 let fp_name fp = Printf.sprintf "%016Lx.json" fp
 
-(* Atomic persist: a reader (or a restart) sees the old file or the new
-   file, never a torn write. *)
+(* Atomic, durable persist: write-to-temp, fsync, rename, fsync the
+   directory.  A reader (or a restart) sees the old file or the new
+   file, never a torn write — and because the data hits stable storage
+   before the rename and the rename before the ack, an acknowledged
+   mutation survives an OS crash or power loss, not just SIGKILL. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+
 let write_file path json =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      output_string oc (J.to_string ~minify:true json);
-      output_char oc '\n');
-  Sys.rename tmp path
+      let payload = Bytes.of_string (J.to_string ~minify:true json ^ "\n") in
+      let len = Bytes.length payload in
+      let rec go off =
+        if off < len then begin
+          let n =
+            try Unix.write fd payload off (len - off)
+            with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+          in
+          go (off + n)
+        end
+      in
+      go 0;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 let read_file path =
   match

@@ -10,8 +10,9 @@
       ({!Pmrace.Seed.fingerprint} hex), with its credited pairs and age.
 
     Every mutation persists before it is acknowledged to a worker, via
-    write-to-temp + rename, so a SIGKILLed coordinator restarts from the
-    last acknowledged state and loses nothing but unacknowledged frames.
+    write-to-temp + fsync + rename (+ directory fsync), so a killed
+    coordinator — SIGKILL or OS crash — restarts from the last
+    acknowledged state and loses nothing but unacknowledged frames.
     A restarted coordinator {!load}s the directory and resumes the
     campaign where the budget left off. *)
 

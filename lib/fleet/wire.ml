@@ -12,6 +12,12 @@ module J = Obs.Json
 
 let protocol_version = 1
 
+(* Writes to a dead peer must surface as an EPIPE [Unix.Unix_error]
+   (which every call site already handles), not as a process-killing
+   SIGPIPE.  Both fleet entry points call this before any socket I/O. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
 (* Frames above this are a protocol error, not a workload: the largest
    legitimate payload (a full-coverage delta for the biggest target) is a
    few hundred KB. *)
@@ -24,7 +30,10 @@ let rec write_all fd buf off len =
   end
 
 (* [Error "eof"] on a clean close before any byte; short reads mid-frame
-   are a protocol error. *)
+   are a protocol error.  Any other read failure (ECONNRESET from an
+   abruptly killed peer, and so on) is also [Error], never an exception:
+   the peer is simply gone, and the caller's drop/salvage path handles
+   that. *)
 let read_exact fd len =
   let buf = Bytes.create len in
   let rec go off =
@@ -34,6 +43,7 @@ let read_exact fd len =
       | 0 -> if off = 0 then Error "eof" else Error "truncated frame"
       | n -> go (off + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   in
   go 0
 

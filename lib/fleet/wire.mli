@@ -13,12 +13,20 @@
 
 val protocol_version : int
 
+val ignore_sigpipe : unit -> unit
+(** Ignore SIGPIPE process-wide so that writing to a dead peer raises an
+    [EPIPE] [Unix.Unix_error] instead of killing the process.  Both
+    fleet entry points ({!Coordinator.serve}, {!Worker.run}) call this
+    before any socket I/O. *)
+
 val send : Unix.file_descr -> Obs.Json.t -> unit
 (** Write one frame (handles short writes).  Raises [Unix.Unix_error]
     (e.g. [EPIPE]) when the peer vanished. *)
 
 val recv : Unix.file_descr -> (Obs.Json.t, string) result
-(** Read one frame; [Error "eof"] on a clean close. *)
+(** Read one frame; [Error "eof"] on a clean close.  Read failures from
+    an abruptly killed peer (e.g. [ECONNRESET]) are [Error] too — [recv]
+    never raises on a dead socket. *)
 
 (** Worker-to-coordinator messages. *)
 type client_msg =

@@ -63,6 +63,7 @@ let rpc fd (msg : Wire.client_msg) : Wire.server_msg =
       | Ok reply -> reply)
 
 let run ?obs wcfg target =
+  Wire.ignore_sigpipe ();
   let cfg = { wcfg.cfg with Fuzzer.workers = 1; max_campaigns = max_int } in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX wcfg.connect) with

@@ -437,6 +437,74 @@ let test_coordinator_worker_session () =
           Alcotest.(check int) "bug sightings persisted" local_bugs
             (List.length (Fleet.Store.bugs store))
 
+(* A client that skips or flunks the handshake gets an Err and is
+   dropped — it must never reach the lease/delta/bug handlers (which
+   would otherwise record work as "worker--1" and bypass the
+   target-match check). *)
+let test_protocol_hygiene () =
+  let dir = temp_dir "fleet_hygiene" in
+  Unix.mkdir dir 0o755;
+  let socket_path = Filename.concat dir "hub.sock" in
+  let ccfg =
+    {
+      Fleet.Coordinator.default_config with
+      socket_path;
+      store_dir = Filename.concat dir "store";
+      target = "figure1";
+      budget = 5;
+      campaigns_per_lease = 5;
+      seeds_per_lease = 1;
+    }
+  in
+  let ready = Atomic.make false in
+  let coord =
+    Domain.spawn (fun () ->
+        Fleet.Coordinator.serve ~on_ready:(fun () -> Atomic.set ready true) ccfg)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.005
+  done;
+  let expect_err_then_drop label msg =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    Wire.send fd (Wire.client_to_json msg);
+    (match Wire.recv fd with
+    | Ok j -> (
+        match Wire.server_of_json j with
+        | Ok (Wire.Err _) -> ()
+        | _ -> Alcotest.failf "%s: expected an Err reply" label)
+    | Error e -> Alcotest.failf "%s: expected an Err reply, got %s" label e);
+    (match Wire.recv fd with
+    | Error _ -> () (* eof: the coordinator dropped us *)
+    | Ok _ -> Alcotest.failf "%s: coordinator must drop the connection" label);
+    Unix.close fd
+  in
+  expect_err_then_drop "lease before hello" (Wire.Lease_req { campaigns = 1; seeds = 0 });
+  expect_err_then_drop "delta before hello"
+    (Wire.Delta { delta = Hub.fresh_delta (); campaigns = 3; seeds = [] });
+  expect_err_then_drop "version mismatch"
+    (Wire.Hello { target = "figure1"; version = Wire.protocol_version + 1 });
+  (* A legitimate worker then drains the budget so the loop exits. *)
+  let wcfg =
+    {
+      Fleet.Worker.default_config with
+      connect = socket_path;
+      cfg = Fuzzer.Config.make ~master_seed:3 ();
+      lease_campaigns = 5;
+      lease_seeds = 1;
+    }
+  in
+  (match Fleet.Worker.run wcfg Workloads.Figure1.target with
+  | Error e -> Alcotest.fail ("worker: " ^ e)
+  | Ok o ->
+      Alcotest.(check int) "rogue delta not accounted: full budget left for the worker" 5
+        o.Fleet.Worker.o_campaigns);
+  match Domain.join coord with
+  | Error e -> Alcotest.fail ("coordinator: " ^ e)
+  | Ok st ->
+      Alcotest.(check int) "rogue clients never became workers" 1 st.Fleet.Coordinator.st_clients;
+      Alcotest.(check int) "only leased campaigns accounted" 5 st.Fleet.Coordinator.st_campaigns
+
 let suite =
   [
     Alcotest.test_case "fingerprint goldens (store format)" `Quick test_fingerprint_golden;
@@ -452,4 +520,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_merge_order_independent;
     Alcotest.test_case "merge: origins, offsets, replay" `Quick test_merge_origins_replayable;
     Alcotest.test_case "coordinator/worker end-to-end" `Quick test_coordinator_worker_session;
+    Alcotest.test_case "coordinator: protocol hygiene" `Quick test_protocol_hygiene;
   ]
