@@ -1,0 +1,71 @@
+(* Crash-image budget bench (PR 8): what systematic crash-image
+   enumeration (Pmem.Crash_images) costs and what it buys.
+
+   For each target we run the same seeded fuzzing session at post-failure
+   image budgets 1 / 4 / 16 (--crash-images; 1 is the historical
+   single-image validation) and report unique validated bug groups, wall
+   time, and bugs per CPU-second.  figure1-planted and p-clht measure the
+   overhead on targets whose bugs are already visible on the base image;
+   torn-planted carries a seeded torn store that only an enumerated image
+   can expose, so its bug count moves from 0 to >0 as the budget grows.
+   Writes BENCH_crashimages.json (gitignored; CI uploads it). *)
+
+module Fuzzer = Pmrace.Fuzzer
+module Report = Pmrace.Report
+
+let hr ppf = Format.fprintf ppf "%s@." (String.make 72 '-')
+let budgets = [ 1; 4; 16 ]
+
+let run ppf =
+  Format.fprintf ppf "@.Crash images: validation cost/yield vs the image budget (--crash-images).@.";
+  hr ppf;
+  let targets =
+    [
+      ("figure1-planted", Workloads.Figure1.planted, 120);
+      ("p-clht", Workloads.Pclht.target, 40);
+      ("torn-planted", Workloads.Tornstore.target, 60);
+    ]
+  in
+  let json_rows = ref [] in
+  Format.fprintf ppf "%-16s %7s %10s %6s %9s %13s@." "target" "budget" "campaigns" "bugs"
+    "wall (s)" "bugs/cpu-s";
+  hr ppf;
+  List.iter
+    (fun (name, (target : Pmrace.Target.t), campaigns) ->
+      List.iter
+        (fun budget ->
+          let cfg =
+            Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:5 ~crash_images:budget
+              ~use_checkpoint:target.expensive_init ()
+          in
+          let t0 = Obs.Clock.now () in
+          let s = Fuzzer.run target cfg in
+          let wall = Obs.Clock.elapsed t0 in
+          let bugs = List.length (Report.bug_groups s.report) in
+          let per_cpu_s = float_of_int bugs /. Float.max 1e-9 wall in
+          Format.fprintf ppf "%-16s %7d %10d %6d %9.2f %13.1f@." name budget s.campaigns_run
+            bugs wall per_cpu_s;
+          json_rows :=
+            Obs.Json.Obj
+              [
+                ("target", Obs.Json.String name);
+                ("budget", Obs.Json.Int budget);
+                ("campaigns", Obs.Json.Int s.campaigns_run);
+                ("bugs", Obs.Json.Int bugs);
+                ("wall_s", Obs.Json.Float wall);
+                ("bugs_per_cpu_sec", Obs.Json.Float per_cpu_s);
+              ]
+            :: !json_rows)
+        budgets)
+    targets;
+  hr ppf;
+  Format.fprintf ppf
+    "(budget 1 = the base crash image only, bit-identical to single-image validation;@.";
+  Format.fprintf ppf
+    " torn-planted's seeded bug 105 is reachable only via an enumerated image.)@.";
+  let json = Obs.Json.Obj [ ("rows", Obs.Json.List (List.rev !json_rows)) ] in
+  let oc = open_out "BENCH_crashimages.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "(wrote BENCH_crashimages.json)@."

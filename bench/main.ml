@@ -23,6 +23,7 @@ let sections : (string * (Format.formatter -> unit)) list =
     ("hotpath", Hotpath.run);
     ("fleet", Fleet_bench.run);
     ("detectors", Detectors.run);
+    ("crashimages", Crashimages.run);
     ("micro", Micro.run);
   ]
 

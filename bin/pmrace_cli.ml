@@ -185,6 +185,16 @@ let fuzz_cmd =
                 achieved alias-pair set (recomputed each generation) instead of uniformly from \
                 the corpus.")
   in
+  let crash_images =
+    Arg.(value & opt int 1
+         & info [ "crash-images" ] ~docv:"N"
+             ~doc:
+               "Validate each candidate against up to $(docv) systematically enumerated crash \
+                images (per-cacheline drain subsets constrained by fence order) instead of only \
+                the single captured image. A candidate is a bug if any enumerated image survives \
+                recovery; the artifact records which image index reproduced. Default 1 = the \
+                historical single-image behaviour.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log campaign progress.") in
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Print detailed bug reports with reproduction inputs.")
@@ -208,14 +218,14 @@ let fuzz_cmd =
              ~doc:"Disable metrics collection (the default hot-path cost is one atomic load).")
   in
   let run target campaigns seed workers mode no_checkpoint no_validate no_ie no_se no_static
-      invariants corpus_sched verbose report json_out trace_out no_metrics =
+      invariants corpus_sched crash_images verbose report json_out trace_out no_metrics =
     Obs.Metrics.set_enabled (not no_metrics);
     Obs.Metrics.reset ();
     let cfg =
       Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:seed ~workers ~mode
         ~use_checkpoint:((not no_checkpoint) && target.Pmrace.Target.expensive_init)
         ~validate:(not no_validate) ~interleaving_tier:(not no_ie) ~seed_tier:(not no_se)
-        ~static_prepass:(not no_static) ~invariants ~corpus_sched ()
+        ~static_prepass:(not no_static) ~invariants ~corpus_sched ~crash_images ()
     in
     let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
     let obs, trace_oc =
@@ -244,8 +254,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Fuzz a PM system for concurrency bugs")
     Term.(
       const run $ target $ campaigns $ seed $ workers $ mode $ no_checkpoint $ no_validate $ no_ie
-      $ no_se $ no_static $ invariants $ corpus_sched $ verbose $ report $ json_out $ trace_out
-      $ no_metrics)
+      $ no_se $ no_static $ invariants $ corpus_sched $ crash_images $ verbose $ report $ json_out
+      $ trace_out $ no_metrics)
 
 let replay_cmd =
   let target =
@@ -275,7 +285,16 @@ let replay_cmd =
             List.iter
               (fun g -> Format.printf "  %a@." Report.pp_bug_group g)
               o.Pmrace.Replay.r_groups;
-            if o.Pmrace.Replay.r_reproduced then Format.printf "bug fingerprint REPRODUCED@."
+            if o.Pmrace.Replay.r_reproduced then begin
+              Format.printf "bug fingerprint REPRODUCED@.";
+              match o.Pmrace.Replay.r_image_index with
+              | Some i when i > 0 ->
+                  Format.printf "reproduced on enumerated crash image #%d (recorded: %s)@." i
+                    (match o.r_bug.Pmrace.Artifact.b_image_index with
+                    | Some r -> string_of_int r
+                    | None -> "none")
+              | Some _ | None -> ()
+            end
             else begin
               Format.printf "bug fingerprint NOT reproduced@.";
               exit 1

@@ -1,0 +1,43 @@
+(** The fleet's view of the AFL-style corpus scheduler.
+
+    The implementation lives in {!Pmrace.Corpus_sched} (the in-process
+    fuzzer uses it behind [--corpus-sched]); this interface constrains
+    the re-export to exactly what the fleet store and coordinator use,
+    so the fleet surface cannot widen by accident when the scheduler
+    grows.  Types are equal to the [pmrace] ones — values cross the
+    boundary freely (e.g. {!Store.corpus}). *)
+
+type entry = Pmrace.Corpus_sched.entry = {
+  e_fp : int64;  (** {!Pmrace.Seed.fingerprint} — the dedup key *)
+  e_seed : Pmrace.Seed.t;
+  e_op_count : int;
+  e_added : int;  (** insertion sequence number — the age axis *)
+  mutable e_pairs : (string * string) list;
+  mutable e_favored : bool;
+  mutable e_tombstone : bool;
+  mutable e_leases : int;
+}
+
+type t = Pmrace.Corpus_sched.t
+
+val create : unit -> t
+
+val add : t -> ?pairs:(string * string) list -> ?added:int -> Pmrace.Seed.t -> entry option
+(** Insert a seed; [None] when its fingerprint is already present (the
+    existing entry absorbs [pairs] instead).  [added] preserves entry age
+    across store reloads. *)
+
+val credit_pairs : t -> int64 -> (string * string) list -> unit
+
+val find : t -> int64 -> entry option
+(** Look up the entry to persist after {!add}/{!credit_pairs}. *)
+
+val cull : t -> unit
+(** Recompute the favored cover before leasing. *)
+
+val lease : t -> int -> Pmrace.Seed.t list
+(** Up to [n] seeds for one worker lease: favored first, least-leased
+    first within each class.  Deterministic. *)
+
+val size : t -> int
+val favored_count : t -> int

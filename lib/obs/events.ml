@@ -32,6 +32,13 @@ type payload =
       site : string;
       verdict : string;
     }
+  | Crash_image_bug of {
+      campaign : int;
+      worker : int;
+      kind : string;
+      site : string;
+      image_index : int;
+    }
   | Worker_merge of { campaign : int; worker : int; alias_bits : int; branch_bits : int }
   | Session_end of { campaigns : int; wall : float; bugs : int }
 
@@ -83,6 +90,7 @@ let payload_name = function
   | New_alias_pair _ -> "new_alias_pair"
   | Candidate_found _ -> "candidate_found"
   | Validation_verdict _ -> "validation_verdict"
+  | Crash_image_bug _ -> "crash_image_bug"
   | Worker_merge _ -> "worker_merge"
   | Session_end _ -> "session_end"
 
@@ -132,6 +140,14 @@ let payload_fields = function
         ("kind", Json.String kind);
         ("site", Json.String site);
         ("verdict", Json.String verdict);
+      ]
+  | Crash_image_bug { campaign; worker; kind; site; image_index } ->
+      [
+        ("campaign", Json.Int campaign);
+        ("worker", Json.Int worker);
+        ("kind", Json.String kind);
+        ("site", Json.String site);
+        ("image_index", Json.Int image_index);
       ]
   | Worker_merge { campaign; worker; alias_bits; branch_bits } ->
       [

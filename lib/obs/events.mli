@@ -42,6 +42,16 @@ type payload =
       site : string;  (** write site (or sync variable) of the finding *)
       verdict : string;  (** "bug" | "bug-recovery-hang" | "validated-fp" | "whitelisted-fp" *)
     }
+  | Crash_image_bug of {
+      campaign : int;
+      worker : int;
+      kind : string;
+      site : string;
+      image_index : int;
+          (** the enumerated crash image the bug reproduced on — emitted
+              only for non-default images (index > 0), i.e. bugs that
+              single-image validation would have missed *)
+    }
   | Worker_merge of {
       campaign : int;
       worker : int;

@@ -372,6 +372,8 @@ let quiesce t =
 let crash_image t = Array.copy t.durable
 let image_word (img : image) w = img.(w)
 let image_words (img : image) = Array.length img
+let image_copy (img : image) = Array.copy img
+let image_set (img : image) w v = img.(w) <- v
 
 let of_image (img : image) =
   let t = create ~words:(Array.length img) () in

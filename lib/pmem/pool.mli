@@ -110,6 +110,15 @@ val crash_image : t -> image
 val image_word : image -> int -> int64
 val image_words : image -> int
 
+val image_copy : image -> image
+(** An independent copy of an image (for materialising enumerated crash
+    states without touching the base; see {!Crash_images}). *)
+
+val image_set : image -> int -> int64 -> unit
+(** Overwrite one word of an image in place.  This is the delta-application
+    primitive of {!Crash_images}: an enumerated crash state is the base
+    image plus a few [image_set]s, never a fresh pool. *)
+
 val of_image : image -> t
 (** Boot a fresh pool from a crash image (volatile = durable = image, all
     clean), as after a restart. *)

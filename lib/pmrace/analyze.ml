@@ -84,7 +84,7 @@ let run ?(cfg = default_config) (target : Target.t) =
            linted too (missing-recovery-flush residue). *)
         let image = Pmem.Pool.crash_image res.Campaign.env.Runtime.Env.pool in
         let rtrace = Trace.create () in
-        let _env, _written, _hang =
+        let (_ : Post_failure.recovery_result) =
           Post_failure.run_recovery ~listeners:[ Trace.attach rtrace ] target image
         in
         Obs.Metrics.incr (Lazy.force m_recoveries);

@@ -16,9 +16,11 @@ let schema = "pmrace-session"
    section, and config.invariants.
    v3: adds the "origins" list (fleet mode: one entry per merged session
    shard, with its campaign re-index offset) and config.corpus_sched.
-   All additive — v1/v2 artifacts decode with the new fields
-   empty/false. *)
-let version = 3
+   v4: adds config.crash_images and per-bug "image_index" (the enumerated
+   crash image the bug reproduced on, for replay).
+   All additive — v1/v2/v3 artifacts decode with the new fields
+   empty/false/default. *)
+let version = 4
 
 type bug = {
   b_kind : string;
@@ -26,6 +28,8 @@ type bug = {
   b_read_sites : string list;
   b_members : int;
   b_first_campaign : int option;
+  b_image_index : int option;
+      (* crash-image index of the earliest bug verdict; None pre-v4 *)
 }
 
 type prov_entry = {
@@ -114,6 +118,11 @@ let get_bool_opt ~default name j =
   | None | Some J.Null -> default
   | Some v -> ( match J.to_bool v with Some b -> b | None -> fail "field %S: expected bool" name)
 
+let get_int_opt ~default name j =
+  match J.member name j with
+  | None | Some J.Null -> default
+  | Some v -> ( match J.to_int v with Some n -> n | None -> fail "field %S: expected int" name)
+
 let get_list_opt name j =
   match J.member name j with
   | None | Some J.Null -> []
@@ -157,6 +166,7 @@ let config_to_json (c : Fuzzer.config) =
       ("static_prepass", J.Bool c.static_prepass);
       ("invariants", J.Bool c.invariants);
       ("corpus_sched", J.Bool c.corpus_sched);
+      ("crash_images", J.Int c.crash_images);
     ]
 
 let config_of_json j =
@@ -175,6 +185,7 @@ let config_of_json j =
     ~static_prepass:(get_bool "static_prepass" j)
     ~invariants:(get_bool_opt ~default:false "invariants" j)
     ~corpus_sched:(get_bool_opt ~default:false "corpus_sched" j)
+    ~crash_images:(get_int_opt ~default:1 "crash_images" j)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -328,8 +339,45 @@ let severity_string = function
 let verdict_string = function
   | Post_failure.Validated_fp -> "validated-fp"
   | Post_failure.Whitelisted_fp -> "whitelisted-fp"
-  | Post_failure.Bug { recovery_hang = true } -> "bug-recovery-hang"
-  | Post_failure.Bug { recovery_hang = false } -> "bug"
+  | Post_failure.Bug { recovery_hang = true; _ } -> "bug-recovery-hang"
+  | Post_failure.Bug { recovery_hang = false; _ } -> "bug"
+
+(* The crash-image index of the group's earliest bug-verdict member: the
+   image `pmrace replay` must rebuild to reproduce the bug (0 = the base
+   image; >0 = an enumerated image single-image validation would miss). *)
+let first_image_index (report : Report.t) (g : Report.bug_group) =
+  let bug_index = function
+    | Some (Post_failure.Bug { image_index; _ }) -> Some image_index
+    | Some Post_failure.Validated_fp | Some Post_failure.Whitelisted_fp | None -> None
+  in
+  let members =
+    match g.Report.bg_kind with
+    | `Sync ->
+        Report.sync_findings report
+        |> List.filter_map (fun (f : Report.sync_finding) ->
+               if String.equal f.ev.var.Runtime.Checkers.sv_name g.Report.bg_site then
+                 Option.map (fun i -> (f.sync_found_at, i)) (bug_index f.sync_verdict)
+               else None)
+    | (`Inter | `Intra) as k ->
+        let kind =
+          match k with `Inter -> Runtime.Candidates.Inter | `Intra -> Runtime.Candidates.Intra
+        in
+        Report.findings report
+        |> List.filter_map (fun (f : Report.finding) ->
+               if
+                 f.inc.source.Runtime.Candidates.kind = kind
+                 && String.equal
+                      (Instr.name f.inc.source.Runtime.Candidates.write_instr)
+                      g.Report.bg_site
+               then Option.map (fun i -> (f.found_at, i)) (bug_index f.verdict)
+               else None)
+  in
+  match members with
+  | [] -> None
+  | x :: xs ->
+      Some
+        (snd
+           (List.fold_left (fun (c, i) (c', i') -> if c' < c then (c', i') else (c, i)) x xs))
 
 let of_session ~(target : Target.t) ~cfg (s : Fuzzer.session) =
   let bugs =
@@ -341,6 +389,7 @@ let of_session ~(target : Target.t) ~cfg (s : Fuzzer.session) =
           b_read_sites = g.bg_read_sites;
           b_members = g.bg_members;
           b_first_campaign = first_campaign s.report g;
+          b_image_index = first_image_index s.report g;
         })
       (Report.bug_groups s.report)
   in
@@ -466,6 +515,8 @@ let to_json (a : t) =
                    ("members", J.Int b.b_members);
                    ( "first_campaign",
                      match b.b_first_campaign with Some n -> J.Int n | None -> J.Null );
+                   ( "image_index",
+                     match b.b_image_index with Some n -> J.Int n | None -> J.Null );
                  ])
              a.a_bugs) );
       ( "hangs",
@@ -589,6 +640,10 @@ let of_json j =
                 b_read_sites = List.map str (get_list "read_sites" b);
                 b_members = get_int "members" b;
                 b_first_campaign = J.to_int (mem "first_campaign" b);
+                b_image_index =
+                  (match J.member "image_index" b with
+                  | None | Some J.Null -> None (* pre-v4 artifacts *)
+                  | Some v -> J.to_int v);
               })
             (get_list "bugs" j);
         a_hangs =
@@ -748,10 +803,20 @@ let merge inputs =
                     Hashtbl.add bug_tbl (b.b_kind, b.b_site)
                       (ref { b with b_first_campaign = shifted_first })
                 | Some r ->
-                    let merged_first =
+                    (* The image index follows the member with the earliest
+                       (re-indexed) first sighting — the one replay uses. *)
+                    let merged_first, merged_image =
                       match ((!r).b_first_campaign, shifted_first) with
-                      | Some x, Some y -> Some (min x y)
-                      | (Some _ as x), None | None, x -> x
+                      | Some x, Some y ->
+                          if y < x then (shifted_first, b.b_image_index)
+                          else ((!r).b_first_campaign, (!r).b_image_index)
+                      | (Some _ as x), None -> (x, (!r).b_image_index)
+                      | None, (Some _ as y) -> (y, b.b_image_index)
+                      | None, None ->
+                          ( None,
+                            match (!r).b_image_index with
+                            | Some _ as i -> i
+                            | None -> b.b_image_index )
                     in
                     r :=
                       {
@@ -760,6 +825,7 @@ let merge inputs =
                         b_read_sites =
                           List.sort_uniq compare ((!r).b_read_sites @ b.b_read_sites);
                         b_first_campaign = merged_first;
+                        b_image_index = merged_image;
                       })
               a.a_bugs)
           shifted;

@@ -16,10 +16,12 @@ val schema : string
 (** ["pmrace-session"] *)
 
 val version : int
-(** [3]: adds the per-shard [origins] list written by {!merge} (fleet
-    mode) and [config.corpus_sched]; v2 added the lint-finding list, the
+(** [4]: adds [config.crash_images] and the per-bug [image_index]
+    (which enumerated crash image reproduced the bug, for replay); v3
+    added the per-shard [origins] list written by {!merge} (fleet mode)
+    and [config.corpus_sched]; v2 added the lint-finding list, the
     mined-invariant section, and [config.invariants].  Older artifacts
-    still decode (the new fields default to empty/false);
+    still decode (the new fields default to empty/false/defaults);
     newer-than-[version] artifacts are rejected. *)
 
 type bug = {
@@ -29,6 +31,10 @@ type bug = {
   b_members : int;
   b_first_campaign : int option;
       (** campaign index of the group's earliest member finding *)
+  b_image_index : int option;
+      (** crash-image index ({!Pmem.Crash_images} enumeration order) of
+          the earliest member's bug verdict — the image replay rebuilds;
+          [None] in pre-v4 artifacts *)
 }
 
 type prov_entry = {

@@ -15,10 +15,14 @@ let pp_ops ppf (seed : Seed.t) =
     (Seed.threads seed)
 
 let pp_verdict_line ppf = function
-  | Some (Post_failure.Bug { recovery_hang = true }) ->
+  | Some (Post_failure.Bug { recovery_hang = true; image_index = 0 }) ->
       Fmt.pf ppf "BUG — the recovery itself hangs on the crash state"
-  | Some (Post_failure.Bug { recovery_hang = false }) ->
+  | Some (Post_failure.Bug { recovery_hang = true; image_index = i }) ->
+      Fmt.pf ppf "BUG — the recovery itself hangs on enumerated crash image #%d" i
+  | Some (Post_failure.Bug { recovery_hang = false; image_index = 0 }) ->
       Fmt.pf ppf "BUG — not fixed by the immediate recovery"
+  | Some (Post_failure.Bug { recovery_hang = false; image_index = i }) ->
+      Fmt.pf ppf "BUG — not fixed, reproduced on enumerated crash image #%d" i
   | Some Post_failure.Validated_fp -> Fmt.pf ppf "false positive — fixed during recovery"
   | Some Post_failure.Whitelisted_fp -> Fmt.pf ppf "false positive — whitelisted benign read"
   | None -> Fmt.pf ppf "unvalidated"

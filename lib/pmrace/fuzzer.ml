@@ -56,6 +56,10 @@ type config = {
          are leased from the favored cover of the achieved alias-pair set
          instead of drawn uniformly; off by default so seeded sessions
          stay bit-identical *)
+  crash_images : int;
+      (* post-failure crash-image budget: how many enumerated crash
+         images each candidate is validated against ({!Pmem.Crash_images});
+         1 = base image only, the historical behaviour *)
 }
 
 let default_config =
@@ -78,6 +82,7 @@ let default_config =
     static_prepass = false;
     invariants = false;
     corpus_sched = false;
+    crash_images = 1;
   }
 
 (* The configuration front door: an optional-argument builder over
@@ -100,7 +105,8 @@ module Config = struct
       ?(workers = default_config.workers) ?(initial_seeds = default_config.initial_seeds)
       ?(whitelist_extra = default_config.whitelist_extra)
       ?(static_prepass = default_config.static_prepass)
-      ?(invariants = default_config.invariants) ?(corpus_sched = default_config.corpus_sched) () =
+      ?(invariants = default_config.invariants) ?(corpus_sched = default_config.corpus_sched)
+      ?(crash_images = default_config.crash_images) () =
     {
       max_campaigns;
       execs_per_interleaving;
@@ -120,6 +126,7 @@ module Config = struct
       static_prepass;
       invariants;
       corpus_sched;
+      crash_images = max 1 crash_images;
     }
 end
 
@@ -226,6 +233,7 @@ type worker = {
      retargeted by [do_campaign] instead of attaching a fresh closure. *)
   cur_sites : (int, unit) Hashtbl.t ref;
   whitelist : Whitelist.t; (* shared, read-only during fuzzing *)
+  vctx : Post_failure.ctx; (* validation context: whitelist + image budget *)
   inv_mon : Inv_monitor.t option; (* mined-invariant violation monitor *)
   static_on : bool;
   log : string -> unit;
@@ -239,8 +247,17 @@ let emit w payload = match w.obs with Some o -> Obs.Events.emit o payload | None
 let verdict_label = function
   | Post_failure.Validated_fp -> "validated-fp"
   | Post_failure.Whitelisted_fp -> "whitelisted-fp"
-  | Post_failure.Bug { recovery_hang = true } -> "bug-recovery-hang"
-  | Post_failure.Bug { recovery_hang = false } -> "bug"
+  | Post_failure.Bug { recovery_hang = true; _ } -> "bug-recovery-hang"
+  | Post_failure.Bug { recovery_hang = false; _ } -> "bug"
+
+(* A bug that only reproduced on a non-default enumerated crash image is
+   worth its own event: it is exactly the detection the image budget
+   bought.  Emitted alongside the plain verdict event. *)
+let emit_image_bug w ~campaign ~kind ~site = function
+  | Post_failure.Bug { image_index; _ } when image_index > 0 ->
+      emit w
+        (Obs.Events.Crash_image_bug { campaign; worker = w.widx; kind; site; image_index })
+  | Post_failure.Bug _ | Post_failure.Validated_fp | Post_failure.Whitelisted_fp -> ()
 
 let site_name id = Runtime.Instr.name (Runtime.Instr.of_int id)
 
@@ -375,38 +392,30 @@ let do_campaign w seed policy =
       if w.cfg.validate then begin
         List.iter
           (fun (f : Report.finding) ->
-            let v = Post_failure.validate_inconsistency w.target w.whitelist f.inc in
+            let v = Post_failure.validate w.vctx (Post_failure.Candidate.Inconsistency f.inc) in
             f.verdict <- Some v;
+            let kind =
+              match f.inc.source.Runtime.Candidates.kind with
+              | Runtime.Candidates.Inter -> "inter"
+              | Runtime.Candidates.Intra -> "intra"
+            in
+            let site = Runtime.Instr.name f.inc.source.Runtime.Candidates.write_instr in
             if w.obs <> None then
-              let kind =
-                match f.inc.source.Runtime.Candidates.kind with
-                | Runtime.Candidates.Inter -> "inter"
-                | Runtime.Candidates.Intra -> "intra"
-              in
               emit w
                 (Obs.Events.Validation_verdict
-                   {
-                     campaign;
-                     worker = w.widx;
-                     kind;
-                     site = Runtime.Instr.name f.inc.source.Runtime.Candidates.write_instr;
-                     verdict = verdict_label v;
-                   }))
+                   { campaign; worker = w.widx; kind; site; verdict = verdict_label v });
+            emit_image_bug w ~campaign ~kind ~site v)
           c.c_new_findings;
         List.iter
           (fun (f : Report.sync_finding) ->
-            let v = Post_failure.validate_sync w.target f.ev in
+            let v = Post_failure.validate w.vctx (Post_failure.Candidate.Sync f.ev) in
             f.sync_verdict <- Some v;
+            let site = f.ev.var.Runtime.Checkers.sv_name in
             if w.obs <> None then
               emit w
                 (Obs.Events.Validation_verdict
-                   {
-                     campaign;
-                     worker = w.widx;
-                     kind = "sync";
-                     site = f.ev.var.Runtime.Checkers.sv_name;
-                     verdict = verdict_label v;
-                   }))
+                   { campaign; worker = w.widx; kind = "sync"; site; verdict = verdict_label v });
+            emit_image_bug w ~campaign ~kind:"sync" ~site v)
           c.c_new_sync
       end;
       (* Invariant-violation hits: register first sightings with the hub
@@ -435,8 +444,9 @@ let do_campaign w seed policy =
                        });
                   if w.cfg.validate then begin
                     let v =
-                      Post_failure.validate_ordering w.target ~image:h.h_image
-                        ~eff_words:h.h_words
+                      Post_failure.validate w.vctx
+                        (Post_failure.Candidate.Ordering
+                           { crash = h.h_crash; eff_words = h.h_words })
                     in
                     f.Report.iv_verdict <- Some v;
                     emit w
@@ -447,7 +457,8 @@ let do_campaign w seed policy =
                            kind = "invariant";
                            site = h.h_label;
                            verdict = verdict_label v;
-                         })
+                         });
+                    emit_image_bug w ~campaign ~kind:"invariant" ~site:h.h_label v
                   end)
             (Inv_monitor.drain m));
       rescore_seed w seed;
@@ -688,6 +699,7 @@ let create_worker ?(log = fun _ -> ()) ?obs ?snapshot ?corpus ?whitelist ?(inv_s
     delta;
     cur_sites;
     whitelist;
+    vctx = Post_failure.ctx ~images:cfg.crash_images ~whitelist target;
     inv_mon = (if inv_specs = [] then None else Some (Inv_monitor.create inv_specs));
     static_on;
     log;

@@ -58,6 +58,12 @@ type config = {
           (recomputed each generation) instead of drawn uniformly from the
           whole corpus.  Off by default so seeded sessions stay
           bit-identical; the CLI enables it with [--corpus-sched]. *)
+  crash_images : int;
+      (** post-failure crash-image budget ({!Pmem.Crash_images}): how many
+          enumerated crash images each candidate is validated against.
+          [1] (the default) validates only the base image — the
+          historical single-image behaviour, pinned by the golden
+          sessions; the CLI raises it with [--crash-images]. *)
 }
 
 val default_config : config
@@ -90,10 +96,11 @@ module Config : sig
     ?static_prepass:bool ->
     ?invariants:bool ->
     ?corpus_sched:bool ->
+    ?crash_images:int ->
     unit ->
     t
-  (** Unspecified fields take their {!default} values; [workers] is
-      clamped to at least 1. *)
+  (** Unspecified fields take their {!default} values; [workers] and
+      [crash_images] are clamped to at least 1. *)
 end
 
 type provenance = Hub.provenance = {

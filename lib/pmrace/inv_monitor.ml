@@ -16,6 +16,7 @@ type hit = {
   h_addr : int;
   h_words : int list;
   h_image : Pmem.Pool.image option;
+  h_crash : Pmem.Crash_images.state option;
 }
 
 type t = {
@@ -34,6 +35,7 @@ let attach t (env : Runtime.Env.t) =
           let label = Inv.label v.v_inv in
           if not (Hashtbl.mem t.seen label) then begin
             Hashtbl.add t.seen label ();
+            let crash = Some (Pmem.Crash_images.capture env.Runtime.Env.pool) in
             t.hits <-
               {
                 h_inv = v.v_inv;
@@ -41,7 +43,8 @@ let attach t (env : Runtime.Env.t) =
                 h_site = v.v_site;
                 h_addr = v.v_addr;
                 h_words = v.v_words;
-                h_image = Some (Pmem.Pool.crash_image env.Runtime.Env.pool);
+                h_image = Option.map Pmem.Crash_images.base crash;
+                h_crash = crash;
               }
               :: t.hits
           end)

@@ -1,36 +1,82 @@
-(** Post-failure validation (§4.4): boot the crash image captured at each
-    inconsistency, run the target's recovery code, and decide whether the
-    application-specific recovery fixed it. *)
+(** Post-failure validation (§4.4), over enumerated crash images.
+
+    Validation boots the crash state captured at each candidate, runs the
+    target's recovery code, and decides whether the application-specific
+    recovery fixed it.  The durable state at a failure is underdetermined,
+    so validation enumerates the reachable images ({!Pmem.Crash_images})
+    up to a budget: a candidate is a {e bug} as soon as any enumerated
+    image survives recovery, and the verdict records which image index
+    reproduced so [pmrace replay] can rebuild that exact image.  Budget 1
+    validates only the base image — the historical behaviour. *)
 
 type verdict =
-  | Validated_fp  (** fixed by the immediate recovery *)
+  | Validated_fp  (** every enumerated image was fixed by immediate recovery *)
   | Whitelisted_fp  (** covered by the benign-read whitelist *)
-  | Bug of { recovery_hang : bool }
-      (** not fixed; [recovery_hang] when the recovery itself got stuck *)
+  | Bug of { recovery_hang : bool; image_index : int }
+      (** not fixed on enumerated image [image_index] ([0] is the base
+          crash image); [recovery_hang] when the recovery itself got
+          stuck *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+type recovery_result = {
+  env : Runtime.Env.t;  (** the post-recovery environment *)
+  overwritten : (int, unit) Hashtbl.t;  (** PM words recovery stored to *)
+  hung : bool;  (** recovery got stuck (spin lock, kill) *)
+}
 
 val run_recovery :
   ?listeners:(Runtime.Env.t -> unit) list ->
   Target.t ->
   Pmem.Pool.image ->
-  Runtime.Env.t * (int, unit) Hashtbl.t * bool
-(** Run recovery on a crash image; returns the post-recovery environment,
-    the set of PM words recovery overwrote, and whether it hung.
-    [listeners] (e.g. {!Runtime.Trace.attach}) are applied to the booted
-    environment before recovery starts. *)
+  recovery_result
+(** Run recovery on one crash image.  [listeners] (e.g.
+    {!Runtime.Trace.attach}) are applied to the booted environment before
+    recovery starts. *)
+
+(** The three candidate kinds post-failure validation decides on. *)
+module Candidate : sig
+  type t =
+    | Inconsistency of Runtime.Checkers.inconsistency
+        (** false positive iff every side-effect word is overwritten
+            during recovery (or the reading site is whitelisted) *)
+    | Ordering of { crash : Pmem.Crash_images.state option; eff_words : int list }
+        (** a mined ordering-invariant violation: false positive iff
+            recovery rewrites every source word the crash left
+            unpersisted *)
+    | Sync of Runtime.Checkers.sync_event
+        (** false positive iff recovery restores the annotated variable
+            to its expected initial value *)
+end
+
+type ctx
+(** Validation context: target, whitelist, image budget. *)
+
+val ctx : ?images:int -> ?whitelist:Whitelist.t -> Target.t -> ctx
+(** [images] is the crash-image budget — how many enumerated images are
+    recovered at most per candidate (default [1], clamped to [>= 1]);
+    [whitelist] defaults to empty. *)
+
+val validate : ctx -> Candidate.t -> verdict
+(** Validate one candidate: enumerate its crash surface in deterministic
+    order, run recovery on up to [images] of them, and report [Bug] with
+    the first image index that survives (or hangs) recovery.  Images in
+    which the crash itself repaired the candidate (e.g. the inconsistency
+    source drained) are skipped without spending budget.  Image 0 — the
+    base crash image — is always validated first, so budget 1 is
+    bit-identical to historical single-image validation. *)
 
 val validate_inconsistency :
   Target.t -> Whitelist.t -> Runtime.Checkers.inconsistency -> verdict
-(** False positive iff every side-effect word was overwritten during the
-    immediate recovery (or the reading site is whitelisted). *)
+(** @deprecated Use {!validate} with {!Candidate.Inconsistency}; this
+    wrapper validates with the default budget of one image. *)
 
 val validate_ordering :
   Target.t -> image:Pmem.Pool.image option -> eff_words:int list -> verdict
-(** Validate an ordering-invariant violation: false positive iff the
-    target's recovery, run on the crash image captured at the violating
-    store, overwrites every still-pending source word ([eff_words]). *)
+(** @deprecated Use {!validate} with {!Candidate.Ordering} (which takes
+    the full crash surface rather than a bare image); this wrapper
+    validates with the default budget of one image. *)
 
 val validate_sync : Target.t -> Runtime.Checkers.sync_event -> verdict
-(** False positive iff recovery restores the annotated variable to its
-    expected initial value. *)
+(** @deprecated Use {!validate} with {!Candidate.Sync}; this wrapper
+    validates with the default budget of one image. *)

@@ -12,6 +12,8 @@ type outcome = {
   r_campaign : int;
   r_reproduced : bool;
   r_groups : Report.bug_group list;
+  r_image_index : int option;
+      (* crash-image index the bug reproduced on this run, when it did *)
 }
 
 let kind_string = function `Inter -> "inter" | `Intra -> "intra" | `Sync -> "sync"
@@ -61,13 +63,25 @@ let replay_bug ~(target : Target.t) ~(artifact : Artifact.t) ~bug =
                 let whitelist =
                   Whitelist.create (target.Target.whitelist_sites @ cfg.whitelist_extra)
                 in
+                (* The recorded session validated with cfg.crash_images
+                   images; make sure the budget also covers the recorded
+                   image index, so a bug found on enumerated image #i is
+                   reached again even if the config somehow says less. *)
+                let images =
+                  match b.b_image_index with
+                  | Some i -> max cfg.crash_images (i + 1)
+                  | None -> cfg.crash_images
+                in
+                let vctx = Post_failure.ctx ~images ~whitelist target in
                 List.iter
                   (fun (f : Report.finding) ->
-                    f.verdict <- Some (Post_failure.validate_inconsistency target whitelist f.inc))
+                    f.verdict <-
+                      Some (Post_failure.validate vctx (Post_failure.Candidate.Inconsistency f.inc)))
                   findings;
                 List.iter
                   (fun (f : Report.sync_finding) ->
-                    f.sync_verdict <- Some (Post_failure.validate_sync target f.ev))
+                    f.sync_verdict <-
+                      Some (Post_failure.validate vctx (Post_failure.Candidate.Sync f.ev)))
                   sync_findings;
                 let groups = Report.bug_groups report in
                 let reproduced =
@@ -77,5 +91,33 @@ let replay_bug ~(target : Target.t) ~(artifact : Artifact.t) ~bug =
                       && String.equal g.bg_site b.b_site)
                     groups
                 in
-                Ok { r_bug = b; r_campaign = campaign; r_reproduced = reproduced; r_groups = groups }
-            ))
+                (* Which enumerated image the bug came back on: the
+                   matching findings' bug verdicts, smallest index. *)
+                let bug_index site = function
+                  | Some (Post_failure.Bug { image_index; _ }) when String.equal site b.b_site ->
+                      Some image_index
+                  | _ -> None
+                in
+                let indices =
+                  List.filter_map
+                    (fun (f : Report.finding) ->
+                      bug_index
+                        (Runtime.Instr.name f.inc.source.Runtime.Candidates.write_instr)
+                        f.verdict)
+                    findings
+                  @ List.filter_map
+                      (fun (f : Report.sync_finding) ->
+                        bug_index f.ev.var.Runtime.Checkers.sv_name f.sync_verdict)
+                      sync_findings
+                in
+                let r_image_index =
+                  match indices with [] -> None | x :: xs -> Some (List.fold_left min x xs)
+                in
+                Ok
+                  {
+                    r_bug = b;
+                    r_campaign = campaign;
+                    r_reproduced = reproduced;
+                    r_groups = groups;
+                    r_image_index;
+                  }))

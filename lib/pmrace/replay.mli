@@ -11,9 +11,15 @@ type outcome = {
   r_campaign : int;  (** campaign index that was re-executed *)
   r_reproduced : bool;  (** the same (kind, site) group reappeared *)
   r_groups : Report.bug_group list;  (** groups the replayed campaign produced *)
+  r_image_index : int option;
+      (** the crash-image index the bug reproduced on this run (0 = base
+          image); [None] when not reproduced *)
 }
 
 val replay_bug : target:Target.t -> artifact:Artifact.t -> bug:int -> (outcome, string) result
 (** Replay artifact bug group [bug] (an index into the artifact's [bugs]
-    list).  Errors when the target does not match the artifact, the index
-    is out of range, or the bug carries no replayable provenance. *)
+    list).  Validation uses the recorded config's crash-image budget,
+    widened if needed to cover the bug's recorded [b_image_index] so the
+    exact enumerated image is rebuilt.  Errors when the target does not
+    match the artifact, the index is out of range, or the bug carries no
+    replayable provenance. *)

@@ -29,6 +29,7 @@ type inconsistency = {
   addr_flow : bool;
   external_effect : bool; (* e.g. a write to disk or a socket *)
   image : Pmem.Pool.image option; (* durable state at confirmation *)
+  crash : Pmem.Crash_images.state option; (* full crash surface at confirmation *)
   eff_words : int list; (* words carrying the durable side effect *)
 }
 
@@ -39,6 +40,7 @@ type sync_event = {
   sy_addr : int;
   sy_value : int64;
   sy_image : Pmem.Pool.image option;
+  sy_crash : Pmem.Crash_images.state option;
 }
 
 type inc_key = { ik_write : Instr.t; ik_read : Instr.t; ik_eff : Instr.t; ik_kind : Candidates.kind }
@@ -132,9 +134,10 @@ let record_inconsistency t pool ~source ~eff_addr ~eff_instr ~eff_tid ~addr_flow
   in
   if not (Hashtbl.mem t.uniq_inc key) then begin
     Hashtbl.add t.uniq_inc key ();
-    let image = if t.capture_images then Some (Pmem.Pool.crash_image pool) else None in
+    let crash = if t.capture_images then Some (Pmem.Crash_images.capture pool) else None in
+    let image = Option.map Pmem.Crash_images.base crash in
     t.inconsistencies <-
-      { source; eff_addr; eff_instr; eff_tid; addr_flow; external_effect; image; eff_words }
+      { source; eff_addr; eff_instr; eff_tid; addr_flow; external_effect; image; crash; eff_words }
       :: t.inconsistencies
   end
 
@@ -167,9 +170,11 @@ let on_persisted t pool persisted =
           if not (Int64.equal v var.sv_init) && not (Hashtbl.mem t.uniq_sync (var.sv_name, v))
           then begin
             Hashtbl.add t.uniq_sync (var.sv_name, v) ();
-            let image = if t.capture_images then Some (Pmem.Pool.crash_image pool) else None in
+            let crash = if t.capture_images then Some (Pmem.Crash_images.capture pool) else None in
+            let image = Option.map Pmem.Crash_images.base crash in
             t.sync_events <-
-              { var; sy_addr = w; sy_value = v; sy_image = image } :: t.sync_events
+              { var; sy_addr = w; sy_value = v; sy_image = image; sy_crash = crash }
+              :: t.sync_events
           end
       | None -> ())
     persisted

@@ -16,7 +16,11 @@ type inconsistency = {
   eff_tid : int;
   addr_flow : bool;  (** the taint reached the store through its address *)
   external_effect : bool;
-  image : Pmem.Pool.image option;  (** durable state at confirmation *)
+  image : Pmem.Pool.image option;  (** base durable state at confirmation *)
+  crash : Pmem.Crash_images.state option;
+      (** full crash surface at confirmation — [image] plus the in-flight
+          lines, for {!Pmem.Crash_images} enumeration; [image] is always
+          [Option.map Pmem.Crash_images.base crash] *)
   eff_words : int list;
 }
 
@@ -27,6 +31,7 @@ type sync_event = {
   sy_addr : int;
   sy_value : int64;
   sy_image : Pmem.Pool.image option;
+  sy_crash : Pmem.Crash_images.state option;  (** as {!inconsistency.crash} *)
 }
 
 type side_effect = {

@@ -8,7 +8,7 @@ let with_examples = Figure1.target :: all
 
 (* Opt-in seeded-bug variants: resolvable by exact name, never listed —
    ordinary sessions and the CI sweep cannot pick them up by accident. *)
-let planted : Pmrace.Target.t list = [ Figure1.planted ]
+let planted : Pmrace.Target.t list = [ Figure1.planted; Tornstore.target ]
 
 let find name =
   List.find_opt

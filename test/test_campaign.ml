@@ -72,7 +72,7 @@ let test_validation_bug () =
   (* Figure 1 has no recovery, so the inconsistency is a true bug. *)
   let _, r = find_confirming () in
   let inc = List.hd (Checkers.inconsistencies r.env.Runtime.Env.checkers) in
-  match Post.validate_inconsistency target (Whitelist.empty ()) inc with
+  match Post.validate (Post.ctx target) (Post.Candidate.Inconsistency inc) with
   | Post.Bug _ -> ()
   | v -> Alcotest.failf "expected Bug, got %a" Post.pp_verdict v
 
@@ -80,7 +80,7 @@ let test_validation_whitelisted () =
   let _, r = find_confirming () in
   let inc = List.hd (Checkers.inconsistencies r.env.Runtime.Env.checkers) in
   let wl = Whitelist.create [ "figure1.c:read_x" ] in
-  match Post.validate_inconsistency target wl inc with
+  match Post.validate (Post.ctx ~whitelist:wl target) (Post.Candidate.Inconsistency inc) with
   | Post.Whitelisted_fp -> ()
   | v -> Alcotest.failf "expected Whitelisted_fp, got %a" Post.pp_verdict v
 
@@ -101,7 +101,7 @@ let test_validation_fixed_by_recovery () =
   in
   let _, r = find_confirming () in
   let inc = List.hd (Checkers.inconsistencies r.env.Runtime.Env.checkers) in
-  match Post.validate_inconsistency fixed_target (Whitelist.empty ()) inc with
+  match Post.validate (Post.ctx fixed_target) (Post.Candidate.Inconsistency inc) with
   | Post.Validated_fp -> ()
   | v -> Alcotest.failf "expected Validated_fp, got %a" Post.pp_verdict v
 
@@ -110,7 +110,7 @@ let test_sync_validation () =
   match Checkers.sync_events r.env.Runtime.Env.checkers with
   | ev :: _ -> (
       (* No recovery: the lock stays held -> bug. *)
-      (match Post.validate_sync target ev with
+      (match Post.validate (Post.ctx target) (Post.Candidate.Sync ev) with
       | Post.Bug _ -> ()
       | v -> Alcotest.failf "expected Bug, got %a" Post.pp_verdict v);
       (* Recovery resetting g: false positive. *)
@@ -126,7 +126,7 @@ let test_sync_validation () =
               Runtime.Mem.persist ctx ~instr:i (Runtime.Tval.of_int Workloads.Figure1.g_off));
         }
       in
-      match Post.validate_sync fixed ev with
+      match Post.validate (Post.ctx fixed) (Post.Candidate.Sync ev) with
       | Post.Validated_fp -> ()
       | v -> Alcotest.failf "expected Validated_fp, got %a" Post.pp_verdict v)
   | [] -> Alcotest.fail "expected a sync event (the lock g is annotated)"
@@ -145,12 +145,14 @@ let test_report_groups_and_matching () =
   let report = Report.create () in
   let _, r = find_confirming () in
   let nf, ns = Report.absorb report r.env ~hung:false ~hang_info:"" in
+  let vctx = Post.ctx target in
   List.iter
     (fun (f : Report.finding) ->
-      f.verdict <- Some (Post.validate_inconsistency target (Whitelist.empty ()) f.inc))
+      f.verdict <- Some (Post.validate vctx (Post.Candidate.Inconsistency f.inc)))
     nf;
   List.iter
-    (fun (f : Report.sync_finding) -> f.sync_verdict <- Some (Post.validate_sync target f.ev))
+    (fun (f : Report.sync_finding) ->
+      f.sync_verdict <- Some (Post.validate vctx (Post.Candidate.Sync f.ev)))
     ns;
   let groups = Report.bug_groups report in
   Alcotest.(check bool) "has inter group" true

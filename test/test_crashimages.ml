@@ -1,0 +1,252 @@
+(* Systematic crash-image enumeration (Pmem.Crash_images) and the unified
+   post-failure validation API built on it: enumerator unit tests on
+   hand-built pools, QCheck fence-consistency properties over random
+   store/flush/fence traces, deprecated-wrapper equivalence, and the
+   end-to-end torn-planted workload (invisible at the default budget of 1,
+   found and replayable at --crash-images 4). *)
+
+module CI = Pmem.Crash_images
+module Pool = Pmem.Pool
+module Cacheline = Pmem.Cacheline
+module Post = Pmrace.Post_failure
+module Whitelist = Pmrace.Whitelist
+
+let words = 64 (* 8 lines of 8 words *)
+
+let fresh () = Pool.create ~words ()
+
+(* ------------------------------------------------------------------ *)
+(* Enumerator unit tests on hand-built pools.                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_quiesced_pool_single_image () =
+  let p = fresh () in
+  Pool.store p ~tid:0 ~instr:1 0 5L;
+  Pool.quiesce p;
+  let st = CI.capture p in
+  Alcotest.(check int) "no in-flight lines" 0 (CI.line_count st);
+  Alcotest.(check int) "one image" 1 (CI.count st);
+  match List.of_seq (CI.to_seq st) with
+  | [ (0, []) ] -> ()
+  | _ -> Alcotest.fail "expected exactly the empty delta at index 0"
+
+let test_two_line_enumeration () =
+  (* Line 0 holds a dirty word, line 1 a pending one: radices (2, 2),
+     four images in weight-then-line order. *)
+  let p = fresh () in
+  Pool.store p ~tid:0 ~instr:1 0 5L;
+  Pool.store p ~tid:0 ~instr:2 8 7L;
+  Pool.clwb p 8;
+  let st = CI.capture p in
+  Alcotest.(check int) "two lines" 2 (CI.line_count st);
+  Alcotest.(check int) "four images" 4 (CI.count st);
+  let d = Alcotest.(check (option (list (pair int int64)))) in
+  d "index 0 is the base image" (Some []) (CI.delta st 0);
+  d "index 1 drains the pending line" (Some [ (8, 7L) ]) (CI.delta st 1);
+  d "index 2 evicts the dirty line" (Some [ (0, 5L) ]) (CI.delta st 2);
+  d "index 3 drains both" (Some [ (0, 5L); (8, 7L) ]) (CI.delta st 3);
+  d "index 4 is out of range" None (CI.delta st 4);
+  (* Materialisation applies the delta to a copy of the base. *)
+  let img = Option.get (CI.image st 1) in
+  Alcotest.(check int64) "word 8 drained" 7L (Pool.image_word img 8);
+  Alcotest.(check int64) "word 0 still stale" 0L (Pool.image_word img 0);
+  Alcotest.(check int64) "base untouched" 0L (Pool.image_word (CI.base st) 8)
+
+let test_mixed_line_radix_three () =
+  (* One line with a pending word (0) and a dirty one (1): level 1 drains
+     only the pending word, the whole-line eviction drains both — the
+     dirty word never reaches PM on its own. *)
+  let p = fresh () in
+  Pool.store p ~tid:0 ~instr:1 0 5L;
+  Pool.clwb p 0;
+  Pool.store p ~tid:0 ~instr:2 1 6L;
+  let st = CI.capture p in
+  Alcotest.(check int) "one line" 1 (CI.line_count st);
+  Alcotest.(check int) "three images" 3 (CI.count st);
+  let d = Alcotest.(check (option (list (pair int int64)))) in
+  d "level 1 drains pending only" (Some [ (0, 5L) ]) (CI.delta st 1);
+  d "level 2 evicts the line" (Some [ (0, 5L); (1, 6L) ]) (CI.delta st 2)
+
+let test_noop_drains_filtered () =
+  (* Storing the durable value back leaves the word dirty but draining it
+     would change nothing — capture must drop it or images duplicate. *)
+  let p = fresh () in
+  Pool.store p ~tid:0 ~instr:1 0 0L;
+  Alcotest.(check bool) "word is dirty" true (Pool.is_dirty p 0);
+  let st = CI.capture p in
+  Alcotest.(check int) "no effective in-flight lines" 0 (CI.line_count st);
+  Alcotest.(check int) "single image" 1 (CI.count st)
+
+let test_of_image_degenerate () =
+  let p = fresh () in
+  Pool.store p ~tid:0 ~instr:1 3 9L;
+  Pool.quiesce p;
+  let st = CI.of_image (Pool.crash_image p) in
+  Alcotest.(check int) "one image" 1 (CI.count st);
+  Alcotest.(check int64) "base preserved" 9L (Pool.image_word (CI.base st) 3)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties over random store/flush/fence/evict traces.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Decode a (op, operand) list into pool operations.  Values are
+   derived from the word so repeated stores stay deterministic but
+   non-zero. *)
+let apply_ops p ops =
+  List.iter
+    (fun (op, x) ->
+      let w = x mod words in
+      match op mod 5 with
+      | 0 | 1 -> Pool.store p ~tid:0 ~instr:1 w (Int64.of_int (w + 17))
+      | 2 -> Pool.clwb p w
+      | 3 -> ignore (Pool.sfence p)
+      | _ -> ignore (Pool.evict_line p (Cacheline.line_of_word w)))
+    ops
+
+let in_flight p =
+  let base = Pool.crash_image p in
+  List.sort_uniq compare (Pool.dirty_words p @ Pool.pending_words p)
+  |> List.filter (fun w -> not (Int64.equal (Pool.peek p w) (Pool.image_word base w)))
+
+let ops_gen = QCheck.(small_list (pair (int_bound 4) (int_bound (words - 1))))
+
+let prop_images_fence_consistent =
+  QCheck.Test.make ~name:"crashimages: every enumerated image is fence-consistent" ~count:120
+    ops_gen (fun ops ->
+      let p = fresh () in
+      apply_ops p ops;
+      let st = CI.capture p in
+      let flight = in_flight p in
+      let pending_of_line l =
+        List.filter (fun w -> Cacheline.line_of_word w = l && Pool.is_pending p w) flight
+      in
+      let seen = Hashtbl.create 64 in
+      Seq.for_all
+        (fun (i, d) ->
+          (* Indices are dense and deltas distinct. *)
+          let fresh_delta = not (Hashtbl.mem seen d) in
+          Hashtbl.replace seen d ();
+          let sorted = List.sort compare d = d in
+          (* Every drained word is in flight, at its volatile value. *)
+          let legal =
+            List.for_all
+              (fun (w, v) -> List.mem w flight && Int64.equal v (Pool.peek p w))
+              d
+          in
+          (* A dirty word only drains together with the whole line: all
+             in-flight pending words of its line must drain too. *)
+          let fence_ok =
+            List.for_all
+              (fun (w, _) ->
+                (not (Pool.is_dirty p w))
+                || List.for_all
+                     (fun pw -> List.mem_assoc pw d)
+                     (pending_of_line (Cacheline.line_of_word w)))
+              d
+          in
+          i >= 0 && fresh_delta && sorted && legal && fence_ok)
+        (CI.to_seq st)
+      && Hashtbl.length seen = CI.count st)
+
+let prop_index_zero_is_base_image =
+  QCheck.Test.make ~name:"crashimages: index 0 is exactly the crash image" ~count:120 ops_gen
+    (fun ops ->
+      let p = fresh () in
+      apply_ops p ops;
+      let st = CI.capture p in
+      let base = Pool.crash_image p in
+      match (CI.delta st 0, CI.image st 0) with
+      | Some [], Some img ->
+          List.for_all
+            (fun w -> Int64.equal (Pool.image_word img w) (Pool.image_word base w))
+            (List.init words Fun.id)
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated wrappers are thin aliases of the new API at budget 1.    *)
+(* ------------------------------------------------------------------ *)
+
+let test_wrapper_equivalence () =
+  let target = Workloads.Figure1.target in
+  let seed = Pmrace.Seed.gen (Sched.Rng.create 3) target.profile in
+  let rec confirming s =
+    if s > 400 then Alcotest.fail "no confirming campaign within 400 seeds"
+    else
+      let input =
+        Pmrace.Campaign.input ~sched_seed:s ~policy:Pmrace.Campaign.Random_sched target seed
+      in
+      let r = Pmrace.Campaign.run input in
+      match Runtime.Checkers.inconsistencies r.env.Runtime.Env.checkers with
+      | inc :: _ -> inc
+      | [] -> confirming (s + 1)
+  in
+  let inc = confirming 1 in
+  let old_v = Post.validate_inconsistency target (Whitelist.empty ()) inc in
+  let new_v = Post.validate (Post.ctx target) (Post.Candidate.Inconsistency inc) in
+  Alcotest.(check bool) "wrapper ≡ validate at budget 1" true (old_v = new_v);
+  match new_v with
+  | Post.Bug { image_index = 0; _ } -> ()
+  | v -> Alcotest.failf "expected Bug on the base image, got %a" Post.pp_verdict v
+
+(* ------------------------------------------------------------------ *)
+(* End to end: the planted torn store needs an enumerated image.       *)
+(* ------------------------------------------------------------------ *)
+
+let torn = Workloads.Tornstore.target
+
+let torn_session ~crash_images =
+  let cfg = Pmrace.Fuzzer.Config.make ~max_campaigns:60 ~crash_images () in
+  (cfg, Pmrace.Fuzzer.run torn cfg)
+
+let found_105 session =
+  Pmrace.Fuzzer.found_known_bugs session torn
+  |> List.exists (fun ((kb : Pmrace.Target.known_bug), found) -> kb.kb_id = 105 && found)
+
+let test_torn_store_needs_enumeration () =
+  let _, s1 = torn_session ~crash_images:1 in
+  Alcotest.(check bool) "missed at the default budget" false (found_105 s1);
+  let cfg4, s4 = torn_session ~crash_images:4 in
+  Alcotest.(check bool) "found at --crash-images 4" true (found_105 s4);
+  (* The artifact records which enumerated image reproduced the bug... *)
+  let art = Pmrace.Artifact.of_session ~target:torn ~cfg:cfg4 s4 in
+  let bug_idx, bug =
+    match
+      List.mapi (fun i b -> (i, b)) art.a_bugs
+      |> List.find_opt (fun (_, (b : Pmrace.Artifact.bug)) ->
+             String.equal b.b_site "tornstore.c:store_b" && b.b_image_index <> None)
+    with
+    | Some ib -> ib
+    | None -> Alcotest.fail "no torn-store bug group with a recorded image index"
+  in
+  (match bug.b_image_index with
+  | Some i when i > 0 -> ()
+  | idx ->
+      Alcotest.failf "expected a positive image index, got %s"
+        (match idx with Some i -> string_of_int i | None -> "none"));
+  (* ...survives the JSON round-trip... *)
+  (match Pmrace.Artifact.of_json (Pmrace.Artifact.to_json art) with
+  | Ok art' ->
+      let b' = List.nth art'.a_bugs bug_idx in
+      Alcotest.(check bool) "image index round-trips" true (b'.b_image_index = bug.b_image_index)
+  | Error e -> Alcotest.failf "artifact round-trip failed: %s" e);
+  (* ...and replay rebuilds exactly that image. *)
+  match Pmrace.Replay.replay_bug ~target:torn ~artifact:art ~bug:bug_idx with
+  | Error e -> Alcotest.failf "replay failed: %s" e
+  | Ok o ->
+      Alcotest.(check bool) "bug reproduced" true o.r_reproduced;
+      Alcotest.(check bool) "reproduced on the recorded image" true
+        (o.r_image_index = bug.b_image_index)
+
+let suite =
+  [
+    Alcotest.test_case "quiesced pool: single image" `Quick test_quiesced_pool_single_image;
+    Alcotest.test_case "two-line enumeration order" `Quick test_two_line_enumeration;
+    Alcotest.test_case "mixed line: radix 3" `Quick test_mixed_line_radix_three;
+    Alcotest.test_case "no-op drains filtered" `Quick test_noop_drains_filtered;
+    Alcotest.test_case "of_image is degenerate" `Quick test_of_image_degenerate;
+    QCheck_alcotest.to_alcotest prop_images_fence_consistent;
+    QCheck_alcotest.to_alcotest prop_index_zero_is_base_image;
+    Alcotest.test_case "deprecated wrappers ≡ validate" `Quick test_wrapper_equivalence;
+    Alcotest.test_case "torn store needs enumeration (e2e)" `Quick
+      test_torn_store_needs_enumeration;
+  ]

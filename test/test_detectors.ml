@@ -406,7 +406,11 @@ let test_monitor_flags_planted () =
       Alcotest.(check bool) "pending source words recorded" true (h.h_words <> []);
       (* Post-failure validation: recovery never persists x, so the hit
          is a confirmed ordering bug, not a false positive. *)
-      (match Pmrace.Post_failure.validate_ordering target ~image:h.h_image ~eff_words:h.h_words with
+      (match
+         Pmrace.Post_failure.validate
+           (Pmrace.Post_failure.ctx target)
+           (Pmrace.Post_failure.Candidate.Ordering { crash = h.h_crash; eff_words = h.h_words })
+       with
       | Pmrace.Post_failure.Bug _ -> ()
       | v -> Alcotest.failf "expected a bug verdict, got %a" Pmrace.Post_failure.pp_verdict v)
 

@@ -13,7 +13,10 @@ module Fuzzer = Pmrace.Fuzzer
 module Seed = Pmrace.Seed
 module Hub = Pmrace.Hub
 module Artifact = Pmrace.Artifact
-module Corpus_sched = Fleet.Corpus_sched
+(* The scheduler itself lives in pmrace; [Fleet.Corpus_sched] is its
+   constrained fleet-facing re-export, too narrow for these whitebox
+   tests (it hides [entries]/[tombstoned_count]). *)
+module Corpus_sched = Pmrace.Corpus_sched
 module Wire = Fleet.Wire
 module Rng = Sched.Rng
 module J = Obs.Json

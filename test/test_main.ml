@@ -28,6 +28,7 @@ let () =
       ("detectors", Test_detectors.suite);
       ("invariants", Test_invariants.suite);
       ("integration", Test_integration.suite);
+      ("crashimages", Test_crashimages.suite);
       (* Keep fleet LAST: its wire/store codecs register novel Instr
          sites at runtime, which would shift the raw alias-bitmap hash
          layout under the golden sessions above. *)
