@@ -24,6 +24,7 @@ let sections : (string * (Format.formatter -> unit)) list =
     ("fleet", Fleet_bench.run);
     ("detectors", Detectors.run);
     ("crashimages", Crashimages.run);
+    ("por", Por_bench.run);
     ("micro", Micro.run);
   ]
 

@@ -1,0 +1,78 @@
+(* Partial-order reduction bench (PR 9): what sleep-set pruning and
+   trace dedup (--por) cut off the schedule space, and what it costs.
+
+   figure1-planted runs the same seeded session with POR off and on at 2
+   and 8 fibers (more fibers = more commuting picks to prune), reporting
+   schedules pruned per step, unique Mazurkiewicz classes per
+   CPU-second, redundant campaigns whose validation was skipped, and the
+   unique-bug count — which must not move when POR turns on.  Writes
+   BENCH_por.json (gitignored; CI uploads it). *)
+
+module Fuzzer = Pmrace.Fuzzer
+module Report = Pmrace.Report
+
+let hr ppf = Format.fprintf ppf "%s@." (String.make 76 '-')
+
+let run ppf =
+  Format.fprintf ppf "@.Partial-order reduction: schedule redundancy cut vs cost (--por).@.";
+  hr ppf;
+  let base = Workloads.Figure1.planted in
+  let fiber_counts = [ 2; 8 ] in
+  let campaigns = 120 in
+  let json_rows = ref [] in
+  Format.fprintf ppf "%-8s %4s %10s %6s %9s %12s %10s %9s %12s@." "fibers" "por" "campaigns"
+    "bugs" "wall (s)" "pruned/step" "uniq-trc" "dup-val" "uniq/cpu-s";
+  hr ppf;
+  List.iter
+    (fun threads ->
+      let target =
+        { base with Pmrace.Target.profile = { base.profile with Pmrace.Seed.threads } }
+      in
+      List.iter
+        (fun por ->
+          let cfg = Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:5 ~por () in
+          let t0 = Obs.Clock.now () in
+          let s = Fuzzer.run target cfg in
+          let wall = Obs.Clock.elapsed t0 in
+          let bugs = List.length (Report.bug_groups s.report) in
+          let pruned, forced, uniq, dup =
+            match s.por with
+            | Some (p : Pmrace.Hub.por_totals) ->
+                (p.pt_pruned, p.pt_forced_wakes, p.pt_unique_traces, p.pt_dup_traces)
+            | None -> (0, 0, 0, 0)
+          in
+          let uniq_per_cpu_s = float_of_int uniq /. Float.max 1e-9 wall in
+          Format.fprintf ppf "%-8d %4s %10d %6d %9.2f %12d %10d %9d %12.1f@." threads
+            (if por then "on" else "off")
+            s.campaigns_run bugs wall pruned uniq dup uniq_per_cpu_s;
+          json_rows :=
+            Obs.Json.Obj
+              [
+                ("target", Obs.Json.String "figure1-planted");
+                ("fibers", Obs.Json.Int threads);
+                ("por", Obs.Json.Bool por);
+                ("campaigns", Obs.Json.Int s.campaigns_run);
+                ("bugs", Obs.Json.Int bugs);
+                ("wall_s", Obs.Json.Float wall);
+                ("schedules_pruned", Obs.Json.Int pruned);
+                ("forced_wakes", Obs.Json.Int forced);
+                ("unique_traces", Obs.Json.Int uniq);
+                ("dup_traces", Obs.Json.Int dup);
+                ("unique_traces_per_cpu_sec", Obs.Json.Float uniq_per_cpu_s);
+                ( "bugs_per_cpu_sec",
+                  Obs.Json.Float (float_of_int bugs /. Float.max 1e-9 wall) );
+              ]
+            :: !json_rows)
+        [ false; true ])
+    fiber_counts;
+  hr ppf;
+  Format.fprintf ppf
+    "(POR off records no pruning columns; with POR on the unique-bug count must match@.";
+  Format.fprintf ppf
+    " the unpruned row while dup-val campaigns skip post-failure validation.)@.";
+  let json = Obs.Json.Obj [ ("rows", Obs.Json.List (List.rev !json_rows)) ] in
+  let oc = open_out "BENCH_por.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "(wrote BENCH_por.json)@."

@@ -69,6 +69,13 @@ let print_session ppf (target : Pmrace.Target.t) (s : Fuzzer.session) =
       Format.fprintf ppf "hangs: %a@."
         Fmt.(list ~sep:comma (pair ~sep:(any " x") string int))
         hs);
+  (match s.por with
+  | None -> ()
+  | Some (p : Pmrace.Hub.por_totals) ->
+      Format.fprintf ppf
+        "partial-order reduction: %d picks pruned over %d campaigns, %d unique traces (%d \
+         redundant skipped validation, %d forced wakes)@."
+        p.pt_pruned p.pt_campaigns p.pt_unique_traces p.pt_dup_traces p.pt_forced_wakes);
   Format.fprintf ppf "@.unique bug groups:@.";
   List.iter (fun g -> Format.fprintf ppf "  %a@." Report.pp_bug_group g)
     (Report.bug_groups s.report);
@@ -195,6 +202,16 @@ let fuzz_cmd =
                 recovery; the artifact records which image index reproduced. Default 1 = the \
                 historical single-image behaviour.")
   in
+  let por =
+    Arg.(value & flag
+         & info [ "por" ]
+             ~doc:
+               "Partial-order reduction: prune scheduler picks that merely commute with the last \
+                step (per-fiber sleep sets over instruction footprints) and skip post-failure \
+                validation of campaigns whose canonical trace was already explored. The bug set \
+                on the planted workloads is unchanged; redundant schedules cost less. Off by \
+                default — without it, sessions are bit-identical to previous releases.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log campaign progress.") in
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Print detailed bug reports with reproduction inputs.")
@@ -218,14 +235,14 @@ let fuzz_cmd =
              ~doc:"Disable metrics collection (the default hot-path cost is one atomic load).")
   in
   let run target campaigns seed workers mode no_checkpoint no_validate no_ie no_se no_static
-      invariants corpus_sched crash_images verbose report json_out trace_out no_metrics =
+      invariants corpus_sched crash_images por verbose report json_out trace_out no_metrics =
     Obs.Metrics.set_enabled (not no_metrics);
     Obs.Metrics.reset ();
     let cfg =
       Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:seed ~workers ~mode
         ~use_checkpoint:((not no_checkpoint) && target.Pmrace.Target.expensive_init)
         ~validate:(not no_validate) ~interleaving_tier:(not no_ie) ~seed_tier:(not no_se)
-        ~static_prepass:(not no_static) ~invariants ~corpus_sched ~crash_images ()
+        ~static_prepass:(not no_static) ~invariants ~corpus_sched ~crash_images ~por ()
     in
     let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
     let obs, trace_oc =
@@ -254,8 +271,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Fuzz a PM system for concurrency bugs")
     Term.(
       const run $ target $ campaigns $ seed $ workers $ mode $ no_checkpoint $ no_validate $ no_ie
-      $ no_se $ no_static $ invariants $ corpus_sched $ crash_images $ verbose $ report $ json_out
-      $ trace_out $ no_metrics)
+      $ no_se $ no_static $ invariants $ corpus_sched $ crash_images $ por $ verbose $ report
+      $ json_out $ trace_out $ no_metrics)
 
 let replay_cmd =
   let target =

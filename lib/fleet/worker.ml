@@ -219,6 +219,10 @@ let run ?obs wcfg target =
                           Some c
                     end
                   end);
+              (* POR trace dedup stays shard-local: the local hub already
+                 dedups this worker's campaigns, and a cross-shard dup
+                 only costs one redundant validation. *)
+              sk_record_trace = local.Fuzzer.sk_record_trace;
               sk_commit =
                 (fun ~campaign ~delta env ~hung ~hang_info ->
                   let c = local.Fuzzer.sk_commit ~campaign ~delta env ~hung ~hang_info in

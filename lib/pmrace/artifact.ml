@@ -18,9 +18,12 @@ let schema = "pmrace-session"
    shard, with its campaign re-index offset) and config.corpus_sched.
    v4: adds config.crash_images and per-bug "image_index" (the enumerated
    crash image the bug reproduced on, for replay).
-   All additive — v1/v2/v3 artifacts decode with the new fields
+   v5: adds config.por, the per-campaign "trace" hash in provenance
+   (hex-encoded canonical Mazurkiewicz-trace hash, null when POR was
+   off), and the session-level "por" pruning totals.
+   All additive — older artifacts decode with the new fields
    empty/false/default. *)
-let version = 4
+let version = 5
 
 type bug = {
   b_kind : string;
@@ -38,6 +41,9 @@ type prov_entry = {
   pr_policy : string;
   pr_seed : Seed.t;
   pr_spec : Campaign.policy_spec;
+  pr_trace : int64 option;
+      (* canonical trace hash of the schedule this campaign executed;
+         None when POR was off or pre-v5 *)
 }
 
 type lint_entry = {
@@ -89,6 +95,7 @@ type t = {
   a_inv_findings : inv_finding_entry list; (* invariant violations (v2) *)
   a_provenance : prov_entry list;
   a_origins : origin list; (* merged shards, in merge order (v3); [] = single session *)
+  a_por : Hub.por_totals option; (* schedule-pruning totals (v5); None = POR off *)
   a_metrics : J.t;
 }
 
@@ -167,6 +174,7 @@ let config_to_json (c : Fuzzer.config) =
       ("invariants", J.Bool c.invariants);
       ("corpus_sched", J.Bool c.corpus_sched);
       ("crash_images", J.Int c.crash_images);
+      ("por", J.Bool c.por);
     ]
 
 let config_of_json j =
@@ -186,6 +194,7 @@ let config_of_json j =
     ~invariants:(get_bool_opt ~default:false "invariants" j)
     ~corpus_sched:(get_bool_opt ~default:false "corpus_sched" j)
     ~crash_images:(get_int_opt ~default:1 "crash_images" j)
+    ~por:(get_bool_opt ~default:false "por" j)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -402,6 +411,7 @@ let of_session ~(target : Target.t) ~cfg (s : Fuzzer.session) =
           pr_policy = p.p_policy;
           pr_seed = p.p_seed;
           pr_spec = p.p_spec;
+          pr_trace = Hashtbl.find_opt s.trace_hashes campaign;
         }
         :: acc)
       s.provenance []
@@ -459,11 +469,29 @@ let of_session ~(target : Target.t) ~cfg (s : Fuzzer.session) =
         (Report.invariant_findings s.report);
     a_provenance = provenance;
     a_origins = [];
+    a_por = s.por;
     a_metrics = (if Obs.Metrics.enabled () then Obs.Metrics.to_json () else J.Null);
   }
 
 (* ------------------------------------------------------------------ *)
 (* JSON encode / decode *)
+
+(* int64 trace hashes as fixed-width hex strings: Obs.Json has no int64,
+   and 63-bit J.Int would silently mangle the top bit. *)
+let trace_to_json = function
+  | None -> J.Null
+  | Some h -> J.String (Printf.sprintf "%016Lx" h)
+
+let trace_of_json name j =
+  match J.member name j with
+  | None | Some J.Null -> None
+  | Some v -> (
+      match J.to_str v with
+      | None -> fail "field %S: expected hex string" name
+      | Some s -> (
+          match Int64.of_string_opt ("0x" ^ s) with
+          | Some h -> Some h
+          | None -> fail "field %S: bad trace hash %S" name s))
 
 let to_json (a : t) =
   J.Obj
@@ -580,6 +608,7 @@ let to_json (a : t) =
                    ("policy", J.String p.pr_policy);
                    ("seed", seed_to_json p.pr_seed);
                    ("spec", spec_to_json p.pr_spec);
+                   ("trace", trace_to_json p.pr_trace);
                  ])
              a.a_provenance) );
       ( "origins",
@@ -594,6 +623,18 @@ let to_json (a : t) =
                    ("offset", J.Int o.o_offset);
                  ])
              a.a_origins) );
+      ( "por",
+        match a.a_por with
+        | None -> J.Null
+        | Some (p : Hub.por_totals) ->
+            J.Obj
+              [
+                ("campaigns", J.Int p.pt_campaigns);
+                ("schedules_pruned", J.Int p.pt_pruned);
+                ("forced_wakes", J.Int p.pt_forced_wakes);
+                ("unique_traces", J.Int p.pt_unique_traces);
+                ("dup_traces", J.Int p.pt_dup_traces);
+              ] );
       ("metrics", a.a_metrics);
     ]
 
@@ -696,6 +737,7 @@ let of_json j =
                 pr_policy = get_str "policy" p;
                 pr_seed = seed_of_json_exn (mem "seed" p);
                 pr_spec = spec_of_json_exn (mem "spec" p);
+                pr_trace = trace_of_json "trace" p (* absent pre-v5 *);
               })
             (get_list "provenance" j);
         a_origins =
@@ -708,6 +750,18 @@ let of_json j =
                 o_offset = get_int "offset" o;
               })
             (get_list_opt "origins" j);
+        a_por =
+          (match J.member "por" j with
+          | None | Some J.Null -> None (* pre-v5, or POR off *)
+          | Some p ->
+              Some
+                {
+                  Hub.pt_campaigns = get_int "campaigns" p;
+                  pt_pruned = get_int "schedules_pruned" p;
+                  pt_forced_wakes = get_int "forced_wakes" p;
+                  pt_unique_traces = get_int "unique_traces" p;
+                  pt_dup_traces = get_int "dup_traces" p;
+                });
         a_metrics = Option.value ~default:J.Null (J.member "metrics" j);
       }
   with Failure msg -> Error msg
@@ -925,6 +979,25 @@ let merge inputs =
                   List.map (fun p -> { p with pr_campaign = p.pr_campaign + off }) a.a_provenance)
               |> List.sort (fun a b -> compare a.pr_campaign b.pr_campaign);
             a_origins = List.rev origins_rev;
+            (* POR counters sum across shards.  Trace dedup is shard-local
+               (see Fleet.Worker), so the summed unique count can include
+               the same Mazurkiewicz class twice — an upper bound, like
+               the raw bitmap counts above are a lower one. *)
+            a_por =
+              List.fold_left
+                (fun acc (_, a) ->
+                  match (acc, a.a_por) with
+                  | None, x | x, None -> x
+                  | Some (m : Hub.por_totals), Some (p : Hub.por_totals) ->
+                      Some
+                        {
+                          Hub.pt_campaigns = m.pt_campaigns + p.pt_campaigns;
+                          pt_pruned = m.pt_pruned + p.pt_pruned;
+                          pt_forced_wakes = m.pt_forced_wakes + p.pt_forced_wakes;
+                          pt_unique_traces = m.pt_unique_traces + p.pt_unique_traces;
+                          pt_dup_traces = m.pt_dup_traces + p.pt_dup_traces;
+                        })
+                None shifted;
             a_metrics = J.Null;
           }
       with Failure msg -> Error msg)

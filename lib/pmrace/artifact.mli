@@ -16,10 +16,12 @@ val schema : string
 (** ["pmrace-session"] *)
 
 val version : int
-(** [4]: adds [config.crash_images] and the per-bug [image_index]
-    (which enumerated crash image reproduced the bug, for replay); v3
-    added the per-shard [origins] list written by {!merge} (fleet mode)
-    and [config.corpus_sched]; v2 added the lint-finding list, the
+(** [5]: adds [config.por], the per-campaign canonical trace hash in
+    provenance, and the session-level POR pruning totals; v4 added
+    [config.crash_images] and the per-bug [image_index] (which
+    enumerated crash image reproduced the bug, for replay); v3 added
+    the per-shard [origins] list written by {!merge} (fleet mode) and
+    [config.corpus_sched]; v2 added the lint-finding list, the
     mined-invariant section, and [config.invariants].  Older artifacts
     still decode (the new fields default to empty/false/defaults);
     newer-than-[version] artifacts are rejected. *)
@@ -43,6 +45,9 @@ type prov_entry = {
   pr_policy : string;  (** human-readable label *)
   pr_seed : Seed.t;
   pr_spec : Campaign.policy_spec;
+  pr_trace : int64 option;
+      (** canonical Mazurkiewicz-trace hash of the executed schedule
+          ({!Por.stats}); [None] when POR was off or in pre-v5 artifacts *)
 }
 
 type lint_entry = {
@@ -99,6 +104,11 @@ type t = {
   a_provenance : prov_entry list;  (** sorted by campaign index *)
   a_origins : origin list;
       (** merged shards in merge order (v3); [[]] for a single session *)
+  a_por : Hub.por_totals option;
+      (** schedule-pruning totals (v5); [None] when POR was off.  After
+          {!merge}, counters are summed across shards — trace dedup is
+          shard-local, so the merged unique-trace count is an upper
+          bound. *)
   a_metrics : Obs.Json.t;  (** opaque {!Obs.Metrics.to_json} snapshot *)
 }
 

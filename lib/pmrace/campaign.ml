@@ -27,17 +27,30 @@ type input = {
   capture_images : bool;
   evict_prob : float;
   eadr : bool; (* run on an eADR platform (§6.6) *)
+  por : bool; (* sleep-set pruning + trace hashing (Scheduler.run_por) *)
 }
 
 let input ?(sched_seed = 1) ?(policy = Random_sched) ?snapshot ?(step_budget = 60_000)
-    ?(capture_images = true) ?(evict_prob = 0.) ?(eadr = false) target seed =
-  { target; seed; sched_seed; policy; snapshot; step_budget; capture_images; evict_prob; eadr }
+    ?(capture_images = true) ?(evict_prob = 0.) ?(eadr = false) ?(por = false) target seed =
+  {
+    target;
+    seed;
+    sched_seed;
+    policy;
+    snapshot;
+    step_budget;
+    capture_images;
+    evict_prob;
+    eadr;
+    por;
+  }
 
 type result = {
   env : Env.t;
   outcome : Scheduler.outcome;
   sync : Sync_policy.t option;
   hung : bool; (* budget exhaustion or a Stuck spin lock *)
+  por : Por.stats option; (* pruning provenance when the input asked for POR *)
 }
 
 (* Initialise a pool once and capture the checkpoint the fast path reuses. *)
@@ -77,20 +90,29 @@ let run ?engine ?(listeners = []) (i : input) =
   Obs.Metrics.time (Lazy.force m_run) @@ fun () ->
   let rng = Rng.create i.sched_seed in
   let policy_rng = Rng.split rng in
+  let nthreads = Array.length (Seed.threads i.seed) in
   let sync, policy =
     match i.policy with
     | Pmrace { entry; skip } ->
-        let s =
-          Sync_policy.create ~rng:policy_rng
-            ~nthreads:(Array.length (Seed.threads i.seed))
-            ~skip entry
-        in
+        let s = Sync_policy.create ~rng:policy_rng ~nthreads ~skip entry in
         (Some s, Sync_policy.policy s)
     | Delay { prob; max_delay } ->
         (None, Delay_policy.policy (Delay_policy.create ~prob ~max_delay ~rng:policy_rng ()))
     | Random_sched -> (None, Env.preempt_policy)
     | No_preempt -> (None, Env.null_policy)
   in
+  (* The POR harness interposes on whatever policy the spec built; with
+     [por = false] nothing here runs and the policy (and every RNG draw)
+     is exactly the historical one. *)
+  let harness =
+    if not i.por then None
+    else
+      Some
+        (match engine with
+        | Some e -> Engine.por_harness e ~nthreads
+        | None -> Por.create ~nthreads)
+  in
+  let policy = match harness with Some h -> Por.wrap h policy | None -> policy in
   Env.set_policy env policy;
   let sched = Scheduler.create ~step_budget:i.step_budget ~rng () in
   Array.iteri
@@ -101,10 +123,16 @@ let run ?engine ?(listeners = []) (i : input) =
              let ctx = Env.ctx env ~tid:ti in
              Array.iter (fun op -> i.target.run_op ctx op) ops)))
     (Seed.threads i.seed);
-  let outcome = Scheduler.run sched in
+  let outcome, por =
+    match harness with
+    | None -> (Scheduler.run sched, None)
+    | Some h ->
+        let outcome, ss = Scheduler.run_por ~por:(Por.hooks h) sched in
+        (outcome, Some (Por.stats h ss))
+  in
   let stuck =
     List.exists (fun (_, _, e) -> match e with Runtime.Mem.Stuck _ -> true | _ -> false)
       outcome.failed
   in
   let hung = outcome.hung <> [] || stuck in
-  { env; outcome; sync; hung }
+  { env; outcome; sync; hung; por }

@@ -23,6 +23,11 @@ type input = {
   capture_images : bool;
   evict_prob : float;
   eadr : bool;  (** run on an eADR platform (§6.6): flushes unnecessary *)
+  por : bool;
+      (** run under {!Sched.Scheduler.run_por}: sleep-set pruning plus a
+          canonical trace hash.  [false] (the default) leaves the
+          schedule — and every RNG draw — bit-identical to before the
+          POR layer existed. *)
 }
 
 val input :
@@ -33,6 +38,7 @@ val input :
   ?capture_images:bool ->
   ?evict_prob:float ->
   ?eadr:bool ->
+  ?por:bool ->
   Target.t ->
   Seed.t ->
   input
@@ -42,6 +48,8 @@ type result = {
   outcome : Scheduler.outcome;
   sync : Sync_policy.t option;
   hung : bool;  (** budget exhaustion or a stuck spin lock *)
+  por : Por.stats option;
+      (** trace hash + pruning counters, when the input asked for POR *)
 }
 
 val prepare_snapshot : Target.t -> Pmem.Pool.snapshot

@@ -148,11 +148,29 @@ let cull t =
   List.iter
     (fun e ->
       e.e_favored <- Hashtbl.mem favored e.e_fp;
+      (* Publish the favored score on the seed itself (AFL's energy
+         assignment): the seed tier reads it back through {!energy}, and
+         other priority consumers see favored seeds outrank the rest.
+         Only meaningful when corpus scheduling is on — the static
+         pre-pass rescoring path owns [Seed.priority] otherwise. *)
+      Seed.set_priority e.e_seed (if e.e_favored then List.length e.e_pairs else 0);
       (* Dominated: contributed pairs once, but the favored cover now
          achieves all of them without this entry. *)
       if (not e.e_favored) && e.e_pairs <> [] then
         e.e_tombstone <- List.for_all (Hashtbl.mem covered) e.e_pairs)
     live
+
+(* Mutation energy for a seed (AFL-style): favored seeds earn extra
+   interleaving budget proportional to the pair credit that made them
+   favored, capped so one hot seed cannot starve the rest of the corpus.
+   Unknown or unfavored seeds get the baseline. *)
+let energy_cap = 3
+
+let energy t seed =
+  match Hashtbl.find_opt t.entries (Seed.fingerprint seed) with
+  | Some e when e.e_favored && not e.e_tombstone ->
+      1 + min energy_cap (List.length e.e_pairs)
+  | Some _ | None -> 1
 
 (* Favored first, then the undecided reservoir (entries that never
    contributed a pair); within each class least-leased first so workers

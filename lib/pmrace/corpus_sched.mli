@@ -36,7 +36,15 @@ val credit_pairs : t -> int64 -> (string * string) list -> unit
     fingerprints).  Fresh credit resurrects a tombstoned entry. *)
 
 val cull : t -> unit
-(** Recompute the favored cover and tombstone dominated entries. *)
+(** Recompute the favored cover and tombstone dominated entries.  Also
+    publishes each live entry's favored score (credited-pair count, 0
+    when unfavored) through {!Seed.set_priority}. *)
+
+val energy : t -> Seed.t -> int
+(** AFL-style mutation energy: [1 + min 3 pairs] for a favored entry
+    ([pairs] = its credited alias pairs), [1] otherwise.  The fuzzer's
+    seed tier multiplies its per-seed interleaving budget by this, so
+    favored seeds are fuzzed harder. *)
 
 val lease : t -> int -> Seed.t list
 (** Up to [n] seeds: favored first, then the never-contributed reservoir;

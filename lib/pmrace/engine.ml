@@ -34,6 +34,9 @@ type t = {
   bound : (Env.event -> unit) array;
   mutable checkouts : int;
   mutable last_reset_touched : int;
+  mutable por : Por.t option;
+      (* lazily-created POR harness, reused (reset) across campaigns like
+         the execution context itself *)
 }
 
 (* Initialise a pool once and capture the checkpoint the fast path reuses. *)
@@ -68,7 +71,30 @@ let create ?(capture_images = true) ?(evict_prob = 0.) ?(eadr = false) ?(bound =
     end
     else Fresh
   in
-  { target; capture_images; evict_prob; eadr; mode; bound; checkouts = 0; last_reset_touched = 0 }
+  {
+    target;
+    capture_images;
+    evict_prob;
+    eadr;
+    mode;
+    bound;
+    checkouts = 0;
+    last_reset_touched = 0;
+    por = None;
+  }
+
+(* A reset POR harness sized for at least [nthreads] fibers.  Grown (by
+   replacement) when a seed spawns more threads than any before it; reset
+   is O(touched words/lines) via the hashtable clears. *)
+let por_harness t ~nthreads =
+  match t.por with
+  | Some h when Por.capacity h >= nthreads ->
+      Por.reset h;
+      h
+  | _ ->
+      let h = Por.create ~nthreads in
+      t.por <- Some h;
+      h
 
 let checkout t =
   t.checkouts <- t.checkouts + 1;

@@ -46,6 +46,11 @@ val checkout : t -> Runtime.Env.t
     environment.  The environment is only valid until the next
     [checkout]. *)
 
+val por_harness : t -> nthreads:int -> Por.t
+(** The engine's reusable POR harness, reset and ready for one campaign
+    with at most [nthreads] fibers (created on first use, grown when a
+    seed spawns more threads than any before). *)
+
 val persistent : t -> bool
 val snapshot : t -> Pmem.Pool.snapshot option
 val checkouts : t -> int

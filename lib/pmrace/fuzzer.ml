@@ -60,6 +60,12 @@ type config = {
       (* post-failure crash-image budget: how many enumerated crash
          images each candidate is validated against ({!Pmem.Crash_images});
          1 = base image only, the historical behaviour *)
+  por : bool;
+      (* partial-order reduction: campaigns run under the sleep-set
+         scheduler ({!Sched.Scheduler.run_por}) and post-failure
+         validation is skipped for campaigns whose Mazurkiewicz-trace
+         hash was already seen for the same seed; off by default so
+         seeded sessions stay bit-identical *)
 }
 
 let default_config =
@@ -83,6 +89,7 @@ let default_config =
     invariants = false;
     corpus_sched = false;
     crash_images = 1;
+    por = false;
   }
 
 (* The configuration front door: an optional-argument builder over
@@ -106,7 +113,7 @@ module Config = struct
       ?(whitelist_extra = default_config.whitelist_extra)
       ?(static_prepass = default_config.static_prepass)
       ?(invariants = default_config.invariants) ?(corpus_sched = default_config.corpus_sched)
-      ?(crash_images = default_config.crash_images) () =
+      ?(crash_images = default_config.crash_images) ?(por = default_config.por) () =
     {
       max_campaigns;
       execs_per_interleaving;
@@ -127,6 +134,7 @@ module Config = struct
       invariants;
       corpus_sched;
       crash_images = max 1 crash_images;
+      por;
     }
 end
 
@@ -158,6 +166,8 @@ type session = {
   provenance : (int, provenance) Hashtbl.t; (* campaign index -> inputs *)
   static : Analysis.Analyzer.result option; (* the pre-pass, when enabled *)
   worker_campaigns : int array; (* campaigns completed per worker (index = widx) *)
+  por : Hub.por_totals option; (* aggregate pruning counters, POR sessions only *)
+  trace_hashes : (int, int64) Hashtbl.t; (* campaign index -> canonical trace hash *)
 }
 
 (* The worker's view of the shared side, as a record of functions.  The
@@ -183,6 +193,9 @@ type sink = {
     site:string ->
     addr:int ->
     Report.inv_finding option;
+  sk_record_trace :
+    campaign:int -> key:int64 -> hash:int64 -> pruned:int -> forced:int -> bool;
+      (* POR trace dedup: [true] = first sighting, spend validation *)
   sk_queue_entries : unit -> Shared_queue.entry list;
   sk_rescore : sites:(int, unit) Hashtbl.t -> Seed.t -> unit;
   sk_completed : unit -> int; (* campaigns committed, for progress logs *)
@@ -200,6 +213,9 @@ let hub_sink hub =
     sk_record_invariant =
       (fun ~campaign ~label ~kind ~site ~addr ->
         Hub.record_invariant hub ~campaign ~label ~kind ~site ~addr);
+    sk_record_trace =
+      (fun ~campaign ~key ~hash ~pruned ~forced ->
+        Hub.record_trace hub ~campaign ~key ~hash ~pruned ~forced);
     sk_queue_entries = (fun () -> Hub.queue_entries hub);
     sk_rescore = (fun ~sites seed -> Hub.rescore_seed hub ~sites seed);
     sk_completed = (fun () -> Hub.completed hub);
@@ -320,7 +336,8 @@ let do_campaign w seed policy =
              policy = policy_label policy;
            });
       let input =
-        Campaign.input ~sched_seed ~policy ~step_budget:w.cfg.step_budget w.target seed
+        Campaign.input ~sched_seed ~policy ~step_budget:w.cfg.step_budget ~por:w.cfg.por
+          w.target seed
       in
       (* The delta and the seed-site handler are pre-bound in the engine's
          context; per campaign we only empty the delta and retarget the
@@ -344,6 +361,23 @@ let do_campaign w seed policy =
           Corpus_sched.credit_pairs cs (Seed.fingerprint seed)
             (List.map (fun (wr, rd) -> (site_name wr, site_name rd)) c.Hub.c_new_pairs)
       | Some _ | None -> ());
+      (* POR trace dedup: register the campaign's canonical trace class
+         and spend post-failure validation only on its first sighting —
+         a schedule Mazurkiewicz-equivalent to an already-validated one
+         cannot produce a finding its representative didn't.  The key is
+         salted with the seed fingerprint so a cross-seed hash collision
+         never suppresses validation of a genuinely new finding.
+         Commit already ran, so coverage and candidate counts are
+         untouched by the skip. *)
+      let first_trace =
+        match result.Campaign.por with
+        | None -> true
+        | Some ps ->
+            w.sink.sk_record_trace ~campaign
+              ~key:(Int64.logxor ps.Por.s_trace_hash (Seed.fingerprint seed))
+              ~hash:ps.Por.s_trace_hash ~pruned:ps.Por.s_pruned_picks
+              ~forced:ps.Por.s_forced_wakes
+      in
       if w.obs <> None then begin
         emit w
           (Obs.Events.Worker_merge
@@ -389,7 +423,7 @@ let do_campaign w seed policy =
                  }))
           c.c_new_sync
       end;
-      if w.cfg.validate then begin
+      if w.cfg.validate && first_trace then begin
         List.iter
           (fun (f : Report.finding) ->
             let v = Post_failure.validate w.vctx (Post_failure.Candidate.Inconsistency f.inc) in
@@ -484,6 +518,14 @@ let fuzz_seed_pmrace w seed =
     (* Recon execution: gathers shared accesses for the priority queue. *)
     ignore (do_campaign w seed Campaign.Random_sched);
     if w.cfg.interleaving_tier then begin
+      (* Mutation energy (AFL): favored corpus entries earn a multiple of
+         the per-seed interleaving budget.  Without corpus scheduling the
+         factor is always 1, so seeded sessions stay bit-identical. *)
+      let inter_budget =
+        match w.csched with
+        | Some cs -> w.cfg.max_interleavings_per_seed * Corpus_sched.energy cs seed
+        | None -> w.cfg.max_interleavings_per_seed
+      in
       let exhausted addr =
         match Hashtbl.find_opt w.explored addr with
         | Some n -> n < 0 || n >= 3 (* triggered, or tried repeatedly without success *)
@@ -504,7 +546,7 @@ let fuzz_seed_pmrace w seed =
       let rec explore entries tried =
         match entries with
         | [] -> ()
-        | _ when (not (budget_left w)) || tried >= w.cfg.max_interleavings_per_seed -> ()
+        | _ when (not (budget_left w)) || tried >= inter_budget -> ()
         | entry :: rest ->
             let attempts =
               max 0 (Option.value ~default:0 (Hashtbl.find_opt w.explored entry.Shared_queue.addr))
@@ -741,6 +783,8 @@ let assemble_session ?static ~whitelist ~worker_campaigns hub target =
     provenance = Hub.provenance hub;
     static;
     worker_campaigns;
+    por = Hub.por_totals hub;
+    trace_hashes = Hub.trace_hashes hub;
   }
 
 let run ?(log = fun _ -> ()) ?obs target cfg =

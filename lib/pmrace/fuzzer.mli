@@ -48,7 +48,7 @@ type config = {
       (** mine likely persistence-ordering invariants ({!Analysis.Invariants})
           from the pre-pass seed traces and monitor every campaign for
           violations, validating first sightings post-failure
-          ({!Post_failure.validate_ordering}).  Forces a pre-pass run even
+          (through {!Post_failure.validate}).  Forces a pre-pass run even
           without [static_prepass], but never installs the site-graph
           denominator on its own.  Off by default so seeded sessions stay
           bit-identical; the CLI enables it with [--invariants]. *)
@@ -64,6 +64,13 @@ type config = {
           [1] (the default) validates only the base image — the
           historical single-image behaviour, pinned by the golden
           sessions; the CLI raises it with [--crash-images]. *)
+  por : bool;
+      (** partial-order reduction: campaigns run under the sleep-set
+          scheduler ({!Sched.Scheduler.run_por}), each completed schedule
+          gets a canonical Mazurkiewicz-trace hash, and post-failure
+          validation is skipped for campaigns whose (trace, seed) class
+          was already validated.  Off by default so seeded sessions stay
+          bit-identical; the CLI enables it with [--por]. *)
 }
 
 val default_config : config
@@ -97,6 +104,7 @@ module Config : sig
     ?invariants:bool ->
     ?corpus_sched:bool ->
     ?crash_images:int ->
+    ?por:bool ->
     unit ->
     t
   (** Unspecified fields take their {!default} values; [workers] and
@@ -136,6 +144,12 @@ type session = {
       (** the static pre-pass result, when [static_prepass] was on *)
   worker_campaigns : int array;
       (** campaigns completed per worker (index = worker id) *)
+  por : Hub.por_totals option;
+      (** aggregate pruning/trace-dedup counters; [None] unless the
+          session ran with [config.por] *)
+  trace_hashes : (int, int64) Hashtbl.t;
+      (** campaign index -> canonical Mazurkiewicz-trace hash (POR
+          campaigns only) *)
 }
 
 val run : ?log:(string -> unit) -> ?obs:Obs.Events.t -> Target.t -> config -> session
@@ -171,6 +185,10 @@ type sink = {
     site:string ->
     addr:int ->
     Report.inv_finding option;
+  sk_record_trace :
+    campaign:int -> key:int64 -> hash:int64 -> pruned:int -> forced:int -> bool;
+      (** POR trace dedup ({!Hub.record_trace}): [true] = first sighting
+          of the (trace, seed) class — spend post-failure validation *)
   sk_queue_entries : unit -> Shared_queue.entry list;
   sk_rescore : sites:(int, unit) Hashtbl.t -> Seed.t -> unit;
   sk_completed : unit -> int;  (** campaigns committed, for progress logs *)

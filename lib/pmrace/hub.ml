@@ -50,6 +50,14 @@ type delta = {
   d_tracker : Alias_cov.tracker;
 }
 
+type por_totals = {
+  pt_campaigns : int;  (* campaigns run under POR *)
+  pt_pruned : int;  (* sleep-set-suppressed picks, summed *)
+  pt_forced_wakes : int;
+  pt_unique_traces : int;  (* first sightings of a (trace, seed) class *)
+  pt_dup_traces : int;  (* campaigns whose validation was skipped as redundant *)
+}
+
 type t = {
   lock : Mutex.t;
   max_campaigns : int;
@@ -63,6 +71,16 @@ type t = {
   mutable completed : int; (* campaigns committed *)
   mutable timeline : timeline_point list; (* commit order, newest first *)
   started : float;
+  (* POR bookkeeping (all under [lock]).  [trace_seen] is keyed by the
+     campaign's canonical trace hash XOR the seed fingerprint — without
+     the seed salt, a hash collision across *different* seeds would
+     silently suppress validation of a genuinely new finding. *)
+  trace_seen : (int64, unit) Hashtbl.t;
+  trace_hashes : (int, int64) Hashtbl.t; (* campaign index -> raw trace hash *)
+  mutable por_campaigns : int;
+  mutable por_pruned : int;
+  mutable por_forced_wakes : int;
+  mutable por_dup_traces : int;
 }
 
 (* Monotonic: session wall time and the timeline feed rate figures
@@ -84,6 +102,12 @@ let create ?static ~max_campaigns () =
     completed = 0;
     timeline = [];
     started = now ();
+    trace_seen = Hashtbl.create 256;
+    trace_hashes = Hashtbl.create 256;
+    por_campaigns = 0;
+    por_pruned = 0;
+    por_forced_wakes = 0;
+    por_dup_traces = 0;
   }
 
 (* Workers contend on this one mutex at campaign boundaries; the wait
@@ -234,6 +258,43 @@ let commit t ~campaign ~delta (env : Runtime.Env.t) ~hung ~hang_info =
         c_alias_bits;
         c_branch_bits;
       })
+
+(* Record a POR campaign's pruning provenance and dedup its trace class.
+   Returns [true] on the first sighting of [key] (the trace hash salted
+   with the seed fingerprint) — only then should the committing worker
+   spend post-failure validation; a duplicate trace cannot produce a
+   finding the first representative didn't.  (Report.absorb still ran at
+   commit, so coverage and candidate *counts* are unaffected by the
+   skip — only the expensive validation is.) *)
+let record_trace t ~campaign ~key ~hash ~pruned ~forced =
+  with_lock t (fun () ->
+      Hashtbl.replace t.trace_hashes campaign hash;
+      t.por_campaigns <- t.por_campaigns + 1;
+      t.por_pruned <- t.por_pruned + pruned;
+      t.por_forced_wakes <- t.por_forced_wakes + forced;
+      if Hashtbl.mem t.trace_seen key then begin
+        t.por_dup_traces <- t.por_dup_traces + 1;
+        false
+      end
+      else begin
+        Hashtbl.replace t.trace_seen key ();
+        true
+      end)
+
+let por_totals t =
+  if t.por_campaigns = 0 then None
+  else
+    Some
+      {
+        pt_campaigns = t.por_campaigns;
+        pt_pruned = t.por_pruned;
+        pt_forced_wakes = t.por_forced_wakes;
+        pt_unique_traces = Hashtbl.length t.trace_seen;
+        pt_dup_traces = t.por_dup_traces;
+      }
+
+let trace_hash t ~campaign = Hashtbl.find_opt t.trace_hashes campaign
+let trace_hashes t = t.trace_hashes
 
 (* First sighting of an invariant violation across all workers; the
    returned finding (if new) is validated by the discovering worker

@@ -102,6 +102,35 @@ val commit :
     timeline.  One critical section; the returned new findings are then
     validated by the caller outside the lock. *)
 
+type por_totals = {
+  pt_campaigns : int;  (** campaigns run under POR *)
+  pt_pruned : int;  (** sleep-set-suppressed scheduler picks, summed *)
+  pt_forced_wakes : int;
+  pt_unique_traces : int;  (** distinct (trace hash, seed) classes seen *)
+  pt_dup_traces : int;  (** campaigns whose validation was skipped as redundant *)
+}
+
+val record_trace :
+  t -> campaign:int -> key:int64 -> hash:int64 -> pruned:int -> forced:int -> bool
+(** Record one POR campaign's pruning provenance (locked) and dedup its
+    Mazurkiewicz-trace class: [true] on the first sighting of [key] —
+    only then should the worker spend post-failure validation.  [key] is
+    the trace [hash] salted with the seed fingerprint so cross-seed hash
+    collisions cannot suppress a genuinely new finding; [hash] (raw) is
+    kept per campaign for artifact provenance. *)
+
+val por_totals : t -> por_totals option
+(** Aggregate pruning counters; [None] when no campaign ran under POR.
+    Single-domain accessor (see below). *)
+
+val trace_hash : t -> campaign:int -> int64 option
+(** The campaign's canonical trace hash, when it ran under POR.
+    Single-domain accessor. *)
+
+val trace_hashes : t -> (int, int64) Hashtbl.t
+(** All recorded trace hashes by campaign index, for artifact assembly.
+    Single-domain accessor. *)
+
 val record_invariant :
   t ->
   campaign:int ->

@@ -5,8 +5,8 @@
     it resets the checker's per-execution state and steps it on every
     instrumented event.  The first violation of each invariant (per
     worker) captures the durable pool image at the violating store, so
-    the hit can be routed through {!Post_failure.validate_ordering} like
-    any other candidate. *)
+    the hit can be routed through {!Post_failure.validate} (as a
+    {!Post_failure.Candidate.Ordering}) like any other candidate. *)
 
 type hit = {
   h_inv : Analysis.Invariants.inv;

@@ -1,0 +1,189 @@
+(* Partial-order-reduction glue: the bridge between the runtime's
+   footprints and the scheduler's int-typed POR hooks.
+
+   One harness per campaign (reusable across campaigns via [reset]; the
+   persistent-mode Engine holds one).  It wraps the campaign's policy so
+   that every preemption point records
+
+   - the *pending* footprint of the op a fiber is about to execute
+     (recorded in [before], ahead of the policy's yield — the scheduler
+     consults it to decide who sleeps), and
+   - the *executed* footprint of the op(s) a scheduler step completed
+     (recorded in [after]; two or more ops in one step — possible under
+     No_preempt, whose policy never yields — escalate to
+     [Footprint.opaque], which commutes with nothing).
+
+   It also folds every executed op into a canonical Mazurkiewicz-trace
+   hash: each op's Foata layer (1 + the highest layer it depends on) is
+   invariant under commuting-swap reorderings of the schedule, so XORing
+   a mix of (footprint, layer, tid, per-fiber sequence number) over all
+   ops yields the same 64-bit digest for every schedule in the same
+   trace class, independent of execution order.  The fuzzer dedupes
+   campaigns by this digest before spending post-failure validation. *)
+
+module Footprint = Runtime.Footprint
+
+type t = {
+  nthreads : int;
+  pending : int array; (* tid -> footprint of the fiber's next op, 0 = unknown *)
+  mutable step_fp : int; (* accumulator: footprint of the current step *)
+  mutable step_ops : int;
+  (* Foata layering state: per-word / per-line highest layer seen. *)
+  word_write : (int, int) Hashtbl.t;
+  word_read : (int, int) Hashtbl.t;
+  line_flush : (int, int) Hashtbl.t;
+  line_access : (int, int) Hashtbl.t;
+  mutable fence_layer : int;
+  mutable max_layer : int;
+  fiber_layer : int array; (* tid -> layer of the fiber's latest op *)
+  fiber_seq : int array; (* tid -> ops executed by the fiber so far *)
+  mutable hash : int64;
+  mutable ops : int;
+}
+
+let create ~nthreads =
+  let n = max 1 nthreads in
+  {
+    nthreads = n;
+    pending = Array.make n 0;
+    step_fp = 0;
+    step_ops = 0;
+    word_write = Hashtbl.create 256;
+    word_read = Hashtbl.create 256;
+    line_flush = Hashtbl.create 64;
+    line_access = Hashtbl.create 64;
+    fence_layer = 0;
+    max_layer = 0;
+    fiber_layer = Array.make n 0;
+    fiber_seq = Array.make n 0;
+    hash = 0L;
+    ops = 0;
+  }
+
+let reset t =
+  Array.fill t.pending 0 t.nthreads 0;
+  t.step_fp <- 0;
+  t.step_ops <- 0;
+  Hashtbl.reset t.word_write;
+  Hashtbl.reset t.word_read;
+  Hashtbl.reset t.line_flush;
+  Hashtbl.reset t.line_access;
+  t.fence_layer <- 0;
+  t.max_layer <- 0;
+  Array.fill t.fiber_layer 0 t.nthreads 0;
+  Array.fill t.fiber_seq 0 t.nthreads 0;
+  t.hash <- 0L;
+  t.ops <- 0
+
+(* splitmix64 finalizer — the usual strong 64-bit avalanche. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let get tbl k = match Hashtbl.find_opt tbl k with Some v -> v | None -> 0
+let bump tbl k layer = if get tbl k < layer then Hashtbl.replace tbl k layer
+
+(* Fold one executed op into the step accumulator and the trace hash. *)
+let record t tid fp =
+  t.step_ops <- t.step_ops + 1;
+  t.step_fp <- (if t.step_ops = 1 then fp else Footprint.opaque);
+  if tid >= 0 && tid < t.nthreads then begin
+    let tag = Footprint.tag fp in
+    (* The highest layer this op depends on (its Foata floor). *)
+    let floor =
+      if tag = 1 then
+        let w = Footprint.payload fp in
+        max (get t.word_write w) (max (get t.line_flush (Footprint.line fp)) t.fence_layer)
+      else if tag = 2 || tag = 3 then
+        let w = Footprint.payload fp in
+        max
+          (max (get t.word_write w) (get t.word_read w))
+          (max (get t.line_flush (Footprint.line fp)) t.fence_layer)
+      else if tag = 4 then
+        let l = Footprint.payload fp in
+        max (get t.line_access l) (max (get t.line_flush l) t.fence_layer)
+      else t.max_layer (* fence / opaque: above everything so far *)
+    in
+    let layer = 1 + max floor t.fiber_layer.(tid) in
+    (if tag = 1 then begin
+       bump t.word_read (Footprint.payload fp) layer;
+       bump t.line_access (Footprint.line fp) layer
+     end
+     else if tag = 2 || tag = 3 then begin
+       let w = Footprint.payload fp in
+       bump t.word_write w layer;
+       if tag = 3 then bump t.word_read w layer;
+       bump t.line_access (Footprint.line fp) layer
+     end
+     else if tag = 4 then bump t.line_flush (Footprint.payload fp) layer
+     else t.fence_layer <- layer);
+    if layer > t.max_layer then t.max_layer <- layer;
+    t.fiber_layer.(tid) <- layer;
+    t.fiber_seq.(tid) <- t.fiber_seq.(tid) + 1;
+    let h =
+      mix64 (Int64.logxor (Int64.of_int fp) (Int64.shift_left (Int64.of_int layer) 32))
+    in
+    let h =
+      mix64
+        (Int64.logxor h
+           (Int64.logxor
+              (Int64.of_int t.fiber_seq.(tid))
+              (Int64.shift_left (Int64.of_int tid) 32)))
+    in
+    t.hash <- Int64.logxor t.hash h;
+    t.ops <- t.ops + 1
+  end
+
+(* Wrap a campaign policy with footprint recording.  Ordering matters:
+   [before] records the pending footprint ahead of the base hook (whose
+   yield suspends the fiber — the scheduler must see the footprint while
+   the fiber sleeps), and [after] attributes the executed op to the
+   current step ahead of the base hook (sync policies yield in [after]
+   too, which would otherwise smear the op into the next step). *)
+let wrap t (base : Runtime.Env.policy) : Runtime.Env.policy =
+  {
+    before =
+      (fun ctx point ->
+        if ctx.tid >= 0 && ctx.tid < t.nthreads then
+          t.pending.(ctx.tid) <- Footprint.of_point point;
+        base.before ctx point);
+    after =
+      (fun ctx point ->
+        record t ctx.tid (Footprint.of_point point);
+        if ctx.tid >= 0 && ctx.tid < t.nthreads then t.pending.(ctx.tid) <- 0;
+        base.after ctx point);
+  }
+
+let hooks t : Sched.Scheduler.por =
+  {
+    pending = (fun tid -> if tid >= 0 && tid < t.nthreads then t.pending.(tid) else 0);
+    take_step =
+      (fun () ->
+        let fp = t.step_fp in
+        t.step_fp <- 0;
+        t.step_ops <- 0;
+        fp);
+    independent = Footprint.independent;
+  }
+
+let trace_hash t = t.hash
+let ops t = t.ops
+let capacity t = t.nthreads
+
+type stats = {
+  s_trace_hash : int64;  (** canonical Mazurkiewicz-trace digest *)
+  s_ops : int;  (** instrumented ops folded into the digest *)
+  s_layers : int;  (** Foata height — the critical-path length of the trace *)
+  s_pruned_picks : int;
+  s_forced_wakes : int;
+}
+
+let stats t (ss : Sched.Scheduler.por_stats) =
+  {
+    s_trace_hash = t.hash;
+    s_ops = t.ops;
+    s_layers = t.max_layer;
+    s_pruned_picks = ss.pruned_picks;
+    s_forced_wakes = ss.forced_wakes;
+  }

@@ -1,0 +1,48 @@
+(** Partial-order-reduction glue: wires {!Runtime.Footprint} summaries
+    into {!Sched.Scheduler.run_por} and computes a canonical
+    Mazurkiewicz-trace hash per completed schedule.
+
+    One harness serves one campaign at a time; {!reset} returns it to the
+    fresh state so the persistent-mode {!Engine} can hold a single
+    instance per worker.  {!wrap} interposes on the campaign's
+    interleaving policy to record pending and executed footprints —
+    instrumentation only, it never draws randomness and forwards every
+    hook to the base policy, so the schedule semantics are unchanged.
+
+    The trace hash is the XOR over executed ops of a mix of (footprint,
+    Foata layer, tid, per-fiber sequence number).  Foata layers are
+    invariant under dependency-preserving reorderings, and XOR is
+    order-blind, so two schedules in the same Mazurkiewicz class digest
+    identically regardless of interleaving — the fuzzer uses this to skip
+    post-failure validation of behaviourally redundant campaigns. *)
+
+type t
+
+val create : nthreads:int -> t
+val reset : t -> unit
+
+val wrap : t -> Runtime.Env.policy -> Runtime.Env.policy
+(** Interpose footprint recording on a policy.  [before] records the
+    pending footprint {e ahead} of the base hook's yield; [after] folds
+    the executed op into the current step (and the trace hash) ahead of
+    the base hook. *)
+
+val hooks : t -> Sched.Scheduler.por
+(** The int-typed view {!Sched.Scheduler.run_por} consumes. *)
+
+val trace_hash : t -> int64
+val ops : t -> int
+
+val capacity : t -> int
+(** The [nthreads] the harness was created for. *)
+
+type stats = {
+  s_trace_hash : int64;  (** canonical Mazurkiewicz-trace digest *)
+  s_ops : int;  (** instrumented ops folded into the digest *)
+  s_layers : int;  (** Foata height — the critical-path length of the trace *)
+  s_pruned_picks : int;
+  s_forced_wakes : int;
+}
+(** Per-campaign pruning provenance, recorded in artifacts. *)
+
+val stats : t -> Sched.Scheduler.por_stats -> stats

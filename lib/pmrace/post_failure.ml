@@ -155,13 +155,3 @@ let validate ctx cand =
                 end
         in
         go (Pmem.Crash_images.to_seq st) ctx.c_images
-
-let validate_inconsistency (target : Target.t) whitelist (inc : Checkers.inconsistency) =
-  validate (ctx ~whitelist target) (Candidate.Inconsistency inc)
-
-let validate_ordering (target : Target.t) ~image ~eff_words =
-  let crash = Option.map Pmem.Crash_images.of_image image in
-  validate (ctx target) (Candidate.Ordering { crash; eff_words })
-
-let validate_sync (target : Target.t) (ev : Checkers.sync_event) =
-  validate (ctx target) (Candidate.Sync ev)

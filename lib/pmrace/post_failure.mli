@@ -65,18 +65,3 @@ val validate : ctx -> Candidate.t -> verdict
     source drained) are skipped without spending budget.  Image 0 — the
     base crash image — is always validated first, so budget 1 is
     bit-identical to historical single-image validation. *)
-
-val validate_inconsistency :
-  Target.t -> Whitelist.t -> Runtime.Checkers.inconsistency -> verdict
-(** @deprecated Use {!validate} with {!Candidate.Inconsistency}; this
-    wrapper validates with the default budget of one image. *)
-
-val validate_ordering :
-  Target.t -> image:Pmem.Pool.image option -> eff_words:int list -> verdict
-(** @deprecated Use {!validate} with {!Candidate.Ordering} (which takes
-    the full crash surface rather than a bare image); this wrapper
-    validates with the default budget of one image. *)
-
-val validate_sync : Target.t -> Runtime.Checkers.sync_event -> verdict
-(** @deprecated Use {!validate} with {!Candidate.Sync}; this wrapper
-    validates with the default budget of one image. *)

@@ -50,9 +50,12 @@ let replay_bug ~(target : Target.t) ~(artifact : Artifact.t) ~bug =
                   Engine.create ~evict_prob:cfg.evict_prob ~eadr:cfg.eadr
                     ~use_checkpoint:cfg.use_checkpoint target
                 in
+                (* POR changes which fibers the scheduler may pick, so a
+                   campaign recorded under --por only re-executes
+                   bit-identically when replayed under POR too. *)
                 let input =
                   Campaign.input ~sched_seed:p.pr_sched_seed ~policy:p.pr_spec
-                    ~step_budget:cfg.step_budget target p.pr_seed
+                    ~step_budget:cfg.step_budget ~por:cfg.por target p.pr_seed
                 in
                 let result = Campaign.run ~engine input in
                 let report = Report.create () in

@@ -1,0 +1,56 @@
+(** Compact access summaries for partial-order reduction.
+
+    Every instrumented operation ({!Mem} via {!Env.policy} points)
+    summarises to one immediate int: a tag (load / store / read-write /
+    flush / fence / opaque) plus a word or cache-line payload.  The
+    scheduler's POR mode ({!Sched.Scheduler.run_por}) tests two step
+    footprints for independence in O(1) with no allocation; footprints
+    cross the [lib/sched] dependency boundary as plain ints, so the
+    scheduler never needs to see runtime types.
+
+    Soundness direction: the relation may declare dependent steps that
+    actually commute (e.g. an [opaque] multi-op step), never the
+    reverse — over-approximating dependence only costs pruning. *)
+
+type t = int
+(** Tag in bits 0-2, payload (word index, or line index for flushes)
+    in bits 3+. *)
+
+val none : t
+(** The step ran no instrumented operation; commutes with everything. *)
+
+val fence : t
+val opaque : t
+(** A step whose effect is unknown (several instrumented ops, or an
+    op the encoding doesn't model); commutes with nothing. *)
+
+val load : int -> t
+(** [load word] *)
+
+val store : int -> t
+(** [store word] — also used for non-temporal stores. *)
+
+val rw : int -> t
+(** [rw word] — a CAS: reads and may write the word. *)
+
+val flush : int -> t
+(** [flush word] — records the {e cache line} of [word]. *)
+
+val flush_line : int -> t
+(** [flush_line line] — when the caller already has the line index. *)
+
+val of_point : Env.point -> t
+(** Summarise one policy point ({!Env.point}); fences carry no address. *)
+
+val tag : t -> int
+val payload : t -> int
+
+val line : t -> int
+(** The cache line touched (derived for word-level ops). *)
+
+val independent : t -> t -> bool
+(** [independent a b] — swapping adjacent steps with these footprints
+    provably preserves the pool state and event outcome.  Reflexivity is
+    not guaranteed ([independent fence fence = false]); symmetry is. *)
+
+val pp : Format.formatter -> t -> unit

@@ -251,6 +251,120 @@ let run_reference ?on_step t =
   loop ();
   finish t ~steps_before fibers
 
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction (sleep sets).                               *)
+(* ------------------------------------------------------------------ *)
+
+(* POR hooks cross the lib/sched dependency boundary as plain ints: a
+   footprint is an opaque int summary of a step's instrumented accesses
+   (Runtime.Footprint encodes/decodes it; 0 means "no instrumented op /
+   unknown").  The scheduler only needs three operations over them. *)
+type por = {
+  pending : int -> int;
+      (* [pending tid] — footprint of the op the fiber will execute when
+         next resumed, or 0 if unknown (not yet at a preemption point). *)
+  take_step : unit -> int;
+      (* Footprint of the op(s) the step just executed; resets the
+         accumulator.  0 for a step that ran no instrumented op. *)
+  independent : int -> int -> bool;
+}
+
+type por_stats = { mutable pruned_picks : int; mutable forced_wakes : int }
+
+(* The pruning loop.  On top of [run]'s maintained runnable index array
+   it keeps a per-fiber sleep bit and the last executed footprint:
+
+   - after stepping fiber [p] with executed footprint [fp], every other
+     runnable fiber [q] with a *known* pending footprint independent of
+     [fp] and [q.tid < p.tid] is put to sleep: running [q] now would
+     produce a schedule Mazurkiewicz-equivalent to one that ran [q]
+     before [p] (which the ascending-tid order makes the canonical
+     representative), so the pick is redundant;
+   - any sleeping fiber whose pending op *conflicts* with [fp] is woken —
+     the dependency breaks the commutation argument;
+   - steps that executed nothing instrumented (spin iterations) neither
+     sleep nor wake anyone;
+   - if every runnable fiber is asleep the whole set is force-woken
+     (counted in [forced_wakes]) so the run always terminates.
+
+   The picks suppressed each step are counted in [pruned_picks].  The
+   pruning is heuristic, not exhaustive DPOR: uninstrumented state
+   (DRAM, sync-policy bookkeeping) rides along outside the independence
+   relation, so equality of the found-bug sets is pinned empirically by
+   the POR property tests rather than proved. *)
+let run_por ?on_step ~(por : por) t =
+  if t.running then invalid_arg "Sched.run: already running";
+  t.running <- true;
+  let steps_before = t.steps in
+  let fibers = Array.of_list (List.rev t.fibers) in
+  let n = max 1 (Array.length fibers) in
+  let runnable = Array.make n 0 in
+  let n_runnable = ref 0 in
+  let asleep = Array.make n false in
+  let candidates = Array.make n 0 in
+  Array.iteri
+    (fun i f ->
+      match f.state with
+      | Not_started _ | Suspended _ ->
+          runnable.(!n_runnable) <- i;
+          incr n_runnable
+      | Done | Crashed _ -> ())
+    fibers;
+  let stats = { pruned_picks = 0; forced_wakes = 0 } in
+  let rec loop () =
+    if !n_runnable > 0 && t.steps < t.step_budget then begin
+      let n_cand = ref 0 in
+      for j = 0 to !n_runnable - 1 do
+        let i = runnable.(j) in
+        if not asleep.(i) then begin
+          candidates.(!n_cand) <- i;
+          incr n_cand
+        end
+      done;
+      if !n_cand = 0 then begin
+        (* Everyone runnable is asleep: the canonical representative has
+           been followed as far as it goes — wake the set and keep
+           scheduling rather than deadlock. *)
+        stats.forced_wakes <- stats.forced_wakes + 1;
+        for j = 0 to !n_runnable - 1 do
+          let i = runnable.(j) in
+          asleep.(i) <- false;
+          candidates.(j) <- i
+        done;
+        n_cand := !n_runnable
+      end;
+      stats.pruned_picks <- stats.pruned_picks + (!n_runnable - !n_cand);
+      let i = candidates.(Rng.int t.rng !n_cand) in
+      let f = fibers.(i) in
+      t.steps <- t.steps + 1;
+      (match on_step with Some g -> g f.tid | None -> ());
+      step_fiber f;
+      let fp = por.take_step () in
+      if fp <> 0 then
+        for j = 0 to !n_runnable - 1 do
+          let q = runnable.(j) in
+          if q <> i then begin
+            let pq = por.pending fibers.(q).tid in
+            if pq <> 0 then
+              if not (por.independent fp pq) then asleep.(q) <- false
+              else if (not asleep.(q)) && fibers.(q).tid < f.tid then asleep.(q) <- true
+          end
+        done;
+      (match f.state with
+      | Done | Crashed _ ->
+          asleep.(i) <- false;
+          (* Order-preserving removal, as in [run]. *)
+          let rec find j = if runnable.(j) = i then j else find (j + 1) in
+          let j = find 0 in
+          Array.blit runnable (j + 1) runnable j (!n_runnable - j - 1);
+          decr n_runnable
+      | Not_started _ | Suspended _ -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (finish t ~steps_before fibers, stats)
+
 let completed o = o.hung = [] && o.failed = []
 
 let pp_outcome ppf (o : outcome) =

@@ -53,6 +53,44 @@ val run_reference : ?on_step:(int -> unit) -> t -> outcome
     stream-compatibility tests and the [hotpath] bench; not for
     production callers. *)
 
+(** {2 Partial-order reduction}
+
+    An opt-in pruning mode.  {!run} and {!run_reference} are untouched:
+    with POR off, seeded schedules stay bit-identical to before. *)
+
+type por = {
+  pending : int -> int;
+      (** [pending tid] — footprint of the op the fiber will execute when
+          next resumed, or [0] when unknown.  Footprints are opaque ints
+          ({!Runtime.Footprint} encodes them); the scheduler never
+          inspects them beyond equality with [0]. *)
+  take_step : unit -> int;
+      (** Footprint of the op(s) the step just executed (resetting the
+          accumulator); [0] for a step that ran nothing instrumented. *)
+  independent : int -> int -> bool;
+      (** Whether two adjacent steps with these footprints commute. *)
+}
+(** The scheduler's whole view of the runtime for pruning, int-encoded so
+    [lib/sched] keeps its dependency footprint ([fmt obs] only). *)
+
+type por_stats = { mutable pruned_picks : int; mutable forced_wakes : int }
+(** [pruned_picks]: candidate picks suppressed by sleep sets, summed over
+    steps; [forced_wakes]: times the whole runnable set was asleep and had
+    to be woken to make progress. *)
+
+val run_por : ?on_step:(int -> unit) -> por:por -> t -> outcome * por_stats
+(** Like {!run} but with sleep-set pruning: after each step, runnable
+    fibers whose pending op commutes with the executed footprint (and
+    whose tid orders below the stepped fiber's — the canonical
+    representative of the Mazurkiewicz class runs lower tids first among
+    commuting ops) are put to sleep and excluded from the pick until a
+    dependent access wakes them.  Draws one [Rng.int] per step like
+    {!run}, but over the awake subset, so the RNG stream {e differs} from
+    [run] — POR sessions are seed-reproducible against [run_por] itself,
+    not against [run].  The pruning is a heuristic over instrumented
+    accesses only; POR property tests pin that found-bug sets match
+    unpruned runs on the planted workloads. *)
+
 val steps : t -> int
 val fiber_count : t -> int
 

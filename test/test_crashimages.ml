@@ -1,7 +1,7 @@
 (* Systematic crash-image enumeration (Pmem.Crash_images) and the unified
    post-failure validation API built on it: enumerator unit tests on
    hand-built pools, QCheck fence-consistency properties over random
-   store/flush/fence traces, deprecated-wrapper equivalence, and the
+   store/flush/fence traces, base-image confirmation, and the
    end-to-end torn-planted workload (invisible at the default budget of 1,
    found and replayable at --crash-images 4). *)
 
@@ -163,10 +163,10 @@ let prop_index_zero_is_base_image =
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)
-(* Deprecated wrappers are thin aliases of the new API at budget 1.    *)
+(* Budget 1 confirms a real inconsistency on the base image.           *)
 (* ------------------------------------------------------------------ *)
 
-let test_wrapper_equivalence () =
+let test_base_image_confirms () =
   let target = Workloads.Figure1.target in
   let seed = Pmrace.Seed.gen (Sched.Rng.create 3) target.profile in
   let rec confirming s =
@@ -181,10 +181,7 @@ let test_wrapper_equivalence () =
       | [] -> confirming (s + 1)
   in
   let inc = confirming 1 in
-  let old_v = Post.validate_inconsistency target (Whitelist.empty ()) inc in
-  let new_v = Post.validate (Post.ctx target) (Post.Candidate.Inconsistency inc) in
-  Alcotest.(check bool) "wrapper ≡ validate at budget 1" true (old_v = new_v);
-  match new_v with
+  match Post.validate (Post.ctx target) (Post.Candidate.Inconsistency inc) with
   | Post.Bug { image_index = 0; _ } -> ()
   | v -> Alcotest.failf "expected Bug on the base image, got %a" Post.pp_verdict v
 
@@ -246,7 +243,7 @@ let suite =
     Alcotest.test_case "of_image is degenerate" `Quick test_of_image_degenerate;
     QCheck_alcotest.to_alcotest prop_images_fence_consistent;
     QCheck_alcotest.to_alcotest prop_index_zero_is_base_image;
-    Alcotest.test_case "deprecated wrappers ≡ validate" `Quick test_wrapper_equivalence;
+    Alcotest.test_case "budget 1 confirms on the base image" `Quick test_base_image_confirms;
     Alcotest.test_case "torn store needs enumeration (e2e)" `Quick
       test_torn_store_needs_enumeration;
   ]

@@ -1,0 +1,260 @@
+(* Partial-order reduction: footprint independence units, sleep-set
+   behaviour of Scheduler.run_por driven by synthetic hooks, canonical
+   trace-hash determinism, the artifact v5 round-trip, and the headline
+   property — pruning must not change the unique-bug set on the planted
+   workloads. *)
+
+module F = Runtime.Footprint
+module Sch = Sched.Scheduler
+module J = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Footprint independence units.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_footprint_independence () =
+  let ck = Alcotest.(check bool) in
+  ck "none commutes with a store" true (F.independent F.none (F.store 3));
+  ck "none commutes with a fence" true (F.independent F.none F.fence);
+  ck "fence commutes with nothing" false (F.independent F.fence (F.load 1));
+  ck "fence vs fence" false (F.independent F.fence F.fence);
+  ck "opaque commutes with nothing" false (F.independent F.opaque (F.load 9));
+  ck "loads of the same word commute" true (F.independent (F.load 4) (F.load 4));
+  ck "load vs store of the same word conflict" false (F.independent (F.load 4) (F.store 4));
+  ck "stores of distinct words commute" true (F.independent (F.store 1) (F.store 2));
+  ck "stores of the same word conflict" false (F.independent (F.store 1) (F.store 1));
+  ck "a CAS reads its word" false (F.independent (F.rw 7) (F.load 7));
+  (* Flushes conflict at cache-line granularity. *)
+  ck "flush vs same-line store conflict" false (F.independent (F.flush 8) (F.store 9));
+  ck "flush vs other-line store commute" true (F.independent (F.flush 8) (F.store 0));
+  ck "flushes of the same line conflict" false (F.independent (F.flush 8) (F.flush 9));
+  ck "flushes of distinct lines commute" true (F.independent (F.flush 0) (F.flush 8))
+
+let fp_of (k, w) =
+  match k mod 6 with
+  | 0 -> F.none
+  | 1 -> F.load w
+  | 2 -> F.store w
+  | 3 -> F.rw w
+  | 4 -> F.flush w
+  | _ -> F.fence
+
+let prop_independence_symmetric =
+  QCheck.Test.make ~name:"por: independence is symmetric" ~count:500
+    QCheck.(pair (pair small_nat small_nat) (pair small_nat small_nat))
+    (fun (a, b) -> F.independent (fp_of a) (fp_of b) = F.independent (fp_of b) (fp_of a))
+
+(* ------------------------------------------------------------------ *)
+(* Sleep sets on the bare scheduler, via synthetic int hooks.  Each     *)
+(* fiber replays a script of footprints; [pending] exposes the next     *)
+(* unexecuted entry and [take_step] the one the last step ran.          *)
+(* ------------------------------------------------------------------ *)
+
+let run_scripts ?(independent = F.independent) ~seed scripts =
+  let t = Sch.create ~rng:(Sched.Rng.create seed) () in
+  let n = Array.length scripts in
+  let pos = Array.make n 0 in
+  let last = ref 0 in
+  Array.iteri
+    (fun tid ops ->
+      ignore
+        (Sch.spawn t ~name:(Printf.sprintf "f%d" tid) (fun () ->
+             Array.iter
+               (fun fp ->
+                 last := fp;
+                 pos.(tid) <- pos.(tid) + 1;
+                 Sch.yield ())
+               ops)))
+    scripts;
+  let por =
+    {
+      Sch.pending =
+        (fun tid ->
+          if pos.(tid) < Array.length scripts.(tid) then scripts.(tid).(pos.(tid)) else 0);
+      take_step =
+        (fun () ->
+          let fp = !last in
+          last := 0;
+          fp);
+      independent;
+    }
+  in
+  Sch.run_por ~por t
+
+let test_disjoint_fibers_prune () =
+  (* Words 0 and 100 never share a line: every pick of one fiber puts
+     the lower-tid one to sleep, so pruning must kick in. *)
+  let script w = Array.make 6 (F.store w) in
+  let outcome, stats = run_scripts ~seed:7 [| script 0; script 100 |] in
+  Alcotest.(check bool) "completed" true (Sch.completed outcome);
+  Alcotest.(check (list int)) "both fibers finished" [ 0; 1 ]
+    (List.sort compare outcome.Sch.finished);
+  Alcotest.(check bool) "picks were pruned" true (stats.Sch.pruned_picks > 0)
+
+let test_conflicting_fibers_never_prune () =
+  (* Every pending op conflicts with every executed one: the sleep sets
+     stay empty and run_por degenerates to an unpruned random walk. *)
+  let script = Array.make 6 (F.store 0) in
+  let outcome, stats = run_scripts ~seed:7 [| script; Array.copy script |] in
+  Alcotest.(check bool) "completed" true (Sch.completed outcome);
+  Alcotest.(check int) "nothing pruned" 0 stats.Sch.pruned_picks;
+  Alcotest.(check int) "no forced wakes" 0 stats.Sch.forced_wakes
+
+let test_liveness_under_maximal_independence () =
+  (* With everything declared independent the sleep sets are as greedy
+     as they can be; the forced-wake fallback must still drive every
+     fiber to completion on every seed. *)
+  let scripts = [| Array.make 5 (F.store 0); Array.make 5 (F.store 1); Array.make 5 (F.store 2) |] in
+  let wakes = ref 0 in
+  for seed = 1 to 30 do
+    let outcome, stats = run_scripts ~independent:(fun _ _ -> true) ~seed scripts in
+    Alcotest.(check bool) (Printf.sprintf "seed %d completed" seed) true (Sch.completed outcome);
+    Alcotest.(check int) (Printf.sprintf "seed %d all finished" seed) 3
+      (List.length outcome.Sch.finished);
+    wakes := !wakes + stats.Sch.forced_wakes
+  done;
+  Alcotest.(check bool) "forced wakes exercised" true (!wakes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-hash determinism on a real campaign.                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_hash_deterministic () =
+  let target = Workloads.Figure1.planted in
+  let seed = Pmrace.Seed.gen (Sched.Rng.create 11) target.Pmrace.Target.profile in
+  let run ~por =
+    let input =
+      Pmrace.Campaign.input ~sched_seed:42 ~policy:Pmrace.Campaign.Random_sched ~por target seed
+    in
+    (Pmrace.Campaign.run input).Pmrace.Campaign.por
+  in
+  (match run ~por:false with
+  | None -> ()
+  | Some _ -> Alcotest.fail "POR off must record no pruning stats");
+  match (run ~por:true, run ~por:true) with
+  | Some a, Some b ->
+      Alcotest.(check int64) "same trace hash" a.Pmrace.Por.s_trace_hash b.Pmrace.Por.s_trace_hash;
+      Alcotest.(check int) "same op count" a.Pmrace.Por.s_ops b.Pmrace.Por.s_ops;
+      Alcotest.(check bool) "ops were recorded" true (a.Pmrace.Por.s_ops > 0);
+      Alcotest.(check bool) "layers bounded by ops" true
+        (a.Pmrace.Por.s_layers > 0 && a.Pmrace.Por.s_layers <= a.Pmrace.Por.s_ops)
+  | _ -> Alcotest.fail "POR campaigns must record pruning stats"
+
+(* ------------------------------------------------------------------ *)
+(* Artifact v5: totals and trace hashes round-trip; a v4 artifact      *)
+(* (no por section, no trace fields) still decodes.                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_artifact_v5_roundtrip_and_v4_compat () =
+  let target = Workloads.Figure1.planted in
+  let cfg = Pmrace.Fuzzer.Config.make ~max_campaigns:30 ~master_seed:9 ~por:true () in
+  let s = Pmrace.Fuzzer.run target cfg in
+  let art = Pmrace.Artifact.of_session ~target ~cfg s in
+  Alcotest.(check bool) "session totals recorded" true
+    (art.Pmrace.Artifact.a_por = s.Pmrace.Fuzzer.por && art.Pmrace.Artifact.a_por <> None);
+  Alcotest.(check bool) "some campaign has a trace hash" true
+    (List.exists
+       (fun (p : Pmrace.Artifact.prov_entry) -> p.pr_trace <> None)
+       art.Pmrace.Artifact.a_provenance);
+  (match Pmrace.Artifact.of_json (Pmrace.Artifact.to_json art) with
+  | Error e -> Alcotest.failf "v5 round-trip failed: %s" e
+  | Ok art' ->
+      Alcotest.(check bool) "por totals round-trip" true
+        (art'.Pmrace.Artifact.a_por = art.Pmrace.Artifact.a_por);
+      Alcotest.(check bool) "config.por round-trips" true
+        art'.Pmrace.Artifact.a_config.Pmrace.Fuzzer.por;
+      Alcotest.(check bool) "trace hashes round-trip" true
+        (List.map
+           (fun (p : Pmrace.Artifact.prov_entry) -> p.pr_trace)
+           art'.Pmrace.Artifact.a_provenance
+        = List.map
+            (fun (p : Pmrace.Artifact.prov_entry) -> p.pr_trace)
+            art.Pmrace.Artifact.a_provenance));
+  (* Rewrite the encoding as a v4 reader would have produced it: no
+     "por" keys, no "trace" keys, version stamped 4. *)
+  let rec strip = function
+    | J.Obj fields ->
+        J.Obj
+          (List.filter_map
+             (fun (k, v) ->
+               match k with
+               | "por" | "trace" -> None
+               | "version" -> Some (k, J.Int 4)
+               | _ -> Some (k, strip v))
+             fields)
+    | J.List l -> J.List (List.map strip l)
+    | v -> v
+  in
+  match Pmrace.Artifact.of_json (strip (Pmrace.Artifact.to_json art)) with
+  | Error e -> Alcotest.failf "v4 artifact failed to decode: %s" e
+  | Ok art' ->
+      Alcotest.(check bool) "no por totals" true (art'.Pmrace.Artifact.a_por = None);
+      Alcotest.(check bool) "config.por defaults off" true
+        (not art'.Pmrace.Artifact.a_config.Pmrace.Fuzzer.por);
+      Alcotest.(check bool) "no trace hashes" true
+        (List.for_all
+           (fun (p : Pmrace.Artifact.prov_entry) -> p.pr_trace = None)
+           art'.Pmrace.Artifact.a_provenance);
+      Alcotest.(check bool) "bug groups preserved" true
+        (Pmrace.Artifact.bug_fingerprints art' = Pmrace.Artifact.bug_fingerprints art)
+
+(* ------------------------------------------------------------------ *)
+(* The headline property: pruned and unpruned sessions find the same   *)
+(* unique-bug set on the planted workloads.                            *)
+(* ------------------------------------------------------------------ *)
+
+let bug_set target cfg =
+  let s = Pmrace.Fuzzer.run target cfg in
+  Pmrace.Fuzzer.found_known_bugs s target
+  |> List.filter_map (fun ((kb : Pmrace.Target.known_bug), found) ->
+         if found then Some kb.kb_id else None)
+  |> List.sort compare
+
+let prop_bug_sets name target ~campaigns ~crash_images ~count =
+  QCheck.Test.make ~name ~count
+    QCheck.(int_bound 1000)
+    (fun master ->
+      let cfg por =
+        Pmrace.Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:(master + 1)
+          ~crash_images ~por ()
+      in
+      bug_set target (cfg false) = bug_set target (cfg true))
+
+let prop_figure1_bug_sets =
+  prop_bug_sets "por: figure1-planted bug set unchanged by pruning" Workloads.Figure1.planted
+    ~campaigns:60 ~crash_images:1 ~count:5
+
+let prop_torn_bug_sets =
+  prop_bug_sets "por: torn-planted bug set unchanged by pruning" Workloads.Tornstore.target
+    ~campaigns:60 ~crash_images:4 ~count:3
+
+let test_por_session_finds_planted () =
+  let target = Workloads.Figure1.planted in
+  let cfg = Pmrace.Fuzzer.Config.make ~max_campaigns:60 ~master_seed:5 ~por:true () in
+  let s = Pmrace.Fuzzer.run target cfg in
+  Alcotest.(check bool) "planted bug found under POR" true
+    (Pmrace.Fuzzer.found_known_bugs s target |> List.exists snd);
+  match s.Pmrace.Fuzzer.por with
+  | None -> Alcotest.fail "POR session has no totals"
+  | Some (p : Pmrace.Hub.por_totals) ->
+      Alcotest.(check int) "every campaign ran under POR" s.Pmrace.Fuzzer.campaigns_run
+        p.pt_campaigns;
+      Alcotest.(check bool) "traces were classified" true (p.pt_unique_traces > 0);
+      Alcotest.(check bool) "dedup accounting consistent" true
+        (p.pt_unique_traces + p.pt_dup_traces = p.pt_campaigns)
+
+let suite =
+  [
+    Alcotest.test_case "footprint independence" `Quick test_footprint_independence;
+    QCheck_alcotest.to_alcotest prop_independence_symmetric;
+    Alcotest.test_case "disjoint fibers prune" `Quick test_disjoint_fibers_prune;
+    Alcotest.test_case "conflicting fibers never prune" `Quick test_conflicting_fibers_never_prune;
+    Alcotest.test_case "liveness under maximal independence" `Quick
+      test_liveness_under_maximal_independence;
+    Alcotest.test_case "trace hash is deterministic" `Quick test_trace_hash_deterministic;
+    Alcotest.test_case "artifact v5 round-trip, v4 compat" `Quick
+      test_artifact_v5_roundtrip_and_v4_compat;
+    Alcotest.test_case "POR session finds the planted bug" `Quick test_por_session_finds_planted;
+    QCheck_alcotest.to_alcotest prop_figure1_bug_sets;
+    QCheck_alcotest.to_alcotest prop_torn_bug_sets;
+  ]
