@@ -1,75 +1,154 @@
-(* Partial-order reduction bench (PR 9): what sleep-set pruning and
-   trace dedup (--por) cut off the schedule space, and what it costs.
+(* Partial-order reduction bench (PR 9, reworked in PR 10): what
+   sleep-set pruning and trace dedup (--por) cut off the schedule space,
+   and what it costs.
 
-   figure1-planted runs the same seeded session with POR off and on at 2
-   and 8 fibers (more fibers = more commuting picks to prune), reporting
-   schedules pruned per step, unique Mazurkiewicz classes per
-   CPU-second, redundant campaigns whose validation was skipped, and the
-   unique-bug count — which must not move when POR turns on.  Writes
-   BENCH_por.json (gitignored; CI uploads it). *)
+   figure1-planted and torn-planted each run the same seeded session
+   with POR off and on at 2 and 8 fibers (more fibers = more commuting
+   picks to prune), reporting schedules pruned per step, unique
+   Mazurkiewicz classes per CPU-second, redundant campaigns whose
+   validation was skipped, the unique-bug count — which must not move
+   when POR turns on — and the headline cost figure:
+   [por_overhead_ratio] = POR wall / baseline wall at the same target
+   and fiber count (CI asserts <= 3x).  POR-off rows carry a JSON null
+   for the trace-rate field instead of a misleading 0.  A final
+   microbench row times the per-op digest ([Por.record_op] over a
+   synthetic schedule) in nanoseconds.  Writes BENCH_por.json
+   (gitignored; CI uploads it). *)
 
 module Fuzzer = Pmrace.Fuzzer
 module Report = Pmrace.Report
+module F = Runtime.Footprint
 
-let hr ppf = Format.fprintf ppf "%s@." (String.make 76 '-')
+let hr ppf = Format.fprintf ppf "%s@." (String.make 88 '-')
+
+(* Time the digest hot path alone: fold a synthetic 4-fiber schedule of
+   mixed footprints (stores, loads, flushes, a fence every 64 ops)
+   through [Por.record_op].  The op mix cycles through the pool so the
+   flat tables see realistic occupancy, not one hot slot. *)
+let digest_ns_per_step () =
+  let pool_words = 4096 in
+  let h = Pmrace.Por.create ~pool_words ~nthreads:4 () in
+  let op i =
+    let tid = i land 3 in
+    let w = 17 * i land (pool_words - 1) in
+    let fp =
+      match i land 7 with
+      | 0 | 1 | 2 -> F.store w
+      | 3 | 4 -> F.load w
+      | 5 -> F.rw w
+      | 6 -> F.flush w
+      | _ -> if i land 63 = 7 then F.fence else F.load w
+    in
+    Pmrace.Por.record_op h tid fp
+  in
+  let n = 2_000_000 in
+  (* Warm-up pass: faults, branch predictors, table growth if any. *)
+  for i = 0 to 99_999 do
+    op i
+  done;
+  Pmrace.Por.reset h;
+  let t0 = Obs.Clock.now () in
+  for i = 0 to n - 1 do
+    op i
+  done;
+  let elapsed = Obs.Clock.elapsed t0 in
+  ignore (Pmrace.Por.trace_hash h);
+  elapsed *. 1e9 /. float_of_int n
 
 let run ppf =
   Format.fprintf ppf "@.Partial-order reduction: schedule redundancy cut vs cost (--por).@.";
   hr ppf;
-  let base = Workloads.Figure1.planted in
+  let targets =
+    [
+      ("figure1-planted", Workloads.Figure1.planted, 1);
+      ("torn-planted", Workloads.Tornstore.target, 4);
+    ]
+  in
   let fiber_counts = [ 2; 8 ] in
   let campaigns = 120 in
   let json_rows = ref [] in
-  Format.fprintf ppf "%-8s %4s %10s %6s %9s %12s %10s %9s %12s@." "fibers" "por" "campaigns"
-    "bugs" "wall (s)" "pruned/step" "uniq-trc" "dup-val" "uniq/cpu-s";
+  Format.fprintf ppf "%-16s %-7s %4s %6s %9s %12s %10s %9s %12s %7s@." "target" "fibers" "por"
+    "bugs" "wall (s)" "pruned/step" "uniq-trc" "dup-val" "uniq/cpu-s" "ratio";
   hr ppf;
   List.iter
-    (fun threads ->
-      let target =
-        { base with Pmrace.Target.profile = { base.profile with Pmrace.Seed.threads } }
-      in
+    (fun (name, base, crash_images) ->
       List.iter
-        (fun por ->
-          let cfg = Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:5 ~por () in
-          let t0 = Obs.Clock.now () in
-          let s = Fuzzer.run target cfg in
-          let wall = Obs.Clock.elapsed t0 in
-          let bugs = List.length (Report.bug_groups s.report) in
-          let pruned, forced, uniq, dup =
-            match s.por with
-            | Some (p : Pmrace.Hub.por_totals) ->
-                (p.pt_pruned, p.pt_forced_wakes, p.pt_unique_traces, p.pt_dup_traces)
-            | None -> (0, 0, 0, 0)
+        (fun threads ->
+          let target =
+            { base with Pmrace.Target.profile = { base.Pmrace.Target.profile with threads } }
           in
-          let uniq_per_cpu_s = float_of_int uniq /. Float.max 1e-9 wall in
-          Format.fprintf ppf "%-8d %4s %10d %6d %9.2f %12d %10d %9d %12.1f@." threads
-            (if por then "on" else "off")
-            s.campaigns_run bugs wall pruned uniq dup uniq_per_cpu_s;
-          json_rows :=
-            Obs.Json.Obj
-              [
-                ("target", Obs.Json.String "figure1-planted");
-                ("fibers", Obs.Json.Int threads);
-                ("por", Obs.Json.Bool por);
-                ("campaigns", Obs.Json.Int s.campaigns_run);
-                ("bugs", Obs.Json.Int bugs);
-                ("wall_s", Obs.Json.Float wall);
-                ("schedules_pruned", Obs.Json.Int pruned);
-                ("forced_wakes", Obs.Json.Int forced);
-                ("unique_traces", Obs.Json.Int uniq);
-                ("dup_traces", Obs.Json.Int dup);
-                ("unique_traces_per_cpu_sec", Obs.Json.Float uniq_per_cpu_s);
-                ( "bugs_per_cpu_sec",
-                  Obs.Json.Float (float_of_int bugs /. Float.max 1e-9 wall) );
-              ]
-            :: !json_rows)
-        [ false; true ])
-    fiber_counts;
+          let session por =
+            let cfg =
+              Fuzzer.Config.make ~max_campaigns:campaigns ~master_seed:5 ~crash_images ~por ()
+            in
+            let t0 = Obs.Clock.now () in
+            let s = Fuzzer.run target cfg in
+            (s, Obs.Clock.elapsed t0)
+          in
+          let wall_off = ref 0. in
+          List.iter
+            (fun por ->
+              let s, wall = session por in
+              if not por then wall_off := wall;
+              let bugs = List.length (Report.bug_groups s.report) in
+              let pruned, forced, uniq, dup =
+                match s.por with
+                | Some (p : Pmrace.Hub.por_totals) ->
+                    (p.pt_pruned, p.pt_forced_wakes, p.pt_unique_traces, p.pt_dup_traces)
+                | None -> (0, 0, 0, 0)
+              in
+              let ratio = if por then Some (wall /. Float.max 1e-9 !wall_off) else None in
+              let uniq_rate =
+                if por then Some (float_of_int uniq /. Float.max 1e-9 wall) else None
+              in
+              Format.fprintf ppf "%-16s %-7d %4s %6d %9.2f %12d %10d %9d %12s %7s@." name
+                threads
+                (if por then "on" else "off")
+                bugs wall pruned uniq dup
+                (match uniq_rate with Some r -> Printf.sprintf "%.1f" r | None -> "-")
+                (match ratio with Some r -> Printf.sprintf "%.2fx" r | None -> "-");
+              json_rows :=
+                Obs.Json.Obj
+                  [
+                    ("target", Obs.Json.String name);
+                    ("fibers", Obs.Json.Int threads);
+                    ("por", Obs.Json.Bool por);
+                    ("campaigns", Obs.Json.Int s.campaigns_run);
+                    ("bugs", Obs.Json.Int bugs);
+                    ("wall_s", Obs.Json.Float wall);
+                    ("schedules_pruned", Obs.Json.Int pruned);
+                    ("forced_wakes", Obs.Json.Int forced);
+                    ("unique_traces", Obs.Json.Int uniq);
+                    ("dup_traces", Obs.Json.Int dup);
+                    (* null, not 0, on POR-off rows: the baseline
+                       scheduler classifies no traces, so a rate would be
+                       a lie a dashboard can average over. *)
+                    ( "unique_traces_per_cpu_sec",
+                      match uniq_rate with Some r -> Obs.Json.Float r | None -> Obs.Json.Null );
+                    ( "bugs_per_cpu_sec",
+                      Obs.Json.Float (float_of_int bugs /. Float.max 1e-9 wall) );
+                    ( "por_overhead_ratio",
+                      match ratio with Some r -> Obs.Json.Float r | None -> Obs.Json.Null );
+                  ]
+                :: !json_rows)
+            [ false; true ])
+        fiber_counts)
+    targets;
   hr ppf;
+  let digest_ns = digest_ns_per_step () in
+  Format.fprintf ppf "digest microbench: %.1f ns/op (Por.record_op, synthetic 4-fiber mix)@."
+    digest_ns;
+  json_rows :=
+    Obs.Json.Obj
+      [
+        ("target", Obs.Json.String "digest-microbench");
+        ("digest_ns_per_step", Obs.Json.Float digest_ns);
+      ]
+    :: !json_rows;
   Format.fprintf ppf
-    "(POR off records no pruning columns; with POR on the unique-bug count must match@.";
+    "(POR off classifies no traces — those cells are null; with POR on the unique-bug@.";
   Format.fprintf ppf
-    " the unpruned row while dup-val campaigns skip post-failure validation.)@.";
+    " count must match the unpruned row while dup-val campaigns skip validation.)@.";
   let json = Obs.Json.Obj [ ("rows", Obs.Json.List (List.rev !json_rows)) ] in
   let oc = open_out "BENCH_por.json" in
   output_string oc (Obs.Json.to_string json);

@@ -455,6 +455,7 @@ let hub_cmd =
     let log = if verbose then fun m -> Format.eprintf "%s@." m else fun _ -> () in
     let cfg =
       {
+        Fleet.Coordinator.default_config with
         Fleet.Coordinator.socket_path;
         store_dir;
         target = target.Pmrace.Target.name;

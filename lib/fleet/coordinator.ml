@@ -21,6 +21,8 @@ type config = {
   target : string;
   budget : int;
   campaigns_per_lease : int;
+  min_campaigns_per_lease : int;
+  lease_horizon : float;
   seeds_per_lease : int;
   log : string -> unit;
 }
@@ -32,9 +34,20 @@ let default_config =
     target = "";
     budget = 300;
     campaigns_per_lease = 30;
+    min_campaigns_per_lease = 5;
+    lease_horizon = 1.0;
     seeds_per_lease = 4;
     log = (fun _ -> ());
   }
+
+(* A lease sized to [lease_horizon] seconds of the client's observed
+   throughput, clamped to [min, max].  An unmeasured client (rate 0 —
+   nothing shipped yet) gets the full cap: overshooting the first lease
+   costs at most one batch, undershooting would serialize the fleet's
+   warm-up on round trips. *)
+let lease_size ~rate ~horizon ~min_lease ~max_lease =
+  if rate <= 0. then max_lease
+  else max (min min_lease max_lease) (min max_lease (int_of_float (rate *. horizon)))
 
 type stats = { st_campaigns : int; st_bugs : int; st_clients : int }
 
@@ -42,6 +55,8 @@ type client = {
   c_fd : Unix.file_descr;
   mutable c_widx : int; (* -1 until Hello *)
   mutable c_leased : int; (* outstanding leased campaigns *)
+  mutable c_rate : float; (* EWMA campaigns/sec over delta acks; 0 until measured *)
+  mutable c_lease_t : float; (* wall time of the last grant, for the rate sample *)
 }
 
 let m_corpus_size = lazy (Obs.Metrics.gauge "fleet_corpus_size")
@@ -117,8 +132,13 @@ let serve ?(on_ready = fun () -> ()) cfg =
                  only when nothing is in flight is the drain final. *)
               reply c (if outstanding () > 0 then Wire.Retry else Wire.Drained)
             else begin
-              let n = min avail (min campaigns cfg.campaigns_per_lease) in
+              let sized =
+                lease_size ~rate:c.c_rate ~horizon:cfg.lease_horizon
+                  ~min_lease:cfg.min_campaigns_per_lease ~max_lease:cfg.campaigns_per_lease
+              in
+              let n = min avail (min campaigns sized) in
               c.c_leased <- c.c_leased + n;
+              c.c_lease_t <- Unix.gettimeofday ();
               let corpus = Store.corpus store in
               Pmrace.Corpus_sched.cull corpus;
               update_corpus_gauges store;
@@ -140,6 +160,13 @@ let serve ?(on_ready = fun () -> ()) cfg =
                 (Printf.sprintf
                    "fleet: worker %d shipped %d campaigns but holds only %d leased; clamping"
                    c.c_widx campaigns c.c_leased);
+            (if n > 0 && c.c_lease_t > 0. then
+               let dt = Unix.gettimeofday () -. c.c_lease_t in
+               if dt > 0. then begin
+                 let sample = float_of_int n /. dt in
+                 c.c_rate <-
+                   (if c.c_rate <= 0. then sample else (0.7 *. c.c_rate) +. (0.3 *. sample))
+               end);
             Store.merge_delta store delta;
             Store.record_campaigns store n;
             c.c_leased <- c.c_leased - n;
@@ -196,7 +223,8 @@ let serve ?(on_ready = fun () -> ()) cfg =
                     (fun fd ->
                       if fd = listen_fd then begin
                         let cfd, _ = Unix.accept listen_fd in
-                        Hashtbl.replace clients cfd { c_fd = cfd; c_widx = -1; c_leased = 0 }
+                        Hashtbl.replace clients cfd
+                          { c_fd = cfd; c_widx = -1; c_leased = 0; c_rate = 0.; c_lease_t = 0. }
                       end
                       else
                         match Hashtbl.find_opt clients fd with

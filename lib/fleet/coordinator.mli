@@ -22,13 +22,25 @@ type config = {
   target : string;  (** registry name; [Hello]s for other targets are refused *)
   budget : int;  (** total campaign budget (spans restarts) *)
   campaigns_per_lease : int;  (** grant cap per [Lease_req] *)
+  min_campaigns_per_lease : int;  (** grant floor once a client's rate is known *)
+  lease_horizon : float;
+      (** seconds of observed throughput a lease should cover: each
+          client's grant is sized to [rate × horizon] (EWMA of
+          campaigns/sec over its delta acks), clamped to
+          [min_campaigns_per_lease, campaigns_per_lease].  A client with
+          no measured rate yet gets the full cap. *)
   seeds_per_lease : int;  (** corpus seeds handed out per lease *)
   log : string -> unit;
 }
 
 val default_config : config
-(** [socket_path]/[store_dir]/[target] empty; budget 300; 30-campaign,
-    4-seed leases; silent log. *)
+(** [socket_path]/[store_dir]/[target] empty; budget 300; 30-campaign
+    cap / 5-campaign floor / 1 s horizon; 4-seed leases; silent log. *)
+
+val lease_size : rate:float -> horizon:float -> min_lease:int -> max_lease:int -> int
+(** The lease-sizing policy, exposed pure for tests: [max_lease] when
+    [rate <= 0] (unmeasured), else [rate × horizon] clamped to
+    [min_lease, max_lease] (both capped by [max_lease]). *)
 
 type stats = {
   st_campaigns : int;  (** budget used, including pre-restart campaigns *)

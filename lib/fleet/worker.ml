@@ -219,13 +219,13 @@ let run ?obs wcfg target =
                           Some c
                     end
                   end);
-              (* POR trace dedup stays shard-local: the local hub already
-                 dedups this worker's campaigns, and a cross-shard dup
-                 only costs one redundant validation. *)
-              sk_record_trace = local.Fuzzer.sk_record_trace;
+              (* POR trace dedup stays shard-local: [?trace] lands in the
+                 local hub's commit, which already dedups this worker's
+                 campaigns; a cross-shard dup only costs one redundant
+                 validation. *)
               sk_commit =
-                (fun ~campaign ~delta env ~hung ~hang_info ->
-                  let c = local.Fuzzer.sk_commit ~campaign ~delta env ~hung ~hang_info in
+                (fun ?trace ~campaign ~delta env ~hung ~hang_info ->
+                  let c = local.Fuzzer.sk_commit ?trace ~campaign ~delta env ~hung ~hang_info in
                   Hub.merge_delta_into ~src:delta ~dst:wire;
                   incr unshipped;
                   incr local_done;

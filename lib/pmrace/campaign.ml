@@ -28,10 +28,14 @@ type input = {
   evict_prob : float;
   eadr : bool; (* run on an eADR platform (§6.6) *)
   por : bool; (* sleep-set pruning + trace hashing (Scheduler.run_por) *)
+  por_digest : bool;
+      (* false = no trace-dedup consumer (replay): run the sleep sets but
+         short-circuit the Foata-layer/hash digesting entirely *)
 }
 
 let input ?(sched_seed = 1) ?(policy = Random_sched) ?snapshot ?(step_budget = 60_000)
-    ?(capture_images = true) ?(evict_prob = 0.) ?(eadr = false) ?(por = false) target seed =
+    ?(capture_images = true) ?(evict_prob = 0.) ?(eadr = false) ?(por = false)
+    ?(por_digest = true) target seed =
   {
     target;
     seed;
@@ -43,6 +47,7 @@ let input ?(sched_seed = 1) ?(policy = Random_sched) ?snapshot ?(step_budget = 6
     evict_prob;
     eadr;
     por;
+    por_digest;
   }
 
 type result = {
@@ -106,11 +111,15 @@ let run ?engine ?(listeners = []) (i : input) =
      is exactly the historical one. *)
   let harness =
     if not i.por then None
-    else
-      Some
-        (match engine with
+    else begin
+      let h =
+        match engine with
         | Some e -> Engine.por_harness e ~nthreads
-        | None -> Por.create ~nthreads)
+        | None -> Por.create ~pool_words:i.target.pool_words ~nthreads ()
+      in
+      if not i.por_digest then Por.set_digest h false;
+      Some h
+    end
   in
   let policy = match harness with Some h -> Por.wrap h policy | None -> policy in
   Env.set_policy env policy;

@@ -83,16 +83,18 @@ let create ?(capture_images = true) ?(evict_prob = 0.) ?(eadr = false) ?(bound =
     por = None;
   }
 
-(* A reset POR harness sized for at least [nthreads] fibers.  Grown (by
-   replacement) when a seed spawns more threads than any before it; reset
-   is O(touched words/lines) via the hashtable clears. *)
+(* A reset POR harness sized for at least [nthreads] fibers and the
+   target's pool (so the flat Foata-layer tables never grow or collide
+   on real footprints).  Grown (by replacement) when a seed spawns more
+   threads than any before it; reset is O(fibers) — the layer tables
+   reset by generation bump, exactly like the pool's pending index. *)
 let por_harness t ~nthreads =
   match t.por with
   | Some h when Por.capacity h >= nthreads ->
       Por.reset h;
       h
   | _ ->
-      let h = Por.create ~nthreads in
+      let h = Por.create ~pool_words:t.target.Target.pool_words ~nthreads () in
       t.por <- Some h;
       h
 

@@ -180,12 +180,16 @@ type sink = {
   sk_budget_left : unit -> bool;
   sk_reserve : Hub.provenance -> int option;
   sk_commit :
+    ?trace:Hub.trace ->
     campaign:int ->
     delta:Hub.delta ->
     Runtime.Env.t ->
     hung:bool ->
     hang_info:string ->
     Hub.commit_result;
+      (* [trace] registers a POR campaign's trace class in the same
+         critical section as the merge — one lock acquisition per
+         campaign boundary *)
   sk_record_invariant :
     campaign:int ->
     label:string ->
@@ -193,9 +197,6 @@ type sink = {
     site:string ->
     addr:int ->
     Report.inv_finding option;
-  sk_record_trace :
-    campaign:int -> key:int64 -> hash:int64 -> pruned:int -> forced:int -> bool;
-      (* POR trace dedup: [true] = first sighting, spend validation *)
   sk_queue_entries : unit -> Shared_queue.entry list;
   sk_rescore : sites:(int, unit) Hashtbl.t -> Seed.t -> unit;
   sk_completed : unit -> int; (* campaigns committed, for progress logs *)
@@ -208,14 +209,11 @@ let hub_sink hub =
     sk_budget_left = (fun () -> Hub.budget_left hub);
     sk_reserve = (fun prov -> Hub.reserve hub prov);
     sk_commit =
-      (fun ~campaign ~delta env ~hung ~hang_info ->
-        Hub.commit hub ~campaign ~delta env ~hung ~hang_info);
+      (fun ?trace ~campaign ~delta env ~hung ~hang_info ->
+        Hub.commit hub ?trace ~campaign ~delta env ~hung ~hang_info);
     sk_record_invariant =
       (fun ~campaign ~label ~kind ~site ~addr ->
         Hub.record_invariant hub ~campaign ~label ~kind ~site ~addr);
-    sk_record_trace =
-      (fun ~campaign ~key ~hash ~pruned ~forced ->
-        Hub.record_trace hub ~campaign ~key ~hash ~pruned ~forced);
     sk_queue_entries = (fun () -> Hub.queue_entries hub);
     sk_rescore = (fun ~sites seed -> Hub.rescore_seed hub ~sites seed);
     sk_completed = (fun () -> Hub.completed hub);
@@ -336,8 +334,8 @@ let do_campaign w seed policy =
              policy = policy_label policy;
            });
       let input =
-        Campaign.input ~sched_seed ~policy ~step_budget:w.cfg.step_budget ~por:w.cfg.por
-          w.target seed
+        Campaign.input ~sched_seed ~policy ~step_budget:w.cfg.step_budget ~por:w.cfg.por w.target
+          seed
       in
       (* The delta and the seed-site handler are pre-bound in the engine's
          context; per campaign we only empty the delta and retarget the
@@ -349,8 +347,28 @@ let do_campaign w seed policy =
         | None -> Campaign.run ~engine:w.engine input
         | Some m -> Campaign.run ~engine:w.engine ~listeners:[ Inv_monitor.attach m ] input
       in
+      (* POR trace dedup: register the campaign's canonical trace class
+         with the commit itself (same critical section as the merge) and
+         spend post-failure validation only on its first sighting — a
+         schedule Mazurkiewicz-equivalent to an already-validated one
+         cannot produce a finding its representative didn't.  The key is
+         salted with the seed fingerprint so a cross-seed hash collision
+         never suppresses validation of a genuinely new finding.
+         Coverage and candidate counts are untouched by the skip. *)
+      let trace =
+        match result.Campaign.por with
+        | None -> None
+        | Some ps ->
+            Some
+              {
+                Hub.tr_key = Int64.logxor ps.Por.s_trace_hash (Seed.fingerprint seed);
+                tr_hash = ps.Por.s_trace_hash;
+                tr_pruned = ps.Por.s_pruned_picks;
+                tr_forced = ps.Por.s_forced_wakes;
+              }
+      in
       let c =
-        w.sink.sk_commit ~campaign ~delta:w.delta result.env ~hung:result.hung
+        w.sink.sk_commit ?trace ~campaign ~delta:w.delta result.env ~hung:result.hung
           ~hang_info:(hang_info result)
       in
       (* Corpus scheduling: credit this seed with the alias pairs its
@@ -361,23 +379,6 @@ let do_campaign w seed policy =
           Corpus_sched.credit_pairs cs (Seed.fingerprint seed)
             (List.map (fun (wr, rd) -> (site_name wr, site_name rd)) c.Hub.c_new_pairs)
       | Some _ | None -> ());
-      (* POR trace dedup: register the campaign's canonical trace class
-         and spend post-failure validation only on its first sighting —
-         a schedule Mazurkiewicz-equivalent to an already-validated one
-         cannot produce a finding its representative didn't.  The key is
-         salted with the seed fingerprint so a cross-seed hash collision
-         never suppresses validation of a genuinely new finding.
-         Commit already ran, so coverage and candidate counts are
-         untouched by the skip. *)
-      let first_trace =
-        match result.Campaign.por with
-        | None -> true
-        | Some ps ->
-            w.sink.sk_record_trace ~campaign
-              ~key:(Int64.logxor ps.Por.s_trace_hash (Seed.fingerprint seed))
-              ~hash:ps.Por.s_trace_hash ~pruned:ps.Por.s_pruned_picks
-              ~forced:ps.Por.s_forced_wakes
-      in
       if w.obs <> None then begin
         emit w
           (Obs.Events.Worker_merge
@@ -423,7 +424,7 @@ let do_campaign w seed policy =
                  }))
           c.c_new_sync
       end;
-      if w.cfg.validate && first_trace then begin
+      if w.cfg.validate && c.Hub.c_first_trace then begin
         List.iter
           (fun (f : Report.finding) ->
             let v = Post_failure.validate w.vctx (Post_failure.Candidate.Inconsistency f.inc) in

@@ -172,12 +172,17 @@ type sink = {
   sk_reserve : Hub.provenance -> int option;
       (** claim the next campaign slot; [None] = wind down *)
   sk_commit :
+    ?trace:Hub.trace ->
     campaign:int ->
     delta:Hub.delta ->
     Runtime.Env.t ->
     hung:bool ->
     hang_info:string ->
     Hub.commit_result;
+      (** [trace] carries a POR campaign's Mazurkiewicz-trace class into
+          the commit critical section — dedup costs no extra lock
+          traffic, and [c_first_trace] in the result gates post-failure
+          validation *)
   sk_record_invariant :
     campaign:int ->
     label:string ->
@@ -185,10 +190,6 @@ type sink = {
     site:string ->
     addr:int ->
     Report.inv_finding option;
-  sk_record_trace :
-    campaign:int -> key:int64 -> hash:int64 -> pruned:int -> forced:int -> bool;
-      (** POR trace dedup ({!Hub.record_trace}): [true] = first sighting
-          of the (trace, seed) class — spend post-failure validation *)
   sk_queue_entries : unit -> Shared_queue.entry list;
   sk_rescore : sites:(int, unit) Hashtbl.t -> Seed.t -> unit;
   sk_completed : unit -> int;  (** campaigns committed, for progress logs *)

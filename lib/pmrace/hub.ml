@@ -201,6 +201,13 @@ let delta_of_json j =
       | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
   | _ -> Error "Hub.delta_of_json: missing field"
 
+type trace = {
+  tr_key : int64; (* trace hash salted with the seed fingerprint *)
+  tr_hash : int64; (* raw trace hash, kept per campaign for provenance *)
+  tr_pruned : int;
+  tr_forced : int;
+}
+
 type commit_result = {
   c_improved : bool; (* the merge contributed new coverage bits *)
   c_new_findings : Report.finding list;
@@ -208,6 +215,7 @@ type commit_result = {
   c_new_pairs : (int * int) list; (* newly achieved (write, read) site pairs *)
   c_alias_bits : int; (* shared coverage after this merge *)
   c_branch_bits : int;
+  c_first_trace : bool; (* first sighting of the trace class (or no trace) *)
 }
 
 (* Difference of two sorted site-pair lists: pairs in [after] missing
@@ -226,9 +234,33 @@ let rec pairs_diff before after =
    phase of the campaign timing split: setup / run / hub merge. *)
 let m_merge = lazy (Obs.Metrics.histogram "hub_merge_seconds")
 
-let commit t ~campaign ~delta (env : Runtime.Env.t) ~hung ~hang_info =
+let commit t ?trace ~campaign ~delta (env : Runtime.Env.t) ~hung ~hang_info =
   with_lock t (fun () ->
       Obs.Metrics.time (Lazy.force m_merge) @@ fun () ->
+      (* POR trace accounting rides the commit critical section: one lock
+         acquisition per campaign boundary, not two.  [c_first_trace]
+         decides (outside the lock) whether the worker spends
+         post-failure validation — a duplicate trace cannot produce a
+         finding its first representative didn't.  The key is salted
+         with the seed fingerprint upstream, so a cross-seed hash
+         collision never suppresses validation of a new finding. *)
+      let c_first_trace =
+        match trace with
+        | None -> true
+        | Some tr ->
+            Hashtbl.replace t.trace_hashes campaign tr.tr_hash;
+            t.por_campaigns <- t.por_campaigns + 1;
+            t.por_pruned <- t.por_pruned + tr.tr_pruned;
+            t.por_forced_wakes <- t.por_forced_wakes + tr.tr_forced;
+            if Hashtbl.mem t.trace_seen tr.tr_key then begin
+              t.por_dup_traces <- t.por_dup_traces + 1;
+              false
+            end
+            else begin
+              Hashtbl.replace t.trace_seen tr.tr_key ();
+              true
+            end
+      in
       let before = Alias_cov.count t.alias + Branch_cov.count t.branch in
       let pairs_before = Alias_cov.site_pairs t.alias in
       let inter_before = Report.inconsistency_count t.report Runtime.Candidates.Inter in
@@ -257,29 +289,8 @@ let commit t ~campaign ~delta (env : Runtime.Env.t) ~hung ~hang_info =
         c_new_pairs = pairs_diff pairs_before (Alias_cov.site_pairs t.alias);
         c_alias_bits;
         c_branch_bits;
+        c_first_trace;
       })
-
-(* Record a POR campaign's pruning provenance and dedup its trace class.
-   Returns [true] on the first sighting of [key] (the trace hash salted
-   with the seed fingerprint) — only then should the committing worker
-   spend post-failure validation; a duplicate trace cannot produce a
-   finding the first representative didn't.  (Report.absorb still ran at
-   commit, so coverage and candidate *counts* are unaffected by the
-   skip — only the expensive validation is.) *)
-let record_trace t ~campaign ~key ~hash ~pruned ~forced =
-  with_lock t (fun () ->
-      Hashtbl.replace t.trace_hashes campaign hash;
-      t.por_campaigns <- t.por_campaigns + 1;
-      t.por_pruned <- t.por_pruned + pruned;
-      t.por_forced_wakes <- t.por_forced_wakes + forced;
-      if Hashtbl.mem t.trace_seen key then begin
-        t.por_dup_traces <- t.por_dup_traces + 1;
-        false
-      end
-      else begin
-        Hashtbl.replace t.trace_seen key ();
-        true
-      end)
 
 let por_totals t =
   if t.por_campaigns = 0 then None

@@ -77,6 +77,18 @@ val delta_to_json : delta -> Obs.Json.t
 
 val delta_of_json : Obs.Json.t -> (delta, string) result
 
+type trace = {
+  tr_key : int64;
+      (** the campaign's trace hash salted with the seed fingerprint, so
+          cross-seed hash collisions cannot suppress a genuinely new
+          finding *)
+  tr_hash : int64;  (** raw trace hash, kept per campaign for provenance *)
+  tr_pruned : int;  (** sleep-set-suppressed picks this campaign *)
+  tr_forced : int;  (** forced wakes this campaign *)
+}
+(** One POR campaign's Mazurkiewicz-trace class and pruning provenance,
+    registered at {!commit}. *)
+
 type commit_result = {
   c_improved : bool;  (** the merge contributed new coverage bits *)
   c_new_findings : Report.finding list;
@@ -87,10 +99,15 @@ type commit_result = {
           [new_alias_pair] events *)
   c_alias_bits : int;  (** shared coverage after this merge *)
   c_branch_bits : int;
+  c_first_trace : bool;
+      (** first sighting of [trace]'s class — only then should the worker
+          spend post-failure validation.  Always [true] when the commit
+          carried no trace (non-POR campaigns). *)
 }
 
 val commit :
   t ->
+  ?trace:trace ->
   campaign:int ->
   delta:delta ->
   Runtime.Env.t ->
@@ -99,8 +116,11 @@ val commit :
   commit_result
 (** The campaign-boundary merge: fold the delta into shared coverage,
     absorb the campaign's checker results into the report, extend the
-    timeline.  One critical section; the returned new findings are then
-    validated by the caller outside the lock. *)
+    timeline — and, when the campaign ran under POR, register its trace
+    class and pruning counters in the same critical section (one lock
+    acquisition per campaign boundary, not two).  The returned new
+    findings are then validated by the caller outside the lock, gated on
+    [c_first_trace]. *)
 
 type por_totals = {
   pt_campaigns : int;  (** campaigns run under POR *)
@@ -109,15 +129,6 @@ type por_totals = {
   pt_unique_traces : int;  (** distinct (trace hash, seed) classes seen *)
   pt_dup_traces : int;  (** campaigns whose validation was skipped as redundant *)
 }
-
-val record_trace :
-  t -> campaign:int -> key:int64 -> hash:int64 -> pruned:int -> forced:int -> bool
-(** Record one POR campaign's pruning provenance (locked) and dedup its
-    Mazurkiewicz-trace class: [true] on the first sighting of [key] —
-    only then should the worker spend post-failure validation.  [key] is
-    the trace [hash] salted with the seed fingerprint so cross-seed hash
-    collisions cannot suppress a genuinely new finding; [hash] (raw) is
-    kept per campaign for artifact provenance. *)
 
 val por_totals : t -> por_totals option
 (** Aggregate pruning counters; [None] when no campaign ran under POR.

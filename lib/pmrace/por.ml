@@ -17,123 +17,272 @@
    hash: each op's Foata layer (1 + the highest layer it depends on) is
    invariant under commuting-swap reorderings of the schedule, so XORing
    a mix of (footprint, layer, tid, per-fiber sequence number) over all
-   ops yields the same 64-bit digest for every schedule in the same
-   trace class, independent of execution order.  The fuzzer dedupes
-   campaigns by this digest before spending post-failure validation. *)
+   ops yields the same digest for every schedule in the same trace
+   class, independent of execution order.  The fuzzer dedupes campaigns
+   by this digest before spending post-failure validation.
+
+   Hot-path design (the --por perf pass): digesting runs once per
+   scheduler step, so it must cost like the scheduler's own step, not
+   like a hashtable workload.
+
+   - The Foata-layer maps are two flat generation-stamped
+     open-addressing tables sized from the pool at harness creation: a
+     word table packing (write layer, read layer) into one int and a
+     line table packing (flush layer, access layer).  An op claims its
+     word and line slots once, reads both packed halves for its floor,
+     and max-merges its bumps in place — two probes per op where the
+     old four-Hashtbl layout paid four to six.  A probe is one array
+     read (keys are dense word/line indices, so [key land mask] rarely
+     collides); resetting between campaigns is a generation bump, like
+     the pool's pending-word index — no [Hashtbl.reset], no boxing, no
+     rehash.
+   - The digest accumulates in a native [int] with a splitmix-style
+     finalizer: zero allocation per op, where the old [Int64] mixer
+     boxed every intermediate.  [trace_hash] converts at the boundary.
+   - A per-fiber frontier-clock fast path: when the stepping fiber
+     already owns the highest layer ([fiber_layer = max_layer]), every
+     table value is <= its own clock, so the op's layer is
+     [fiber_layer + 1] without probing any table, and the bumps become
+     unconditional overwrites.
+   - Digesting can be short-circuited entirely ([set_digest false]) when
+     no consumer is registered — replay re-runs a POR campaign for its
+     schedule only, so it skips the layer/hash work while keeping the
+     pending/executed bookkeeping the sleep sets need. *)
 
 module Footprint = Runtime.Footprint
+
+(* Flat generation-stamped open-addressing int->int tables.  A slot is
+   live iff its stamp equals the current generation, so [reset] is a
+   generation bump; stale slots are overwritten on claim.  Keys are pool
+   word/line indices — dense and bounded — so the initial capacity (2x
+   the pool) makes probes effectively direct-indexed; arbitrary keys
+   (synthetic tests) still work via linear probing and growth.  [claim]
+   returns the slot index, so the caller reads the current value and
+   writes the merged one back without a second probe. *)
+module Ftbl = struct
+  type t = {
+    mutable keys : int array;
+    mutable vals : int array;
+    mutable stamps : int array;
+    mutable mask : int; (* capacity - 1; capacity is a power of two *)
+    mutable live : int; (* slots stamped with the current generation *)
+    mutable gen : int;
+  }
+
+  let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+  let create hint =
+    let cap = pow2 (max 16 hint) 16 in
+    {
+      keys = Array.make cap 0;
+      vals = Array.make cap 0;
+      stamps = Array.make cap 0;
+      mask = cap - 1;
+      live = 0;
+      gen = 1;
+    }
+
+  let reset t =
+    t.gen <- t.gen + 1;
+    t.live <- 0
+
+  (* First slot that is free (stale stamp) or holds [k] this generation.
+     Keys are dense pool indices against a 2x-pool capacity, so the first
+     probe nearly always hits; unsafe reads keep the common case at two
+     loads (indices are masked, so they are in bounds by construction). *)
+  let rec probe t k i =
+    if Array.unsafe_get t.stamps i <> t.gen || Array.unsafe_get t.keys i = k then i
+    else probe t k ((i + 1) land t.mask)
+
+  let grow t =
+    let keys = t.keys and vals = t.vals and stamps = t.stamps and gen = t.gen in
+    let cap = 2 * (t.mask + 1) in
+    t.keys <- Array.make cap 0;
+    t.vals <- Array.make cap 0;
+    t.stamps <- Array.make cap 0;
+    t.mask <- cap - 1;
+    Array.iteri
+      (fun i s ->
+        if s = gen then begin
+          let j = probe t keys.(i) (keys.(i) land t.mask) in
+          t.keys.(j) <- keys.(i);
+          t.vals.(j) <- vals.(i);
+          t.stamps.(j) <- gen
+        end)
+      stamps
+
+  (* The slot for [k] this generation, claiming (value 0) a free one if
+     absent.  Growth invalidates indices, so claim re-probes after it. *)
+  let rec claim t k =
+    let i = probe t k (k land t.mask) in
+    if t.stamps.(i) = t.gen then i
+    else begin
+      t.keys.(i) <- k;
+      t.vals.(i) <- 0;
+      t.stamps.(i) <- t.gen;
+      t.live <- t.live + 1;
+      if 2 * t.live > t.mask then begin
+        grow t;
+        claim t k
+      end
+      else i
+    end
+end
 
 type t = {
   nthreads : int;
   pending : int array; (* tid -> footprint of the fiber's next op, 0 = unknown *)
-  mutable step_fp : int; (* accumulator: footprint of the current step *)
-  mutable step_ops : int;
-  (* Foata layering state: per-word / per-line highest layer seen. *)
-  word_write : (int, int) Hashtbl.t;
-  word_read : (int, int) Hashtbl.t;
-  line_flush : (int, int) Hashtbl.t;
-  line_access : (int, int) Hashtbl.t;
+  step_fp : int array;
+      (* one shared cell: footprint of the current step, handed to the
+         scheduler by reference ({!Sched.Scheduler.por.step_fp}) so a
+         step that ran nothing instrumented needs no call to say so *)
+  (* Foata layering state.  Two packed tables: per word,
+     (write layer lsl 31) lor read layer; per line,
+     (flush layer lsl 31) lor access layer.  Layers are bounded by the
+     step budget, far below 2^31. *)
+  word_layers : Ftbl.t;
+  line_layers : Ftbl.t;
   mutable fence_layer : int;
   mutable max_layer : int;
   fiber_layer : int array; (* tid -> layer of the fiber's latest op *)
   fiber_seq : int array; (* tid -> ops executed by the fiber so far *)
-  mutable hash : int64;
+  mutable hash : int;
   mutable ops : int;
+  mutable digest : bool; (* false = no consumer; skip the layer/hash work *)
 }
 
-let create ~nthreads =
+let create ?(pool_words = 1024) ~nthreads () =
   let n = max 1 nthreads in
+  let words = max 64 pool_words in
   {
     nthreads = n;
     pending = Array.make n 0;
-    step_fp = 0;
-    step_ops = 0;
-    word_write = Hashtbl.create 256;
-    word_read = Hashtbl.create 256;
-    line_flush = Hashtbl.create 64;
-    line_access = Hashtbl.create 64;
+    step_fp = [| 0 |];
+    word_layers = Ftbl.create (2 * words);
+    line_layers = Ftbl.create (2 * words / Pmem.Cacheline.words_per_line);
     fence_layer = 0;
     max_layer = 0;
     fiber_layer = Array.make n 0;
     fiber_seq = Array.make n 0;
-    hash = 0L;
+    hash = 0;
     ops = 0;
+    digest = true;
   }
 
 let reset t =
   Array.fill t.pending 0 t.nthreads 0;
-  t.step_fp <- 0;
-  t.step_ops <- 0;
-  Hashtbl.reset t.word_write;
-  Hashtbl.reset t.word_read;
-  Hashtbl.reset t.line_flush;
-  Hashtbl.reset t.line_access;
+  t.step_fp.(0) <- 0;
+  Ftbl.reset t.word_layers;
+  Ftbl.reset t.line_layers;
   t.fence_layer <- 0;
   t.max_layer <- 0;
   Array.fill t.fiber_layer 0 t.nthreads 0;
   Array.fill t.fiber_seq 0 t.nthreads 0;
-  t.hash <- 0L;
-  t.ops <- 0
+  t.hash <- 0;
+  t.ops <- 0;
+  t.digest <- true
 
-(* splitmix64 finalizer — the usual strong 64-bit avalanche. *)
-let mix64 z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+let set_digest t on = t.digest <- on
 
-let get tbl k = match Hashtbl.find_opt tbl k with Some v -> v | None -> 0
-let bump tbl k layer = if get tbl k < layer then Hashtbl.replace tbl k layer
+(* splitmix-style finalizer over the native int — allocation-free, unlike
+   boxed Int64 arithmetic.  Constants are 62-bit odd multipliers; the
+   avalanche only needs to spread dedup keys, not be cryptographic. *)
+let[@inline] mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x61C8864680B583EB in
+  x lxor (x lsr 31)
 
-(* Fold one executed op into the step accumulator and the trace hash. *)
+(* Packed-layer split: low 31 bits hold the read (word table) / access
+   (line table) layer, the bits above hold the write / flush layer. *)
+let lshift = 31
+let lmask = (1 lsl lshift) - 1
+
+(* Fold one executed op into the Foata layering and the trace digest.
+   Bumps are max-merges and floors are maxes over key (and packed-half)
+   sets disjoint from them for any independent pair, so the resulting
+   layers — and the XOR of the per-op mixes — are invariant under
+   commuting-swap reorderings (pinned by the trace-hash QCheck
+   property).  Each op claims its word and line slots once and updates
+   them in place: two table probes per op.  The frontier-clock fast
+   path skips the floor reads (not the bumps): when the stepping fiber
+   already owns the highest layer, no table value nor the fence layer
+   can exceed its own clock, so the op stacks directly on it. *)
+let digest_op t tid fp =
+  let tag = fp land 7 in
+  let fiber = t.fiber_layer.(tid) in
+  let frontier = fiber >= t.max_layer in
+  let layer =
+    if tag >= 1 && tag <= 3 then begin
+      (* Word-level op: floor = write layer (plus read layer for
+         writers), the line's flush layer, and the fence layer. *)
+      let wi = Ftbl.claim t.word_layers (fp lsr 3) in
+      let li = Ftbl.claim t.line_layers (Footprint.line fp) in
+      (* Slot indices come masked out of [claim]; read the arrays after
+         both claims (growth swaps them out). *)
+      let wvals = t.word_layers.Ftbl.vals and lvals = t.line_layers.Ftbl.vals in
+      let wv = Array.unsafe_get wvals wi in
+      let lv = Array.unsafe_get lvals li in
+      let layer =
+        if frontier then 1 + fiber
+        else
+          let floor =
+            if tag = 1 then max (wv lsr lshift) (max (lv lsr lshift) t.fence_layer)
+            else max (max (wv lsr lshift) (wv land lmask)) (max (lv lsr lshift) t.fence_layer)
+          in
+          1 + max floor fiber
+      in
+      let wv' =
+        if tag = 1 then ((wv lsr lshift) lsl lshift) lor max (wv land lmask) layer
+        else if tag = 2 then (max (wv lsr lshift) layer lsl lshift) lor (wv land lmask)
+        else (max (wv lsr lshift) layer lsl lshift) lor max (wv land lmask) layer
+      in
+      Array.unsafe_set wvals wi wv';
+      (* Any word-level op raises the line's access layer. *)
+      Array.unsafe_set lvals li (((lv lsr lshift) lsl lshift) lor max (lv land lmask) layer);
+      layer
+    end
+    else if tag = 4 then begin
+      let li = Ftbl.claim t.line_layers (fp lsr 3) in
+      let lvals = t.line_layers.Ftbl.vals in
+      let lv = Array.unsafe_get lvals li in
+      let layer =
+        if frontier then 1 + fiber
+        else 1 + max (max (lv land lmask) (max (lv lsr lshift) t.fence_layer)) fiber
+      in
+      Array.unsafe_set lvals li ((max (lv lsr lshift) layer lsl lshift) lor (lv land lmask));
+      layer
+    end
+    else begin
+      (* Fence / opaque (and none): above everything so far. *)
+      let layer = 1 + if frontier then fiber else max t.max_layer fiber in
+      t.fence_layer <- layer;
+      layer
+    end
+  in
+  if layer > t.max_layer then t.max_layer <- layer;
+  t.fiber_layer.(tid) <- layer;
+  let seq = t.fiber_seq.(tid) + 1 in
+  t.fiber_seq.(tid) <- seq;
+  (* One avalanche round over the op's identity (footprint, layer,
+     per-fiber sequence number, tid) is enough spread for an XOR-folded
+     dedup key; a second round buys nothing but latency on the hot path. *)
+  let h = mix (fp lxor (layer lsl 40) lxor (seq lsl 22) lxor tid) in
+  t.hash <- t.hash lxor h;
+  t.ops <- t.ops + 1
+
+(* Fold one executed op into the step accumulator and the trace hash.
+   The first op of a step sets the cell; a second op in the same step
+   (possible under No_preempt, whose policy never yields) escalates it
+   to [opaque], which commutes with nothing. *)
 let record t tid fp =
-  t.step_ops <- t.step_ops + 1;
-  t.step_fp <- (if t.step_ops = 1 then fp else Footprint.opaque);
-  if tid >= 0 && tid < t.nthreads then begin
-    let tag = Footprint.tag fp in
-    (* The highest layer this op depends on (its Foata floor). *)
-    let floor =
-      if tag = 1 then
-        let w = Footprint.payload fp in
-        max (get t.word_write w) (max (get t.line_flush (Footprint.line fp)) t.fence_layer)
-      else if tag = 2 || tag = 3 then
-        let w = Footprint.payload fp in
-        max
-          (max (get t.word_write w) (get t.word_read w))
-          (max (get t.line_flush (Footprint.line fp)) t.fence_layer)
-      else if tag = 4 then
-        let l = Footprint.payload fp in
-        max (get t.line_access l) (max (get t.line_flush l) t.fence_layer)
-      else t.max_layer (* fence / opaque: above everything so far *)
-    in
-    let layer = 1 + max floor t.fiber_layer.(tid) in
-    (if tag = 1 then begin
-       bump t.word_read (Footprint.payload fp) layer;
-       bump t.line_access (Footprint.line fp) layer
-     end
-     else if tag = 2 || tag = 3 then begin
-       let w = Footprint.payload fp in
-       bump t.word_write w layer;
-       if tag = 3 then bump t.word_read w layer;
-       bump t.line_access (Footprint.line fp) layer
-     end
-     else if tag = 4 then bump t.line_flush (Footprint.payload fp) layer
-     else t.fence_layer <- layer);
-    if layer > t.max_layer then t.max_layer <- layer;
-    t.fiber_layer.(tid) <- layer;
-    t.fiber_seq.(tid) <- t.fiber_seq.(tid) + 1;
-    let h =
-      mix64 (Int64.logxor (Int64.of_int fp) (Int64.shift_left (Int64.of_int layer) 32))
-    in
-    let h =
-      mix64
-        (Int64.logxor h
-           (Int64.logxor
-              (Int64.of_int t.fiber_seq.(tid))
-              (Int64.shift_left (Int64.of_int tid) 32)))
-    in
-    t.hash <- Int64.logxor t.hash h;
-    t.ops <- t.ops + 1
-  end
+  let cell = t.step_fp in
+  let prev = Array.unsafe_get cell 0 in
+  Array.unsafe_set cell 0 (if prev = 0 then fp else Footprint.opaque);
+  if t.digest && tid >= 0 && tid < t.nthreads then digest_op t tid fp
+
+let record_op = record
 
 (* Wrap a campaign policy with footprint recording.  Ordering matters:
    [before] records the pending footprint ahead of the base hook (whose
@@ -150,24 +299,29 @@ let wrap t (base : Runtime.Env.policy) : Runtime.Env.policy =
         base.before ctx point);
     after =
       (fun ctx point ->
-        record t ctx.tid (Footprint.of_point point);
-        if ctx.tid >= 0 && ctx.tid < t.nthreads then t.pending.(ctx.tid) <- 0;
+        (* [before] already encoded this op's footprint into the pending
+           slot; reuse it rather than re-encoding the point.  Only this
+           fiber writes its own slot, so the value is still this op's. *)
+        let tid = ctx.tid in
+        if tid >= 0 && tid < t.nthreads then begin
+          let fp = t.pending.(tid) in
+          let fp = if fp <> 0 then fp else Footprint.of_point point in
+          record t tid fp;
+          t.pending.(tid) <- 0
+        end
+        else record t tid (Footprint.of_point point);
         base.after ctx point);
   }
 
 let hooks t : Sched.Scheduler.por =
   {
-    pending = (fun tid -> if tid >= 0 && tid < t.nthreads then t.pending.(tid) else 0);
-    take_step =
-      (fun () ->
-        let fp = t.step_fp in
-        t.step_fp <- 0;
-        t.step_ops <- 0;
-        fp);
+    pending = t.pending;
+    step_fp = t.step_fp;
     independent = Footprint.independent;
+    spin = Footprint.spin_retry;
   }
 
-let trace_hash t = t.hash
+let trace_hash t = Int64.of_int t.hash
 let ops t = t.ops
 let capacity t = t.nthreads
 
@@ -181,7 +335,7 @@ type stats = {
 
 let stats t (ss : Sched.Scheduler.por_stats) =
   {
-    s_trace_hash = t.hash;
+    s_trace_hash = Int64.of_int t.hash;
     s_ops = t.ops;
     s_layers = t.max_layer;
     s_pruned_picks = ss.pruned_picks;

@@ -14,12 +14,30 @@
     invariant under dependency-preserving reorderings, and XOR is
     order-blind, so two schedules in the same Mazurkiewicz class digest
     identically regardless of interleaving — the fuzzer uses this to skip
-    post-failure validation of behaviourally redundant campaigns. *)
+    post-failure validation of behaviourally redundant campaigns.
+
+    The digesting hot path is allocation-free: the four Foata-layer maps
+    are flat generation-stamped open-addressing tables sized from the
+    pool (reset = generation bump), the digest accumulates in a native
+    [int], and a per-fiber frontier-clock fast path skips the table
+    probes whenever the stepping fiber already owns the highest layer. *)
 
 type t
 
-val create : nthreads:int -> t
+val create : ?pool_words:int -> nthreads:int -> unit -> t
+(** [pool_words] sizes the flat layer tables so that pool word/line
+    indices never collide or trigger growth (default 1024; any key still
+    works via probing + growth, it just may probe further). *)
+
 val reset : t -> unit
+(** Return the harness to the fresh state — O(fibers): table resets are
+    generation bumps, not clears.  Re-enables digesting. *)
+
+val set_digest : t -> bool -> unit
+(** [set_digest t false] short-circuits the layer/hash work entirely for
+    consumers that only need the schedule (replay): the pending/executed
+    bookkeeping the sleep sets need keeps running, {!trace_hash} and
+    {!ops} stay 0.  {!reset} re-enables digesting. *)
 
 val wrap : t -> Runtime.Env.policy -> Runtime.Env.policy
 (** Interpose footprint recording on a policy.  [before] records the
@@ -29,6 +47,12 @@ val wrap : t -> Runtime.Env.policy -> Runtime.Env.policy
 
 val hooks : t -> Sched.Scheduler.por
 (** The int-typed view {!Sched.Scheduler.run_por} consumes. *)
+
+val record_op : t -> int -> Runtime.Footprint.t -> unit
+(** [record_op t tid fp] — fold one executed op into the digest directly,
+    bypassing the policy wrapper.  For the trace-hash invariance property
+    tests and the digest microbench, which replay synthetic schedules
+    without a scheduler. *)
 
 val trace_hash : t -> int64
 val ops : t -> int

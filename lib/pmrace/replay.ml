@@ -52,10 +52,13 @@ let replay_bug ~(target : Target.t) ~(artifact : Artifact.t) ~bug =
                 in
                 (* POR changes which fibers the scheduler may pick, so a
                    campaign recorded under --por only re-executes
-                   bit-identically when replayed under POR too. *)
+                   bit-identically when replayed under POR too.  Replay
+                   has no trace-dedup consumer, though: digesting is pure
+                   observation (the sleep sets never read the hash), so
+                   it is short-circuited entirely. *)
                 let input =
                   Campaign.input ~sched_seed:p.pr_sched_seed ~policy:p.pr_spec
-                    ~step_budget:cfg.step_budget ~por:cfg.por target p.pr_seed
+                    ~step_budget:cfg.step_budget ~por:cfg.por ~por_digest:false target p.pr_seed
                 in
                 let result = Campaign.run ~engine input in
                 let report = Report.create () in

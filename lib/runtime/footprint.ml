@@ -24,8 +24,8 @@ let tag_opaque = 6
 let none = tag_none
 let fence = tag_fence
 let opaque = tag_opaque
-let tag (t : t) = t land 7
-let payload (t : t) = t lsr 3
+let[@inline] tag (t : t) = t land 7
+let[@inline] payload (t : t) = t lsr 3
 let load word = (word lsl 3) lor tag_load
 let store word = (word lsl 3) lor tag_store
 let rw word = (word lsl 3) lor tag_rw
@@ -42,8 +42,19 @@ let of_point (p : Env.point) : t =
 
 (* The line a footprint touches: flushes carry a line index directly,
    word-level ops derive it.  Only meaningful for tags 1-4. *)
-let line (t : t) =
+let[@inline] line (t : t) =
   if tag t = tag_flush then payload t else Pmem.Cacheline.line_of_word (payload t)
+
+(* A busy-wait retry signature: the step just executed [prev] and the
+   fiber's next pending op is the {e identical} read-modify-write
+   footprint — the shape of a failed CAS spinning on a lock word.  Until
+   some other step writes, flushes, or fences that word (all of which
+   conflict with an [rw] footprint and so wake sleepers), every retry
+   observes exactly the same value and persistency state, so the
+   scheduler may park the spinner without losing any behaviour.  Plain
+   stores and loads are excluded: a fiber legitimately issues identical
+   consecutive stores, and parking it would only cost forced wakes. *)
+let[@inline] spin_retry (prev : t) (next : t) = prev = next && prev land 7 = tag_rw
 
 (* Independence of two step footprints, grounded in Pool semantics:
    - [none] (a step that ran no instrumented op, e.g. a spin iteration)

@@ -53,4 +53,13 @@ val independent : t -> t -> bool
     provably preserves the pool state and event outcome.  Reflexivity is
     not guaranteed ([independent fence fence = false]); symmetry is. *)
 
+val spin_retry : t -> t -> bool
+(** [spin_retry prev next] — the fiber that just executed [prev] is about
+    to retry the identical read-modify-write ([rw]) footprint: the shape
+    of a failed CAS busy-waiting on a lock word.  Until another step
+    touches that word (necessarily a conflicting access, which wakes
+    sleepers), every retry observes the same value and persistency state,
+    so {!Sched.Scheduler.run_por} parks the spinner instead of letting it
+    burn the step budget. *)
+
 val pp : Format.formatter -> t -> unit

@@ -258,15 +258,25 @@ let run_reference ?on_step t =
 (* POR hooks cross the lib/sched dependency boundary as plain ints: a
    footprint is an opaque int summary of a step's instrumented accesses
    (Runtime.Footprint encodes/decodes it; 0 means "no instrumented op /
-   unknown").  The scheduler only needs three operations over them. *)
+   unknown").  The footprint channels are shared flat arrays, not
+   closures: most steps execute nothing instrumented, and an indirect
+   call per step to learn "nothing happened" is measurable against a
+   step loop this tight.  Only the two relational queries stay calls. *)
 type por = {
-  pending : int -> int;
-      (* [pending tid] — footprint of the op the fiber will execute when
-         next resumed, or 0 if unknown (not yet at a preemption point). *)
-  take_step : unit -> int;
-      (* Footprint of the op(s) the step just executed; resets the
-         accumulator.  0 for a step that ran no instrumented op. *)
+  pending : int array;
+      (* [pending.(tid)] — footprint of the op the fiber will execute
+         when next resumed, or 0 if unknown (not yet at a preemption
+         point).  Written by the recorder, read directly here.  Fibers
+         with tids beyond the array are treated as unknown. *)
+  step_fp : int array;
+      (* One cell: footprint of the op(s) the last step executed, 0 for
+         a step that ran no instrumented op.  The scheduler consumes and
+         clears it after every step. *)
   independent : int -> int -> bool;
+  spin : int -> int -> bool;
+      (* [spin executed pending] — the stepped fiber is busy-wait
+         retrying the op it just ran (a failed CAS); park it until a
+         conflicting access wakes it instead of letting it spin. *)
 }
 
 type por_stats = { mutable pruned_picks : int; mutable forced_wakes : int }
@@ -282,8 +292,14 @@ type por_stats = { mutable pruned_picks : int; mutable forced_wakes : int }
      representative), so the pick is redundant;
    - any sleeping fiber whose pending op *conflicts* with [fp] is woken —
      the dependency breaks the commutation argument;
-   - steps that executed nothing instrumented (spin iterations) neither
-     sleep nor wake anyone;
+   - a fiber whose next op busy-wait retries the op it just executed
+     ([por.spin] — a failed CAS) is itself parked: nothing it can
+     observe changes until some step conflicts with that footprint, and
+     any such step wakes it through the rule above.  Without this a
+     spinner burns the whole step budget while the lock holder sleeps —
+     the dominant cost of the pre-optimisation POR mode;
+   - steps that executed nothing instrumented neither sleep nor wake
+     anyone;
    - if every runnable fiber is asleep the whole set is force-woken
      (counted in [forced_wakes]) so the run always terminates.
 
@@ -291,7 +307,18 @@ type por_stats = { mutable pruned_picks : int; mutable forced_wakes : int }
    pruning is heuristic, not exhaustive DPOR: uninstrumented state
    (DRAM, sync-policy bookkeeping) rides along outside the independence
    relation, so equality of the found-bug sets is pinned empirically by
-   the POR property tests rather than proved. *)
+   the POR property tests rather than proved.
+
+   Maintenance is allocation-free: the sleep bits, the candidate
+   scratch, and a live sleeper count are preallocated arrays/ints sized
+   by the fiber count, and the common no-sleeper step skips the
+   candidate pass entirely.  The candidate set itself is cached between
+   sleep-state changes — sync-heavy campaigns run tens of thousands of
+   steps that execute nothing instrumented, and rebuilding an identical
+   candidate array every one of them was the dominant POR cost.  A step
+   with no footprint makes zero indirect calls: the executed and
+   pending footprints arrive through the [por] record's shared arrays,
+   so [independent]/[spin] only run on the steps that did something. *)
 let run_por ?on_step ~(por : por) t =
   if t.running then invalid_arg "Sched.run: already running";
   t.running <- true;
@@ -301,7 +328,8 @@ let run_por ?on_step ~(por : por) t =
   let runnable = Array.make n 0 in
   let n_runnable = ref 0 in
   let asleep = Array.make n false in
-  let candidates = Array.make n 0 in
+  let n_asleep = ref 0 in
+  let candidates = Array.make n 0 (* positions in [runnable], not fiber ids *) in
   Array.iteri
     (fun i f ->
       match f.state with
@@ -311,58 +339,133 @@ let run_por ?on_step ~(por : por) t =
       | Done | Crashed _ -> ())
     fibers;
   let stats = { pruned_picks = 0; forced_wakes = 0 } in
+  let pending = por.pending in
+  let pn = Array.length pending in
+  let sfp = por.step_fp in
+  (* Candidate cache: [candidates.(0 .. n_cand-1)] are the awake
+     positions, valid while [cand_dirty] is clear.  Any sleep, wake, or
+     runnable-set change invalidates it; the steps in between — the
+     overwhelming majority — reuse it untouched.  With no sleeper the
+     rebuilt cache is the identity over [runnable], so the pick path is
+     a single [Rng.int] draw plus two array reads either way.
+
+     [pruned_picks] is settled per *span* rather than per step: between
+     two rebuilds every pick suppresses the same number of positions
+     ([span_pruned]), so the count is one multiply at the next rebuild
+     instead of a read-modify-write on every step. *)
+  let n_cand = ref 0 in
+  let cand_dirty = ref true in
+  let span_start = ref t.steps in
+  let span_pruned = ref 0 in
+  let settle_span () =
+    if !span_pruned > 0 then
+      stats.pruned_picks <- stats.pruned_picks + ((t.steps - !span_start) * !span_pruned);
+    span_start := t.steps
+  in
+  let rebuild () =
+    settle_span ();
+    n_cand := 0;
+    for k = 0 to !n_runnable - 1 do
+      if not asleep.(runnable.(k)) then begin
+        candidates.(!n_cand) <- k;
+        incr n_cand
+      end
+    done;
+    if !n_cand = 0 then begin
+      (* Everyone runnable is asleep: the canonical representative has
+         been followed as far as it goes — wake the set and keep
+         scheduling rather than deadlock. *)
+      stats.forced_wakes <- stats.forced_wakes + 1;
+      for k = 0 to !n_runnable - 1 do
+        asleep.(runnable.(k)) <- false;
+        candidates.(k) <- k
+      done;
+      n_asleep := 0;
+      n_cand := !n_runnable
+    end;
+    span_pruned := !n_runnable - !n_cand;
+    cand_dirty := false
+  in
+  let sleep i =
+    if not asleep.(i) then begin
+      asleep.(i) <- true;
+      incr n_asleep;
+      cand_dirty := true
+    end
+  in
+  let wake i =
+    if asleep.(i) then begin
+      asleep.(i) <- false;
+      decr n_asleep;
+      cand_dirty := true
+    end
+  in
   let rec loop () =
     if !n_runnable > 0 && t.steps < t.step_budget then begin
-      let n_cand = ref 0 in
-      for j = 0 to !n_runnable - 1 do
-        let i = runnable.(j) in
-        if not asleep.(i) then begin
-          candidates.(!n_cand) <- i;
-          incr n_cand
-        end
-      done;
-      if !n_cand = 0 then begin
-        (* Everyone runnable is asleep: the canonical representative has
-           been followed as far as it goes — wake the set and keep
-           scheduling rather than deadlock. *)
-        stats.forced_wakes <- stats.forced_wakes + 1;
-        for j = 0 to !n_runnable - 1 do
-          let i = runnable.(j) in
-          asleep.(i) <- false;
-          candidates.(j) <- i
-        done;
-        n_cand := !n_runnable
-      end;
-      stats.pruned_picks <- stats.pruned_picks + (!n_runnable - !n_cand);
-      let i = candidates.(Rng.int t.rng !n_cand) in
+      if !cand_dirty then rebuild ();
+      let j = candidates.(Rng.int t.rng !n_cand) in
+      let i = runnable.(j) in
       let f = fibers.(i) in
       t.steps <- t.steps + 1;
       (match on_step with Some g -> g f.tid | None -> ());
       step_fiber f;
-      let fp = por.take_step () in
-      if fp <> 0 then
-        for j = 0 to !n_runnable - 1 do
-          let q = runnable.(j) in
-          if q <> i then begin
-            let pq = por.pending fibers.(q).tid in
-            if pq <> 0 then
-              if not (por.independent fp pq) then asleep.(q) <- false
-              else if (not asleep.(q)) && fibers.(q).tid < f.tid then asleep.(q) <- true
-          end
-        done;
+      let fp = Array.unsafe_get sfp 0 in
+      if fp <> 0 then begin
+        Array.unsafe_set sfp 0 0;
+        (* A spin retry (the fiber is about to re-execute the op it just
+           ran — a failed CAS) changed nothing observable: it reads its
+           word and writes nothing.  It must not drive the wake/sleep
+           pass — a failed CAS's [rw] footprint conflicts with every
+           fellow spinner's pending CAS, so treating it as a real step
+           makes parked spinners wake each other in a round-robin
+           livelock that burns the whole budget while the lock holder
+           sleeps.  Park the spinner and leave everyone else's sleep
+           state alone; the word can only change via a conflicting step
+           by an awake fiber, which wakes the spinner through the rule
+           below. *)
+        let spinning =
+          match f.state with
+          | Not_started _ | Suspended _ ->
+              por.spin fp (if f.tid < pn then Array.unsafe_get pending f.tid else 0)
+          | Done | Crashed _ -> false
+        in
+        if spinning then sleep i
+        else
+          (* Only two transitions exist, so only two cases need the
+             (indirect) independence call: an asleep fiber can only be
+             woken (on conflict), and an awake fiber can only be slept
+             (commuting op, lower tid).  An awake fiber with a higher
+             tid cannot change state — skip it without consulting the
+             relation at all. *)
+          for k = 0 to !n_runnable - 1 do
+            let q = runnable.(k) in
+            if q <> i then
+              if Array.unsafe_get asleep q then begin
+                let qt = fibers.(q).tid in
+                let pq = if qt < pn then Array.unsafe_get pending qt else 0 in
+                if pq <> 0 && not (por.independent fp pq) then wake q
+              end
+              else
+                let qt = fibers.(q).tid in
+                if qt < f.tid then begin
+                  let pq = if qt < pn then Array.unsafe_get pending qt else 0 in
+                  if pq <> 0 && por.independent fp pq then sleep q
+                end
+          done
+      end;
       (match f.state with
       | Done | Crashed _ ->
-          asleep.(i) <- false;
-          (* Order-preserving removal, as in [run]. *)
-          let rec find j = if runnable.(j) = i then j else find (j + 1) in
-          let j = find 0 in
+          wake i;
+          (* Order-preserving removal, as in [run]; [j] is the position. *)
           Array.blit runnable (j + 1) runnable j (!n_runnable - j - 1);
-          decr n_runnable
+          decr n_runnable;
+          cand_dirty := true
       | Not_started _ | Suspended _ -> ());
       loop ()
     end
   in
   loop ();
+  settle_span ();
   (finish t ~steps_before fibers, stats)
 
 let completed o = o.hung = [] && o.failed = []

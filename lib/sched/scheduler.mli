@@ -59,16 +59,28 @@ val run_reference : ?on_step:(int -> unit) -> t -> outcome
     with POR off, seeded schedules stay bit-identical to before. *)
 
 type por = {
-  pending : int -> int;
-      (** [pending tid] — footprint of the op the fiber will execute when
-          next resumed, or [0] when unknown.  Footprints are opaque ints
-          ({!Runtime.Footprint} encodes them); the scheduler never
-          inspects them beyond equality with [0]. *)
-  take_step : unit -> int;
-      (** Footprint of the op(s) the step just executed (resetting the
-          accumulator); [0] for a step that ran nothing instrumented. *)
+  pending : int array;
+      (** [pending.(tid)] — footprint of the op the fiber will execute
+          when next resumed, or [0] when unknown.  Footprints are opaque
+          ints ({!Runtime.Footprint} encodes them); the scheduler never
+          inspects them beyond equality with [0].  The recorder writes
+          the array in place; fibers with tids beyond its length count
+          as unknown. *)
+  step_fp : int array;
+      (** A single shared cell: footprint of the op(s) the last step
+          executed, [0] for a step that ran nothing instrumented.  The
+          scheduler reads and clears it after every step.  An array
+          rather than a closure pair: most steps execute nothing
+          instrumented, and two indirect calls per step to learn that
+          cost more than the rest of the pick loop. *)
   independent : int -> int -> bool;
       (** Whether two adjacent steps with these footprints commute. *)
+  spin : int -> int -> bool;
+      (** [spin executed pending] — the stepped fiber is busy-wait
+          retrying the op it just executed (a failed CAS;
+          {!Runtime.Footprint.spin_retry}).  {!run_por} parks such a
+          fiber until a conflicting access wakes it, so a spinner cannot
+          burn the step budget while the lock holder sleeps. *)
 }
 (** The scheduler's whole view of the runtime for pruning, int-encoded so
     [lib/sched] keeps its dependency footprint ([fmt obs] only). *)
@@ -84,12 +96,18 @@ val run_por : ?on_step:(int -> unit) -> por:por -> t -> outcome * por_stats
     whose tid orders below the stepped fiber's — the canonical
     representative of the Mazurkiewicz class runs lower tids first among
     commuting ops) are put to sleep and excluded from the pick until a
-    dependent access wakes them.  Draws one [Rng.int] per step like
+    dependent access wakes them.  A fiber that busy-wait retries the op
+    it just executed ([por.spin], a failed CAS) is itself parked until a
+    conflicting access wakes it.  Draws one [Rng.int] per step like
     {!run}, but over the awake subset, so the RNG stream {e differs} from
     [run] — POR sessions are seed-reproducible against [run_por] itself,
     not against [run].  The pruning is a heuristic over instrumented
     accesses only; POR property tests pin that found-bug sets match
-    unpruned runs on the planted workloads. *)
+    unpruned runs on the planted workloads.  Per-step maintenance is
+    allocation-free (preallocated sleep bits / candidate scratch, a live
+    sleeper count skips the candidate pass when nobody sleeps), and the
+    candidate set is cached between sleep-state changes, so a step that
+    executed nothing instrumented costs like a {!run} step. *)
 
 val steps : t -> int
 val fiber_count : t -> int

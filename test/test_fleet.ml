@@ -508,6 +508,18 @@ let test_protocol_hygiene () =
       Alcotest.(check int) "rogue clients never became workers" 1 st.Fleet.Coordinator.st_clients;
       Alcotest.(check int) "only leased campaigns accounted" 5 st.Fleet.Coordinator.st_campaigns
 
+(* Adaptive lease sizing: rate × horizon clamped to [min, max]; an
+   unmeasured client (rate 0) gets the cap so warm-up is not serialized
+   on round trips. *)
+let test_lease_size () =
+  let size rate = Fleet.Coordinator.lease_size ~rate ~horizon:2.0 ~min_lease:5 ~max_lease:30 in
+  Alcotest.(check int) "unmeasured client gets the cap" 30 (size 0.);
+  Alcotest.(check int) "fast client clamps to the cap" 30 (size 1000.);
+  Alcotest.(check int) "slow client clamps to the floor" 5 (size 0.1);
+  Alcotest.(check int) "mid-rate client sized to horizon" 16 (size 8.4);
+  Alcotest.(check int) "floor never exceeds the cap" 3
+    (Fleet.Coordinator.lease_size ~rate:0.01 ~horizon:1.0 ~min_lease:10 ~max_lease:3)
+
 let suite =
   [
     Alcotest.test_case "fingerprint goldens (store format)" `Quick test_fingerprint_golden;
@@ -524,4 +536,5 @@ let suite =
     Alcotest.test_case "merge: origins, offsets, replay" `Quick test_merge_origins_replayable;
     Alcotest.test_case "coordinator/worker end-to-end" `Quick test_coordinator_worker_session;
     Alcotest.test_case "coordinator: protocol hygiene" `Quick test_protocol_hygiene;
+    Alcotest.test_case "coordinator: adaptive lease sizing" `Quick test_lease_size;
   ]
